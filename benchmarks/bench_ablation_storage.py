@@ -1,0 +1,88 @@
+"""Experiment X2 — ablation: storage-cell area ratio and storage depth.
+
+The paper's §3 observation: "any reduction in the area of the storage
+units of the proposed programmable memory BIST architectures has the
+largest effect on the area of programmable memory BIST units", and IBM's
+scan-only cells are "approximately 4 to 5 times smaller" than full scan
+registers.  This ablation sweeps both knobs:
+
+* the scan-only size ratio over 1×..6× (paper quotes 4–5×), showing the
+  controller-area reduction saturating as the non-storage blocks start
+  to dominate;
+* the storage depth Z, quantifying the flexibility-vs-area trade
+  (Z = 20 covers the March C/A '+' class; Z = 28 adds the '++' class).
+"""
+
+from repro.area.estimator import estimate
+from repro.area.technology import IBM_CMOS5S
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import MicrocodeBistController
+from repro.march import library
+
+CAPS = ControllerCapabilities(n_words=1024)
+
+
+def test_scan_only_ratio_sweep(benchmark):
+    baseline = estimate(
+        MicrocodeBistController(library.MARCH_C, CAPS).hardware(), IBM_CMOS5S
+    ).gate_equivalents
+
+    def sweep():
+        rows = []
+        for ratio in (1.0, 2.0, 3.0, 4.0, 4.5, 5.0, 6.0):
+            tech = IBM_CMOS5S.with_scan_only_ratio(ratio)
+            adjusted = estimate(
+                MicrocodeBistController(
+                    library.MARCH_C, CAPS, storage_cell="scan_only"
+                ).hardware(),
+                tech,
+            ).gate_equivalents
+            rows.append((ratio, adjusted, 100.0 * (1 - adjusted / baseline)))
+        return rows
+
+    rows = benchmark(sweep)
+    print(f"\nX2 — scan-only cell ratio sweep (baseline {baseline:.0f} GE):")
+    for ratio, adjusted, reduction in rows:
+        print(f"  {ratio:3.1f}x  {adjusted:7.0f} GE  {reduction:5.1f}% reduction")
+
+    reductions = [reduction for _, _, reduction in rows]
+    # Monotone: smaller cells, smaller controller.
+    assert reductions == sorted(reductions)
+    # Diminishing returns: the last 1x of ratio buys less than the first.
+    assert (reductions[1] - reductions[0]) > (reductions[-1] - reductions[-2])
+    # In the paper's 4-5x band the reduction is substantial.
+    in_band = [r for ratio, _, r in rows if 4.0 <= ratio <= 5.0]
+    assert all(35.0 <= r <= 65.0 for r in in_band)
+
+
+def test_storage_depth_sweep(benchmark):
+    def sweep():
+        rows = []
+        for depth in (10, 16, 20, 28, 32, 48, 64):
+            controller = MicrocodeBistController(
+                library.MARCH_C, CAPS, storage_rows=depth,
+                storage_cell="scan_only",
+            )
+            ge = estimate(controller.hardware()).gate_equivalents
+            rows.append((depth, ge))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\nX2 — storage depth sweep (scan-only cells):")
+    capability = {
+        10: "March C only",
+        16: "+ March C+",
+        20: "+ March A+ (paper's Table 1/2 class)",
+        28: "+ March C++/A++ (full library)",
+    }
+    for depth, ge in rows:
+        note = capability.get(depth, "")
+        print(f"  Z={depth:3d}  {ge:7.0f} GE  {note}")
+
+    areas = [ge for _, ge in rows]
+    assert areas == sorted(areas)
+    # Doubling the depth from the default costs well under 2x total area
+    # (storage is large but not everything).
+    default = dict(rows)[20]
+    doubled = dict(rows)[48]
+    assert doubled < 2 * default

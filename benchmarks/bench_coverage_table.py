@@ -1,0 +1,73 @@
+"""Experiment X6 — the measured algorithm × fault-class coverage matrix.
+
+The classic march-test coverage table (van de Goor's Chapter 4 summary),
+reproduced by single-fault simulation instead of citation.  This is the
+premise of the paper's flexibility argument: no single fixed algorithm
+serves every test requirement — SOF needs triple reads ('++'), DRF needs
+pauses ('+'), couplings need the March C element structure — so a
+controller that cannot change algorithms must either over-provision or
+under-cover.
+"""
+
+from repro.eval.coverage_study import (
+    COVERAGE_COLUMNS,
+    coverage_table,
+    render_coverage_table,
+)
+
+
+def test_coverage_matrix(benchmark):
+    rows = benchmark.pedantic(
+        lambda: coverage_table(n_words=6), rounds=1, iterations=1
+    )
+    print()
+    print(render_coverage_table(rows))
+    by_name = {row.algorithm: row for row in rows}
+
+    # The classical results, measured:
+    # every algorithm nails SAFs...
+    for row in rows:
+        assert row.percent("SAF") == 100.0, row.algorithm
+    # ...Zero-One misses transition and most coupling faults...
+    assert by_name["Zero-One"].percent("TF") < 100.0
+    assert by_name["Zero-One"].percent("CFin") < 100.0
+    # ...MATS++ adds full TF coverage over MATS+...
+    assert by_name["MATS+"].percent("TF") < 100.0
+    assert by_name["MATS++"].percent("TF") == 100.0
+    # ...March C is the cheapest full-coupling algorithm...
+    for column in ("CFin", "CFid", "CFst"):
+        assert by_name["March C"].percent(column) == 100.0, column
+    cheaper = [r for r in rows if r.algorithm in
+               ("Zero-One", "MATS", "MATS+", "MATS++", "March X", "March Y")]
+    for row in cheaper:
+        assert any(row.percent(c) < 100.0 for c in ("CFin", "CFid", "CFst")), (
+            row.algorithm
+        )
+    # ...only the '+' variants see retention faults...
+    for name in ("March C", "March A", "March B", "PMOVI", "March LR"):
+        assert by_name[name].percent("DRF") == 0.0, name
+    for name in ("March C+", "March A+", "March G"):
+        assert by_name[name].percent("DRF") == 100.0, name
+    # ...and only the triple-read variants see stuck-open cells...
+    for row in rows:
+        expected = 100.0 if row.algorithm in ("March C++", "March A++") else 0.0
+        assert row.percent("SOF") == expected, row.algorithm
+    # ...while the deceptive read fault (DRDF) needs a re-read of the
+    # same state: the triple-read variants and PMOVI/March Y qualify,
+    # March C and March A do not.
+    for name in ("March C++", "March A++", "PMOVI", "March Y"):
+        assert by_name[name].percent("DRDF") == 100.0, name
+    for name in ("March C", "March A", "March B", "March LR"):
+        assert by_name[name].percent("DRDF") == 0.0, name
+    # Every algorithm sees the trivially observable read faults.
+    for row in rows:
+        assert row.percent("IRF") == 100.0
+        assert row.percent("RDF") == 100.0
+
+    # March C++ is the only row with a clean sweep.
+    full_rows = [
+        row.algorithm
+        for row in rows
+        if all(row.percent(c) == 100.0 for c in COVERAGE_COLUMNS)
+    ]
+    assert full_rows == ["March C++"]

@@ -1,0 +1,64 @@
+"""Experiment F4 — regenerate Fig. 4: the lower-level 7-state FSM walk
+(a) and the upper-level circular buffer's path A / path B loops (b).
+
+The benchmark traces a word-oriented multiport March C run and checks:
+
+* the lower FSM walks Idle → Reset → RW states → Done per element, with
+  Done entered exactly on *Last Address* (Fig. 4a);
+* the whole algorithm loops back once per extra data background via
+  path A and once per extra port via path B, ending on the last port
+  (Fig. 4b).
+"""
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.progfsm import ProgrammableFsmBistController
+from repro.core.progfsm.lower_fsm import LowerFsmState
+from repro.march import library
+from repro.march.backgrounds import background_count
+
+N_WORDS = 4
+WIDTH = 4
+PORTS = 2
+CAPS = ControllerCapabilities(n_words=N_WORDS, width=WIDTH, ports=PORTS)
+
+
+def test_fig4_state_walk_and_paths(benchmark):
+    controller = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+    trace = benchmark(lambda: list(controller.trace()))
+
+    # (a) Render the first element's state walk.
+    print("\nFig. 4(a) — lower FSM walk for the first element:")
+    for entry in trace[:12]:
+        op = f"  -> {entry.operation}" if entry.operation else ""
+        print(f"  cycle {entry.cycle:3d}  row {entry.row}  "
+              f"{entry.state.name:5s}{op}")
+
+    states = [entry.state for entry in trace]
+    assert states[0] is LowerFsmState.IDLE
+    assert states[1] is LowerFsmState.RESET
+    assert LowerFsmState.RW0 in states and LowerFsmState.DONE in states
+
+    # Done follows the final operation at the last address of each sweep.
+    for previous, current in zip(trace, trace[1:]):
+        if current.state is LowerFsmState.DONE and previous.state in (
+            LowerFsmState.RW0, LowerFsmState.RW1,
+            LowerFsmState.RW2, LowerFsmState.RW3,
+        ):
+            assert previous.operation is not None
+
+    # (b) Path A fires once per extra background, per port; path B once
+    # per extra port.
+    paths = [entry.path for entry in trace if entry.path]
+    backgrounds = background_count(WIDTH)
+    expected_a = (backgrounds - 1) * PORTS
+    expected_b = PORTS - 1
+    print(f"\nFig. 4(b) — path A taken {paths.count('A')}x "
+          f"(expected {expected_a}), path B {paths.count('B')}x "
+          f"(expected {expected_b})")
+    assert paths.count("A") == expected_a
+    assert paths.count("B") == expected_b
+
+    # The run terminates on the port-loop row with Last Port asserted.
+    final = trace[-1]
+    assert not final.instruction.is_element
+    assert final.port == PORTS - 1

@@ -1,0 +1,57 @@
+"""Experiment F5 — regenerate Fig. 5: the FSM-based instruction
+definition and the March C example program.
+
+The paper's Fig. 5 lists March C as eight upper-buffer instructions:
+six march-element rows (SM0, SM1 ×4, SM5 with the appropriate address
+order / data / compare base values) plus the background loop-back and
+port-increment rows.  The benchmark recompiles March C, checks the exact
+row sequence, and verifies execution against the golden stream.
+"""
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.progfsm import (
+    DataControl,
+    ProgrammableFsmBistController,
+    compile_to_sm,
+)
+from repro.march import library
+from repro.march.simulator import expand
+
+CAPS = ControllerCapabilities(n_words=64, width=8, ports=2)
+
+
+def test_fig5_march_c_program(benchmark):
+    program = benchmark(lambda: compile_to_sm(library.MARCH_C, CAPS))
+    print("\nFig. 5 — March C FSM program:")
+    for index, instruction in enumerate(program.instructions):
+        print(f"  {index}: {instruction}  [{instruction.encode():#04x}]")
+
+    assert len(program) == 8
+
+    rows = program.instructions
+    # Six element rows: SM0(w0) up, SM1 up D=0, SM1 up D=1, SM1 down D=0,
+    # SM1 down D=1, SM5(r0) up.
+    expected = [
+        (0, False, 0, 0),
+        (1, False, 0, 0),
+        (1, False, 1, 1),
+        (1, True, 0, 0),
+        (1, True, 1, 1),
+        (5, False, 0, 0),
+    ]
+    for row, (mode, down, data, compare) in zip(rows, expected):
+        assert row.is_element
+        assert row.mode == mode
+        assert row.addr_down == down
+        assert row.base_data == data
+        assert int(row.compare) == compare
+
+    # The two loop rows of the paper's figure ("xxx" mode column).
+    assert rows[6].data_ctrl is DataControl.LOOP_BG
+    assert rows[7].data_ctrl is DataControl.LOOP_PORT
+
+
+def test_fig5_program_executes_golden_stream(benchmark):
+    controller = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+    stream = benchmark(lambda: list(controller.operations()))
+    assert stream == list(expand(library.MARCH_C, 64, width=8, ports=2))

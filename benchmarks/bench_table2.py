@@ -1,0 +1,37 @@
+"""Experiment T2 — regenerate Table 2: word-oriented and multiport
+extensions of every design.
+
+Paper artifact: "Table 2. Size of the Memory BIST Methodology For
+Word-Oriented and Multiport Memories" — the Table 1 designs extended
+with the background loop (8-bit words) and the port loop (dual-port).
+
+Shape assertions: every design grows when extended, and the hardwired
+designs grow *relatively* more than the programmable ones, whose loop
+hardware is already present — the paper's extendibility argument.
+"""
+
+from repro.eval.experiments import table1, table2
+from repro.eval.tables import render_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2)
+    base = {r.method: r.gate_equivalents for r in table1()}
+    print()
+    print(render_table2(rows))
+
+    for row in rows:
+        assert row.word_ge > base[row.method]
+        assert row.multiport_ge > base[row.method]
+
+    def relative_word_growth(name):
+        row = next(r for r in rows if r.method == name)
+        return (row.word_ge - base[name]) / base[name]
+
+    for hardwired in ("March C", "March C+", "March A"):
+        assert relative_word_growth(hardwired) > relative_word_growth(
+            "Microcode-Based"
+        )
+        assert relative_word_growth(hardwired) > relative_word_growth(
+            "Prog. FSM-Based"
+        )

@@ -1,0 +1,104 @@
+"""Diagnostics and process monitoring with a programmable MBIST unit.
+
+The paper motivates programmability partly by diagnostics: in production
+the controller runs a fast go/no-go screen, but on failing parts the
+*same hardware* reruns an enhanced diagnostic algorithm with full fail
+capture, producing the fail bitmap and fault classification a fab uses
+for process monitoring.
+
+Run with::
+
+    python examples/diagnostics_flow.py
+"""
+
+from repro import (
+    ControllerCapabilities,
+    MemoryBistUnit,
+    MicrocodeBistController,
+    Sram,
+    library,
+)
+from repro.diagnostics import FailBitmap, FailLog, classify
+from repro.faults import (
+    DataRetentionFault,
+    InversionCouplingFault,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+)
+
+
+def main() -> None:
+    n_words = 64
+    caps = ControllerCapabilities(n_words=n_words)
+
+    # A defective part fresh off the line, with a realistic defect mix.
+    memory = Sram(n_words)
+    memory.attach(StuckAtFault(word=9, bit=0, value=0))
+    memory.attach(StuckAtFault(word=10, bit=0, value=0))  # neighbouring defect
+    memory.attach(TransitionFault(word=33, bit=0, rising=False))
+    memory.attach(DataRetentionFault(word=48, bit=0, from_value=1))
+    memory.attach(StuckOpenFault(word=55, bit=0, weak_value=1))
+    memory.attach(InversionCouplingFault(20, 0, 21, 0, rising=True))
+
+    # Stage 1 — production screen: fast March C, stop at first fail.
+    controller = MicrocodeBistController(library.MARCH_A_PLUS_PLUS, caps)
+    unit = MemoryBistUnit(controller, memory)
+    controller.load(library.MARCH_C)
+    screen = unit.run(stop_at_first_failure=True)
+    print(f"production screen: {screen}")
+
+    # Stage 2 — the part failed: reload the diagnostic algorithm (full
+    # fault model: retention pauses + triple reads) and capture all fails.
+    controller.load(library.MARCH_C_PLUS_PLUS)
+    memory.reset_state()
+    diagnostic = unit.run(stop_at_first_failure=False)
+    log = FailLog.from_result(diagnostic)
+    print(f"\ndiagnostic run: {diagnostic}")
+    print(log)
+
+    # Stage 3 — fail bitmap for the process engineers.
+    bitmap = FailBitmap.from_log(log, n_words)
+    print(f"\nfail bitmap ({bitmap.fail_count} failing cells, "
+          f"{len(bitmap.clusters())} clusters):")
+    print(bitmap.render())
+
+    # Stage 4 — per-cell fault classification.
+    print("\nfault classification:")
+    for diagnosis in sorted(
+        classify(log, library.MARCH_C_PLUS_PLUS, n_words),
+        key=lambda d: d.address,
+    ):
+        print(
+            f"  cell ({diagnosis.address},{diagnosis.bit}): "
+            f"{diagnosis.label:12s} — {diagnosis.rationale}"
+        )
+
+    # Stage 5 — if the signature pointed at the address decoder, the
+    # walking-address probe pins down the AF class exactly.
+    from repro.diagnostics import decoder_probe
+    from repro.faults import TwoAddressesOneCell
+
+    suspect = Sram(16)
+    suspect.attach(TwoAddressesOneCell(2, 11))
+    print("\ndecoder probe on an AF3-suspect part:")
+    print(decoder_probe(suspect))
+
+    # Stage 6 — repair: allocate spare lines from the bitmap, remap,
+    # and re-test.  The same diagnostics data turns scrap into yield.
+    from repro.faults import StuckAtFault as _SAF
+    from repro.repair import repair_flow
+    from repro.repair.apply import make_repairable_memory
+
+    die = make_repairable_memory(64, spare_words=16)
+    die.attach(_SAF(9, 0, 0))
+    die.attach(_SAF(10, 0, 0))
+    die.attach(_SAF(33, 0, 1))
+    outcome = repair_flow(die, spare_rows=2, spare_columns=0)
+    print(f"\nself-repair: {outcome}")
+    if outcome.plan:
+        print(f"  {outcome.plan}")
+
+
+if __name__ == "__main__":
+    main()

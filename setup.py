@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs in offline environments
+that lack the ``wheel`` package required by PEP 660 builds."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,204 @@
+"""Structural hardware components and the :class:`HardwareSpec` inventory.
+
+Every BIST controller in :mod:`repro.core` describes its hardware as a
+flat list of these components; :func:`repro.area.estimator.estimate`
+costs the list against a :class:`repro.area.technology.Technology`.
+Component GE formulas are conventional structural estimates:
+
+* a counter bit = flip-flop + half-adder-ish increment logic;
+* an up/down counter adds direction muxing per bit;
+* a loadable counter adds a 2:1 load mux per bit;
+* a W-bit equality comparator = W XORs + an AND reduction tree;
+* an N-way W-bit mux = (N−1)·W 2:1 muxes;
+* synthesised combinational blocks carry their own GE from
+  :mod:`repro.area.logic_min`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.area.technology import Technology
+
+
+class Component(abc.ABC):
+    """A structural hardware block with a GE cost under a technology."""
+
+    name: str
+
+    @abc.abstractmethod
+    def gate_equivalents(self, tech: Technology) -> float:
+        """Cost in 2-input-NAND gate equivalents."""
+
+
+@dataclass
+class Register(Component):
+    """A plain storage register (or register file / storage unit).
+
+    Args:
+        name: label for breakdowns.
+        width: bits per row.
+        rows: number of rows (1 for a simple register).
+        cell: storage cell kind — 'dff', 'scan_dff' or 'scan_only'.
+            The microcode storage unit uses 'scan_dff' in the Table 1/2
+            configuration and 'scan_only' in the Table 3 redesign.
+    """
+
+    name: str
+    width: int
+    rows: int = 1
+    cell: str = "dff"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.rows <= 0:
+            raise ValueError(f"register {self.name!r} needs positive dimensions")
+
+    @property
+    def bits(self) -> int:
+        return self.width * self.rows
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        return self.bits * tech.cell_ge(self.cell)
+
+
+@dataclass
+class Counter(Component):
+    """A binary counter.
+
+    Args:
+        width: counter bits.
+        up_down: direction-controllable counter (the BIST address
+            generator); adds per-bit direction muxing.
+        loadable: parallel-loadable (adds a per-bit load mux).
+        cell: flip-flop kind.
+    """
+
+    name: str
+    width: int
+    up_down: bool = False
+    loadable: bool = False
+    cell: str = "dff"
+
+    #: increment logic per bit (toggle enable chain): ~2.5 2-input gates.
+    INCREMENT_GE_PER_BIT = 2.5
+    #: extra per-bit logic for direction control.
+    UPDOWN_GE_PER_BIT = 1.5
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"counter {self.name!r} needs positive width")
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        per_bit = tech.cell_ge(self.cell) + self.INCREMENT_GE_PER_BIT
+        if self.up_down:
+            per_bit += self.UPDOWN_GE_PER_BIT
+        if self.loadable:
+            per_bit += tech.mux2_ge
+        return self.width * per_bit
+
+
+@dataclass
+class Mux(Component):
+    """An N-way, W-bit-wide multiplexer (e.g. the instruction selector)."""
+
+    name: str
+    ways: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.ways <= 0 or self.width <= 0:
+            raise ValueError(f"mux {self.name!r} needs positive dimensions")
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        return max(0, self.ways - 1) * self.width * tech.mux2_ge
+
+
+@dataclass
+class XorArray(Component):
+    """W parallel 2-input XORs (polarity/complement stages)."""
+
+    name: str
+    width: int
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        return self.width * tech.xor2_ge
+
+
+@dataclass
+class Comparator(Component):
+    """W-bit equality comparator (the BIST response analyser)."""
+
+    name: str
+    width: int
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        xors = self.width * tech.xor2_ge
+        and_tree = max(0, self.width - 1) * tech.nand2_ge
+        return xors + and_tree
+
+
+@dataclass
+class Decoder(Component):
+    """An N-output one-hot decoder (storage-row select, state decode)."""
+
+    name: str
+    outputs: int
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        if self.outputs <= 1:
+            return 0.0
+        select_bits = max(1, math.ceil(math.log2(self.outputs)))
+        # Each output is an AND of select_bits literals plus shared
+        # inverters on the select lines.
+        per_output = max(0, select_bits - 1) * tech.nand2_ge
+        return self.outputs * per_output + select_bits * tech.inv_ge
+
+
+@dataclass
+class LogicBlock(Component):
+    """A synthesised combinational block with a precomputed GE cost.
+
+    Produced from :class:`repro.area.logic_min.TruthTable` (FSM
+    next-state/output logic) or from documented fixed estimates for tiny
+    glue blocks.
+    """
+
+    name: str
+    ge: float
+
+    def __post_init__(self) -> None:
+        if self.ge < 0:
+            raise ValueError(f"logic block {self.name!r} has negative area")
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        return self.ge
+
+
+@dataclass
+class HardwareSpec:
+    """The complete structural inventory of one BIST unit/controller."""
+
+    name: str
+    components: List[Component] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, component: Component) -> "HardwareSpec":
+        self.components.append(component)
+        return self
+
+    def extend(self, components: List[Component]) -> "HardwareSpec":
+        self.components.extend(components)
+        return self
+
+    def total_ge(self, tech: Technology) -> float:
+        return sum(c.gate_equivalents(tech) for c in self.components)
+
+    def area_um2(self, tech: Technology) -> float:
+        return tech.to_um2(self.total_ge(tech))
+
+    def breakdown(self, tech: Technology) -> List[Tuple[str, float]]:
+        """(component name, GE) pairs in inventory order."""
+        return [(c.name, c.gate_equivalents(tech)) for c in self.components]

@@ -1,0 +1,29 @@
+"""Human-readable rendering of area reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.area.estimator import AreaReport
+
+
+def format_breakdown(report: AreaReport) -> str:
+    """Multi-line per-component breakdown of one area report."""
+    lines = [str(report)]
+    width = max((len(name) for name, _ in report.breakdown), default=0)
+    for name, ge in report.breakdown:
+        share = 100.0 * ge / report.gate_equivalents if report.gate_equivalents else 0
+        lines.append(f"  {name:<{width}}  {ge:9.1f} GE  {share:5.1f}%")
+    return "\n".join(lines)
+
+
+def format_comparison(reports: Sequence[AreaReport]) -> str:
+    """Side-by-side totals table for several reports."""
+    width = max((len(r.name) for r in reports), default=4)
+    lines = [f"{'design':<{width}}  {'GE':>10}  {'um^2':>12}"]
+    for report in reports:
+        lines.append(
+            f"{report.name:<{width}}  {report.gate_equivalents:>10.0f}  "
+            f"{report.area_um2:>12.0f}"
+        )
+    return "\n".join(lines)

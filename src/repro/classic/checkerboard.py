@@ -1,0 +1,76 @@
+"""Checkerboard: the 4N gross-defect and retention-bake screen.
+
+Writes the physical checkerboard pattern (each cell the complement of
+its grid neighbours), reads it back, then repeats with the inverse
+pattern.  Optionally idles between write and read (the retention bake).
+Cheap and effective against shorts between physically adjacent cells and
+gross processing defects, but blind to most coupling mechanisms — the
+measured coverage gap to March C is part of the X7 benchmark.
+
+Physical adjacency uses the same near-square folding as the NPSF models
+(:class:`repro.faults.neighborhood.CellGrid`), so "checkerboard" is
+checkerboard on silicon, not in address space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.faults.neighborhood import CellGrid
+from repro.march.simulator import MemoryOperation
+
+
+def _patterns(n_words: int, width: int, scrambler=None) -> List[int]:
+    """Per-word checkerboard values from grid-position parity.
+
+    With a :class:`repro.memory.scramble.AddressScrambler`, the parity is
+    computed at the *physical* position each logical address actually
+    selects — writing a checkerboard in logical order through a
+    scrambled decoder otherwise produces physical stripes or blocks.
+    """
+    grid = CellGrid(n_words, width)
+    words = []
+    for word in range(n_words):
+        physical_word = scrambler.physical(word) if scrambler else word
+        value = 0
+        for bit in range(width):
+            row, col = grid.position((physical_word, bit))
+            if (row + col) & 1:
+                value |= 1 << bit
+        words.append(value)
+    return words
+
+
+def checkerboard(
+    n_words: int,
+    width: int = 1,
+    ports: int = 1,
+    bake: Optional[int] = None,
+    scrambler=None,
+) -> Iterator[MemoryOperation]:
+    """The two-phase checkerboard screen.
+
+    Args:
+        n_words / width / ports: memory geometry.
+        bake: optional idle time inserted between each write sweep and
+            its read-back (the retention bake); ``None`` skips it.
+        scrambler: optional address scrambler; when given, the pattern
+            is a checkerboard on *silicon*, not in address space.
+    """
+    mask = (1 << width) - 1
+    pattern = _patterns(n_words, width, scrambler)
+    for port in range(ports):
+        for phase in (0, 1):
+            for address in range(n_words):
+                value = pattern[address] ^ (mask if phase else 0)
+                yield MemoryOperation(port, address, True, value=value)
+            if bake:
+                yield MemoryOperation(port, 0, False, delay=bake)
+            for address in range(n_words):
+                value = pattern[address] ^ (mask if phase else 0)
+                yield MemoryOperation(port, address, False, expected=value)
+
+
+def checkerboard_op_count(n_words: int, ports: int = 1, bake: bool = False) -> int:
+    """Operations of the full screen: ``4N`` (+2 bake delays) per port."""
+    return ports * (4 * n_words + (2 if bake else 0))

@@ -1,0 +1,62 @@
+"""GALPAT (GALloping PATtern): the strongest classical O(N²) test.
+
+Like Walking 1/0, GALPAT moves a mark cell through the array — but after
+reading each *other* cell it immediately re-reads the **mark cell**
+("ping-pong"), so any interaction between the pair is observed in both
+directions and the faulty pair is located exactly.  That diagnostic
+power is why GALPAT survived as a characterisation test long after march
+algorithms took over production.
+
+Complexity: per base cell, ``2(N-1)`` ping-pong reads plus the mark
+write/read/restore → ``2N² + 2N`` operations per polarity pass (we run
+both polarities: mark 1 on base 0, then mark 0 on base 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.march.backgrounds import apply_polarity
+from repro.march.simulator import MemoryOperation
+
+
+def _galpat_pass(
+    n_words: int, width: int, port: int, mark_polarity: int
+) -> Iterator[MemoryOperation]:
+    base = apply_polarity(0, mark_polarity ^ 1, width)
+    mark = apply_polarity(0, mark_polarity, width)
+    for address in range(n_words):
+        yield MemoryOperation(port, address, True, value=base)
+    for base_cell in range(n_words):
+        # Tenure pre-read: verifies the cell before it is disturbed,
+        # closing the window where the previous tenure's restore write
+        # corrupted exactly this cell (which the mark write would mask).
+        yield MemoryOperation(port, base_cell, False, expected=base)
+        yield MemoryOperation(port, base_cell, True, value=mark)
+        for other in range(n_words):
+            if other == base_cell:
+                continue
+            yield MemoryOperation(port, other, False, expected=base)
+            yield MemoryOperation(port, base_cell, False, expected=mark)
+        yield MemoryOperation(port, base_cell, True, value=base)
+    # Final verify sweep: the last restore write of each tenure can
+    # disturb a coupled victim after that victim's tenure reads are
+    # over; the sweep closes that observation window.
+    for address in range(n_words):
+        yield MemoryOperation(port, address, False, expected=base)
+
+
+def galpat(
+    n_words: int, width: int = 1, ports: int = 1
+) -> Iterator[MemoryOperation]:
+    """Both GALPAT polarity passes, per port."""
+    for port in range(ports):
+        yield from _galpat_pass(n_words, width, port, mark_polarity=1)
+        yield from _galpat_pass(n_words, width, port, mark_polarity=0)
+
+
+def galpat_op_count(n_words: int, ports: int = 1) -> int:
+    """Operations of the full two-polarity GALPAT (init + tenures with
+    pre-read + final verify sweep per pass): ``2(2N² + 3N)`` per port."""
+    per_pass = n_words + n_words * (2 * (n_words - 1) + 3) + n_words
+    return ports * 2 * per_pass

@@ -1,0 +1,67 @@
+"""Walking 1/0: the classical O(N²) exhaustive-observation test.
+
+Procedure (Walking 1): initialise the array to the base value; for every
+*base cell* in turn, write the mark there, read **all other cells**
+(they must still hold the base value — any disturbance is caught
+immediately), read the base cell itself, and restore it.  Walking 0 is
+the polarity dual.
+
+Complexity: ``N`` initialisation writes plus, per base cell,
+``(N-1) + 2`` reads (a pre-read verifies the cell before it is
+disturbed) and 2 writes, plus a final verify sweep → ``N² + 5N``
+operations.  Detects all
+SAFs, TFs, AFs and coupling faults, but at a hundred-to-thousand-fold
+test-time premium over 10N March C — the premium that made march
+algorithms the industry default and O(N²) tests characterisation-only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.march.backgrounds import apply_polarity
+from repro.march.simulator import MemoryOperation
+
+
+def _walk(
+    n_words: int, width: int, ports: int, mark_polarity: int
+) -> Iterator[MemoryOperation]:
+    mask = (1 << width) - 1
+    base = apply_polarity(0, mark_polarity ^ 1, width) & mask
+    mark = apply_polarity(0, mark_polarity, width) & mask
+    for port in range(ports):
+        for address in range(n_words):
+            yield MemoryOperation(port, address, True, value=base)
+        for base_cell in range(n_words):
+            # Tenure pre-read (see galpat.py): closes the window where
+            # the previous tenure's restore write corrupted this cell.
+            yield MemoryOperation(port, base_cell, False, expected=base)
+            yield MemoryOperation(port, base_cell, True, value=mark)
+            for other in range(n_words):
+                if other != base_cell:
+                    yield MemoryOperation(port, other, False, expected=base)
+            yield MemoryOperation(port, base_cell, False, expected=mark)
+            yield MemoryOperation(port, base_cell, True, value=base)
+        # Final verify sweep: closes the observation window on victims
+        # disturbed by the last tenure's restore write.
+        for address in range(n_words):
+            yield MemoryOperation(port, address, False, expected=base)
+
+
+def walking_ones(
+    n_words: int, width: int = 1, ports: int = 1
+) -> Iterator[MemoryOperation]:
+    """Walking 1: base value 0, mark value all-ones."""
+    return _walk(n_words, width, ports, mark_polarity=1)
+
+
+def walking_zeros(
+    n_words: int, width: int = 1, ports: int = 1
+) -> Iterator[MemoryOperation]:
+    """Walking 0: base value all-ones, mark value 0."""
+    return _walk(n_words, width, ports, mark_polarity=0)
+
+
+def walking_op_count(n_words: int, ports: int = 1) -> int:
+    """Operations of one walking pass: ``N² + 5N`` per port."""
+    return ports * (n_words * n_words + 5 * n_words)

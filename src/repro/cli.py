@@ -1,0 +1,304 @@
+"""Command-line interface for the BIST library.
+
+Entry point: ``python -m repro <command>``.
+
+Commands:
+
+``run``
+    Build a BIST unit (architecture + algorithm + memory geometry),
+    optionally inject faults, run the self-test and print the verdict —
+    with ``--diagnose`` the full diagnostic flow (fail log, bitmap,
+    classification) follows a failure.
+``assemble``
+    Print an algorithm's microcode or SM program (or the tester
+    interchange file) without running anything.
+``algorithms``
+    List the library algorithms with complexity and notation.
+``recommend``
+    Pick the cheapest library algorithm covering a set of fault
+    classes (measured coverage, not citation).
+``report``
+    Render a markdown datasheet for a configuration (geometry,
+    program listing, measured coverage, area breakdown).
+
+Fault specifications for ``run --fault`` use small colon-separated
+forms, e.g. ``saf:word:bit:value``::
+
+    saf:3:0:1        stuck-at-1 at cell (3,0)
+    tf:4:0:up        up-transition fault at cell (4,0)
+    drf:5:0:1        data-retention fault losing 1 at cell (5,0)
+    sof:6:0:1        stuck-open (weak 1) at cell (6,0)
+    cfin:0:0:1:0:up  inversion coupling, aggressor (0,0) -> victim (1,0)
+    af1:3            address 3 selects no cell
+    af3:2:6          addresses 2 and 6 share one cell
+    paf:1:3:0        cell (3,0) disconnected from port 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.bist_unit import MemoryBistUnit
+from repro.core.hardwired import HardwiredBistController
+from repro.core.microcode import MicrocodeBistController, assemble as assemble_microcode
+from repro.core.microcode.disassembler import disassemble
+from repro.core.programming import dump_program
+from repro.core.progfsm import ProgrammableFsmBistController, compile_to_sm
+from repro.faults.address_decoder import (
+    AddressMapsNowhere,
+    AddressMapsToMultiple,
+    AddressMapsToWrongCell,
+    TwoAddressesOneCell,
+)
+from repro.faults.base import CellFault
+from repro.faults.coupling import InversionCouplingFault
+from repro.faults.port import PortStuckOpenAccess
+from repro.faults.retention import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.stuck_open import StuckOpenFault
+from repro.faults.transition import TransitionFault
+from repro.march import library
+from repro.march.notation import format_test
+from repro.memory import Sram
+
+ARCHITECTURES = {
+    "microcode": MicrocodeBistController,
+    "progfsm": ProgrammableFsmBistController,
+    "hardwired": HardwiredBistController,
+}
+
+
+class FaultSpecError(ValueError):
+    """Raised for malformed ``--fault`` specifications."""
+
+
+def _direction(token: str) -> bool:
+    if token in ("up", "rising", "1"):
+        return True
+    if token in ("down", "falling", "0"):
+        return False
+    raise FaultSpecError(f"bad transition direction {token!r} (up/down)")
+
+
+def parse_fault(spec: str) -> CellFault:
+    """Parse one ``--fault`` specification (see module docstring)."""
+    parts = spec.lower().split(":")
+    kind, args = parts[0], parts[1:]
+    try:
+        if kind == "saf":
+            word, bit, value = map(int, args)
+            return StuckAtFault(word, bit, value)
+        if kind == "tf":
+            word, bit = int(args[0]), int(args[1])
+            return TransitionFault(word, bit, _direction(args[2]))
+        if kind == "drf":
+            word, bit, from_value = map(int, args)
+            return DataRetentionFault(word, bit, from_value)
+        if kind == "sof":
+            word, bit, weak = map(int, args)
+            return StuckOpenFault(word, bit, weak)
+        if kind == "cfin":
+            aw, ab, vw, vb = map(int, args[:4])
+            return InversionCouplingFault(aw, ab, vw, vb, _direction(args[4]))
+        if kind == "af1":
+            return AddressMapsNowhere(int(args[0]))
+        if kind == "af2":
+            return AddressMapsToWrongCell(int(args[0]), int(args[1]))
+        if kind == "af3":
+            return TwoAddressesOneCell(int(args[0]), int(args[1]))
+        if kind == "af4":
+            return AddressMapsToMultiple(int(args[0]), int(args[1]))
+        if kind == "paf":
+            port, word, bit = map(int, args)
+            return PortStuckOpenAccess(port, word, bit)
+    except FaultSpecError:
+        raise
+    except (ValueError, IndexError) as error:
+        raise FaultSpecError(f"bad fault spec {spec!r}: {error}") from None
+    raise FaultSpecError(
+        f"unknown fault kind {kind!r} (saf/tf/drf/sof/cfin/af1-af4/paf)"
+    )
+
+
+def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--words", type=int, default=64, help="memory depth")
+    parser.add_argument("--width", type=int, default=1, help="word width")
+    parser.add_argument("--ports", type=int, default=1, help="port count")
+    parser.add_argument(
+        "--algorithm", default="March C",
+        help='library algorithm name (see "algorithms")',
+    )
+
+
+def _cmd_run(args) -> int:
+    test = library.get(args.algorithm)
+    caps = ControllerCapabilities(
+        n_words=args.words, width=args.width, ports=args.ports
+    )
+    controller = ARCHITECTURES[args.architecture](test, caps)
+    memory = Sram(args.words, width=args.width, ports=args.ports)
+    for spec in args.fault or []:
+        memory.attach(parse_fault(spec))
+    unit = MemoryBistUnit(controller, memory)
+    result = unit.run(stop_at_first_failure=not args.diagnose)
+    print(result)
+    if args.area:
+        from repro.area.report import format_breakdown
+
+        print()
+        print(format_breakdown(unit.area()))
+    if args.diagnose and not result.passed:
+        from repro.diagnostics import FailBitmap, FailLog, classify
+
+        log = FailLog.from_result(result)
+        print()
+        print(log)
+        bitmap = FailBitmap.from_log(log, args.words, args.width)
+        print(f"\nfail bitmap ({bitmap.fail_count} cells):")
+        print(bitmap.render())
+        print("\nclassification:")
+        for diagnosis in classify(log, test, args.words, args.width,
+                                  args.ports):
+            print(f"  ({diagnosis.address},{diagnosis.bit}): "
+                  f"{diagnosis.label} — {diagnosis.rationale}")
+    return 0 if result.passed else 1
+
+
+def _cmd_assemble(args) -> int:
+    test = library.get(args.algorithm)
+    caps = ControllerCapabilities(
+        n_words=args.words, width=args.width, ports=args.ports
+    )
+    if args.format == "microcode":
+        print(disassemble(assemble_microcode(test, caps)))
+    elif args.format == "fsm":
+        program = compile_to_sm(test, caps)
+        for index, instruction in enumerate(program.instructions):
+            print(f"{index:3d}: {instruction}  [{instruction.encode():#04x}]")
+    else:  # interchange
+        print(dump_program(assemble_microcode(test, caps)), end="")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.eval.recommend import recommend
+
+    classes = [token.strip().upper() for token in args.classes.split(",")
+               if token.strip()]
+    # Column names are case-sensitive mixed case (CFin etc.): normalise.
+    from repro.eval.coverage_study import COVERAGE_COLUMNS
+
+    canonical = {column.upper(): column for column in COVERAGE_COLUMNS}
+    resolved = [canonical.get(token, token) for token in classes]
+    choice = recommend(resolved, n_words=args.words)
+    print(choice)
+    print(f"notation: {format_test(choice.test)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting import build_controller, datasheet
+
+    test = library.get(args.algorithm)
+    caps = ControllerCapabilities(
+        n_words=args.words, width=args.width, ports=args.ports
+    )
+    controller = build_controller(args.architecture, test, caps)
+    text = datasheet(controller)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_algorithms(_args) -> int:
+    width = max(len(name) for name in library.ALGORITHMS)
+    for name, test in library.ALGORITHMS.items():
+        print(f"{name:<{width}}  {test.complexity:>5}  {format_test(test)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Programmable memory BIST (Zarrineh & Upadhyaya, DATE 1999)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run a BIST self-test")
+    _add_geometry_args(run)
+    run.add_argument(
+        "--architecture", choices=sorted(ARCHITECTURES), default="microcode"
+    )
+    run.add_argument(
+        "--fault", action="append",
+        help="inject a fault (repeatable); e.g. saf:3:0:1",
+    )
+    run.add_argument(
+        "--diagnose", action="store_true",
+        help="full fail capture + bitmap + classification on failure",
+    )
+    run.add_argument(
+        "--area", action="store_true", help="print the area breakdown"
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    assemble_cmd = commands.add_parser(
+        "assemble", help="print an algorithm's BIST program"
+    )
+    _add_geometry_args(assemble_cmd)
+    assemble_cmd.add_argument(
+        "--format", choices=["microcode", "fsm", "interchange"],
+        default="microcode",
+    )
+    assemble_cmd.set_defaults(handler=_cmd_assemble)
+
+    algorithms = commands.add_parser(
+        "algorithms", help="list the library algorithms"
+    )
+    algorithms.set_defaults(handler=_cmd_algorithms)
+
+    recommend_cmd = commands.add_parser(
+        "recommend",
+        help="cheapest algorithm covering the given fault classes",
+    )
+    recommend_cmd.add_argument(
+        "--classes", required=True,
+        help="comma-separated fault classes, e.g. SAF,TF,DRF",
+    )
+    recommend_cmd.add_argument(
+        "--words", type=int, default=8,
+        help="array size for the measurement sweep",
+    )
+    recommend_cmd.set_defaults(handler=_cmd_recommend)
+
+    report = commands.add_parser(
+        "report", help="render a markdown datasheet for a configuration"
+    )
+    _add_geometry_args(report)
+    report.add_argument(
+        "--architecture", choices=sorted(ARCHITECTURES), default="microcode"
+    )
+    report.add_argument("--output", help="write to a file instead of stdout")
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLIs.
+        return 0
+    except (FaultSpecError, KeyError, LookupError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,102 @@
+"""Common BIST controller interface.
+
+Every architecture — microcode-based, programmable FSM-based, hardwired —
+implements :class:`BistController`:
+
+* ``operations()`` yields the cycle-ordered stream of memory operations
+  the controller issues, in the canonical
+  :class:`repro.march.simulator.MemoryOperation` form (the golden
+  expander produces the same type, which is what makes stream-equality
+  checking trivial);
+* ``hardware()`` returns the structural inventory the area model costs;
+* ``capabilities`` declares what the *hardware* supports, independent of
+  the currently loaded program — the basis of the paper's flexibility
+  grading (Table 1, column 2).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.area.components import HardwareSpec
+from repro.march.simulator import MemoryOperation
+from repro.march.test import MarchTest
+
+
+class Flexibility(enum.Enum):
+    """The paper's three-level flexibility grading.
+
+    * ``HIGH`` — any march-style algorithm expressible in the microcode
+      ISA, including per-element operation patterns of arbitrary length
+      and retention pauses (microcode-based architecture).
+    * ``MEDIUM`` — any algorithm composed of the SM0–SM7 march elements
+      (programmable FSM-based architecture); algorithms with other
+      element patterns (March B, the '++' triple-read variants) are not
+      realisable.
+    * ``LOW`` — exactly one hardwired algorithm.
+    """
+
+    HIGH = "HIGH"
+    MEDIUM = "MEDIUM"
+    LOW = "LOW"
+
+
+@dataclass(frozen=True)
+class ControllerCapabilities:
+    """What a controller instance's hardware supports.
+
+    Attributes:
+        n_words: address-space size the address generator is built for.
+        width: memory word width the data generator/comparator handle.
+        ports: number of ports the port sequencer can select.
+        word_oriented: True when the data-background loop hardware is
+            present (Table 2's "word-oriented" configuration).
+        multiport: True when the port loop hardware is present.
+    """
+
+    n_words: int
+    width: int = 1
+    ports: int = 1
+
+    @property
+    def word_oriented(self) -> bool:
+        return self.width > 1
+
+    @property
+    def multiport(self) -> bool:
+        return self.ports > 1
+
+
+class BistController(abc.ABC):
+    """Abstract memory BIST controller."""
+
+    #: architecture family name used in reports ("Microcode-Based", ...).
+    architecture: str = "?"
+    #: the paper's flexibility grade for the family.
+    flexibility: Flexibility = Flexibility.LOW
+
+    def __init__(self, capabilities: ControllerCapabilities) -> None:
+        self.capabilities = capabilities
+
+    @abc.abstractmethod
+    def operations(self) -> Iterator[MemoryOperation]:
+        """Cycle-ordered memory operations of one full test run."""
+
+    @abc.abstractmethod
+    def hardware(self) -> HardwareSpec:
+        """Structural inventory for the area model."""
+
+    @abc.abstractmethod
+    def loaded_test(self) -> MarchTest:
+        """The march algorithm this controller currently realises."""
+
+    def __repr__(self) -> str:
+        caps = self.capabilities
+        return (
+            f"<{type(self).__name__} [{self.architecture}] "
+            f"{caps.n_words}x{caps.width} bits, {caps.ports} port(s), "
+            f"test={self.loaded_test().name!r}>"
+        )

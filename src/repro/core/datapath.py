@@ -1,0 +1,163 @@
+"""Shared BIST datapath blocks.
+
+Besides the controller, a memory BIST unit contains datapath components
+that every architecture in the paper shares: an address generator, a
+test-data (background) generator, a response comparator and — for
+multiport memories — a port sequencer.  The controllers drive these
+through small signal interfaces; the area model costs them identically
+across architectures, so Table 1/2 differences come purely from the
+controllers, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.area.components import Comparator, Component, Counter, Register, XorArray
+from repro.march.backgrounds import apply_polarity, data_backgrounds
+from repro.march.element import AddressOrder
+
+
+class AddressGenerator:
+    """Up/down binary address counter with a *last address* flag.
+
+    The generator walks 0..n−1 (up) or n−1..0 (down); ``last_address``
+    asserts at the final address of the current direction, which is the
+    condition input of every controller's element-looping logic.
+    """
+
+    def __init__(self, n_words: int) -> None:
+        if n_words <= 0:
+            raise ValueError(f"address space needs at least one word, got {n_words}")
+        self.n_words = n_words
+        self.direction = AddressOrder.UP
+        self.address = 0
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.n_words)))
+
+    @property
+    def last_address(self) -> bool:
+        if self.direction is AddressOrder.UP:
+            return self.address == self.n_words - 1
+        return self.address == 0
+
+    def start(self, direction: AddressOrder) -> None:
+        """Load the sweep start position for ``direction``."""
+        self.direction = direction.resolve()
+        self.address = 0 if self.direction is AddressOrder.UP else self.n_words - 1
+
+    def increment(self) -> None:
+        """Advance one position; wraps to the start at the sweep end."""
+        if self.last_address:
+            self.start(self.direction)
+        elif self.direction is AddressOrder.UP:
+            self.address += 1
+        else:
+            self.address -= 1
+
+    def hardware(self) -> List[Component]:
+        return [
+            Counter("datapath/address counter", self.address_bits, up_down=True,
+                    loadable=True),
+            # last-address detect: compare against 0 / n-1.
+            Comparator("datapath/last-address detect", self.address_bits),
+        ]
+
+
+class DataGenerator:
+    """Test-data background generator.
+
+    Holds the current background pattern index and produces the word for
+    a march polarity (background for polarity 0, complement for 1).  The
+    ``last_background`` flag is the *Last Data* condition of both
+    programmable controllers; :meth:`increment` is their *Inc. Data*
+    action.
+    """
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.backgrounds = data_backgrounds(width)
+        self.index = 0
+
+    @property
+    def background(self) -> int:
+        return self.backgrounds[self.index]
+
+    @property
+    def last_background(self) -> bool:
+        return self.index == len(self.backgrounds) - 1
+
+    def word(self, polarity: int) -> int:
+        """Data word for a march operation of the given polarity."""
+        return apply_polarity(self.background, polarity, self.width)
+
+    def increment(self) -> None:
+        if self.last_background:
+            self.index = 0
+        else:
+            self.index += 1
+
+    def reset(self) -> None:
+        self.index = 0
+
+    def hardware(self) -> List[Component]:
+        count = len(self.backgrounds)
+        index_bits = max(1, math.ceil(math.log2(count))) if count > 1 else 0
+        components: List[Component] = [
+            Register("datapath/background register", self.width),
+            XorArray("datapath/polarity invert", self.width),
+        ]
+        if index_bits:
+            components.append(
+                Counter("datapath/background counter", index_bits)
+            )
+        return components
+
+
+class PortSequencer:
+    """Port selection counter with a *last port* flag."""
+
+    def __init__(self, ports: int) -> None:
+        if ports <= 0:
+            raise ValueError(f"need at least one port, got {ports}")
+        self.ports = ports
+        self.port = 0
+
+    @property
+    def last_port(self) -> bool:
+        return self.port == self.ports - 1
+
+    def increment(self) -> None:
+        if self.last_port:
+            self.port = 0
+        else:
+            self.port += 1
+
+    def reset(self) -> None:
+        self.port = 0
+
+    def hardware(self) -> List[Component]:
+        if self.ports == 1:
+            return []
+        bits = max(1, math.ceil(math.log2(self.ports)))
+        return [Counter("datapath/port counter", bits)]
+
+
+def response_comparator_hardware(width: int) -> List[Component]:
+    """The response analyser: expected-data XOR stage + equality check."""
+    return [Comparator("datapath/response comparator", width)]
+
+
+def shared_datapath_hardware(
+    n_words: int, width: int, ports: int
+) -> List[Component]:
+    """Complete shared-datapath inventory for a memory geometry."""
+    components: List[Component] = []
+    components.extend(AddressGenerator(n_words).hardware())
+    components.extend(DataGenerator(width).hardware())
+    components.extend(PortSequencer(ports).hardware())
+    components.extend(response_comparator_hardware(width))
+    return components

@@ -1,0 +1,117 @@
+"""Microcode → march-test decompiler.
+
+The inverse of the assembler: reconstructs the march algorithm a
+microcode program realises.  Needed by the field-programming flow
+(:mod:`repro.core.programming`): a program loaded from a file carries no
+source algorithm, so the decompiler recovers one — and because the
+assembler/decompiler pair is semantics-preserving, the recovered test
+expands to exactly the operation stream the program executes.
+
+Decompilation rules (mirror of the assembler's translation scheme):
+
+* consecutive memory-op rows up to and including a ``LOOP`` row form one
+  march element (order from the rows' ADDR_DOWN bit);
+* a ``REPEAT`` row appends the auxiliary-complemented copy of the body
+  (every element after the first) — the symmetric second half;
+* a ``HOLD`` row becomes a retention pause;
+* ``NEXT_BG`` / ``INC_PORT`` / ``TERMINATE`` rows end the algorithm
+  (they encode capability loops, not test content).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.microcode.isa import ConditionOp
+from repro.march.element import AddressOrder, MarchElement, Operation, OpKind, Pause
+from repro.march.properties import AuxComplement
+from repro.march.test import MarchItem, MarchTest
+
+
+class DecompileError(ValueError):
+    """Raised for programs the assembler could not have produced."""
+
+
+def _row_operation(instr: MicroInstruction) -> Operation:
+    if instr.write_en:
+        return Operation(OpKind.WRITE, int(instr.data_inv))
+    return Operation(OpKind.READ, int(instr.compare))
+
+
+def decompile(
+    instructions: Sequence[MicroInstruction], name: str = "decompiled"
+) -> MarchTest:
+    """Reconstruct the march test realised by a microcode program.
+
+    Raises:
+        DecompileError: for malformed programs (dangling element rows,
+            REPEAT without a body, REPEAT before instruction 2, ...).
+    """
+    items: List[MarchItem] = []
+    pending_ops: List[Operation] = []
+    pending_down: Optional[bool] = None
+
+    def flush_element() -> None:
+        if pending_ops:
+            raise DecompileError(
+                "element rows not terminated by a LOOP instruction"
+            )
+
+    for index, instr in enumerate(instructions):
+        if instr.is_memory_op:
+            down = instr.addr_down
+            if pending_down is not None and down != pending_down:
+                raise DecompileError(
+                    f"row {index}: traversal order changes mid-element"
+                )
+            pending_down = down
+            pending_ops.append(_row_operation(instr))
+            if instr.cond is ConditionOp.LOOP:
+                if not instr.addr_inc:
+                    raise DecompileError(
+                        f"row {index}: LOOP row must increment the address"
+                    )
+                order = AddressOrder.DOWN if down else AddressOrder.UP
+                items.append(MarchElement(order, pending_ops))
+                pending_ops = []
+                pending_down = None
+            elif instr.cond is not ConditionOp.NOP:
+                raise DecompileError(
+                    f"row {index}: memory-op row with condition "
+                    f"{instr.cond.name}"
+                )
+            continue
+
+        flush_element()
+        if instr.cond is ConditionOp.HOLD:
+            items.append(Pause(instr.hold_duration))
+        elif instr.cond is ConditionOp.REPEAT:
+            elements = [i for i in items if isinstance(i, MarchElement)]
+            if len(elements) < 2 or elements != list(items[: len(elements)]):
+                raise DecompileError(
+                    f"row {index}: REPEAT needs a pause-free prefix of at "
+                    "least two elements (initialiser + body)"
+                )
+            aux = AuxComplement(
+                address_order=instr.addr_down,
+                data=instr.data_inv,
+                compare=instr.compare,
+            )
+            for element in elements[1:]:
+                items.append(aux.apply(element))
+        elif instr.cond in (
+            ConditionOp.NEXT_BG, ConditionOp.INC_PORT, ConditionOp.TERMINATE,
+        ):
+            break  # capability tail: algorithm content ends here
+        elif instr.cond is ConditionOp.SAVE:
+            continue  # explicit save has no test-content meaning
+        else:
+            raise DecompileError(
+                f"row {index}: unexpected control row {instr.cond.name}"
+            )
+
+    flush_element()
+    if not items:
+        raise DecompileError("program contains no march elements")
+    return MarchTest(name, items)

@@ -1,0 +1,58 @@
+"""Microcode disassembler: render programs the way Fig. 2 prints them."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.microcode.assembler import MicrocodeProgram
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.microcode.isa import ConditionOp
+
+
+def _operation_text(instr: MicroInstruction) -> str:
+    if instr.cond is ConditionOp.HOLD:
+        return f"hold {instr.hold_duration}"
+    if instr.write_en:
+        return f"w{int(instr.data_inv)}"
+    if instr.read_en:
+        return f"r{int(instr.compare)}"
+    if instr.cond is ConditionOp.REPEAT:
+        aux = []
+        if instr.addr_down:
+            aux.append("order")
+        if instr.data_inv:
+            aux.append("data")
+        if instr.compare:
+            aux.append("compare")
+        return f"repeat(~{'+'.join(aux) or 'none'})"
+    return "-"
+
+
+def disassemble_instruction(instr: MicroInstruction) -> str:
+    """One-line rendering of a microcode word."""
+    order = "down" if instr.addr_down else "up"
+    fields = [
+        f"{_operation_text(instr):16s}",
+        f"addr={order}{'+inc' if instr.addr_inc else ''}",
+    ]
+    if instr.data_inc:
+        fields.append("data+inc")
+    fields.append(instr.cond.name)
+    return "  ".join(fields)
+
+
+def disassemble(program: MicrocodeProgram) -> str:
+    """Multi-line listing of a full program, with provenance header."""
+    lines: List[str] = [
+        f"; program: {program.name}  ({len(program)} instructions, "
+        f"{'REPEAT-compressed' if program.compressed else 'uncompressed'})"
+    ]
+    if program.split is not None:
+        lines.append(
+            f"; symmetric body of {len(program.split.body)} element(s), "
+            f"aux complement: {program.split.aux}"
+        )
+    for index, instr in enumerate(program.instructions):
+        lines.append(f"{index:3d}: {disassemble_instruction(instr)}   "
+                     f"[{instr.encode():#05x}]")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The :class:`MicroInstruction` word and its encoding.
+
+``encode``/``decode`` round-trip through the 10-bit word format of
+:mod:`repro.core.microcode.isa`; the test suite property-checks the
+round-trip over the full word space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.microcode.isa import (
+    BIT_ADDR_DOWN,
+    BIT_ADDR_INC,
+    BIT_COMPARE,
+    BIT_DATA_INC,
+    BIT_DATA_INV,
+    BIT_READ_EN,
+    BIT_WRITE_EN,
+    COND_MASK,
+    COND_SHIFT,
+    ConditionOp,
+    HOLD_EXPONENT_MASK,
+    INSTRUCTION_BITS,
+    MAX_HOLD_EXPONENT,
+)
+
+
+@dataclass(frozen=True)
+class MicroInstruction:
+    """One decoded microcode word.
+
+    Attributes:
+        addr_inc: increment the address generator after the operation
+            (set on the last operation of each march element).
+        addr_down: this element traverses addresses downward.
+        data_inc: pulse the data-background generator (NEXT_BG rows).
+        data_inv: write the inverted test data (march polarity 1).
+        compare: expect the inverted test data on reads.
+        read_en / write_en: memory operation strobes (at most one).
+        cond: flow-control operation.
+        hold_exponent: pause duration exponent — only meaningful when
+            ``cond`` is ``HOLD`` (shares bits with the operand fields).
+    """
+
+    addr_inc: bool = False
+    addr_down: bool = False
+    data_inc: bool = False
+    data_inv: bool = False
+    compare: bool = False
+    read_en: bool = False
+    write_en: bool = False
+    cond: ConditionOp = ConditionOp.NOP
+    hold_exponent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read_en and self.write_en:
+            raise ValueError("an instruction cannot both read and write")
+        if (self.read_en or self.write_en) and not self.cond.is_memory_op_allowed:
+            raise ValueError(
+                f"condition op {self.cond.name} cannot carry a memory operation"
+            )
+        if not 0 <= self.hold_exponent <= MAX_HOLD_EXPONENT:
+            raise ValueError(
+                f"hold exponent {self.hold_exponent} out of range "
+                f"0..{MAX_HOLD_EXPONENT}"
+            )
+        if self.hold_exponent and self.cond is not ConditionOp.HOLD:
+            raise ValueError("hold_exponent is only valid for HOLD instructions")
+
+    @property
+    def is_memory_op(self) -> bool:
+        return self.read_en or self.write_en
+
+    @property
+    def hold_duration(self) -> int:
+        """Pause length of a HOLD instruction, in time units."""
+        return 1 << self.hold_exponent
+
+    def encode(self) -> int:
+        """Pack into the 10-bit word."""
+        word = int(self.cond) << COND_SHIFT
+        if self.cond is ConditionOp.HOLD:
+            return word | (self.hold_exponent & HOLD_EXPONENT_MASK)
+        word |= int(self.addr_inc) << BIT_ADDR_INC
+        word |= int(self.addr_down) << BIT_ADDR_DOWN
+        word |= int(self.data_inc) << BIT_DATA_INC
+        word |= int(self.data_inv) << BIT_DATA_INV
+        word |= int(self.compare) << BIT_COMPARE
+        word |= int(self.read_en) << BIT_READ_EN
+        word |= int(self.write_en) << BIT_WRITE_EN
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "MicroInstruction":
+        """Unpack a 10-bit word.
+
+        Raises:
+            ValueError: if the word has bits beyond the instruction width
+                or encodes an inconsistent instruction.
+        """
+        if not 0 <= word < (1 << INSTRUCTION_BITS):
+            raise ValueError(f"word {word:#x} exceeds {INSTRUCTION_BITS} bits")
+        cond = ConditionOp((word >> COND_SHIFT) & COND_MASK)
+        if cond is ConditionOp.HOLD:
+            return cls(cond=cond, hold_exponent=word & HOLD_EXPONENT_MASK)
+        return cls(
+            addr_inc=bool((word >> BIT_ADDR_INC) & 1),
+            addr_down=bool((word >> BIT_ADDR_DOWN) & 1),
+            data_inc=bool((word >> BIT_DATA_INC) & 1),
+            data_inv=bool((word >> BIT_DATA_INV) & 1),
+            compare=bool((word >> BIT_COMPARE) & 1),
+            read_en=bool((word >> BIT_READ_EN) & 1),
+            write_en=bool((word >> BIT_WRITE_EN) & 1),
+            cond=cond,
+        )
+
+    def with_cond(self, cond: ConditionOp) -> "MicroInstruction":
+        return replace(self, cond=cond)

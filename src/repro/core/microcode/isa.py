@@ -1,0 +1,90 @@
+"""Microcode instruction-set definition.
+
+The paper specifies a 10-bit microcode word: "a 2-bit field for address
+generation, 2-bit for data generation, 1-bit for compare, 2-bits for
+read/write and a 3-bit field to control the flow".  Our concrete bit
+layout (LSB first)::
+
+    [0]   ADDR_INC   hold / increment the address generator
+    [1]   ADDR_DOWN  up / down traversal order of this element
+    [2]   DATA_INC   hold / increment the data-background generator
+    [3]   DATA_INV   true / inverted test data (write polarity)
+    [4]   COMPARE    expected-data polarity (read compare polarity)
+    [6:5] READ_EN / WRITE_EN
+    [9:7] condition field (:class:`ConditionOp`)
+
+Two condition ops reuse otherwise-idle fields as operands, a standard
+microcode trick that keeps the word at 10 bits:
+
+* ``HOLD`` performs no memory access, so bits [6:0] carry the pause
+  duration as a power-of-two exponent (the pause timer is a programmable
+  2^k counter);
+* ``REPEAT`` loads the reference register from its ADDR_DOWN / DATA_INV /
+  COMPARE bits — those are exactly the auxiliary complement values.
+
+Condition semantics (fixed-point of Section 2.1's signal description):
+
+=============  ==============================================================
+``NOP``        fall through to the next instruction.
+``LOOP``       element loop: if *Last Address*, copy IC+1 into the branch
+               register (the automatic "Save Address Condition" on last
+               address) and fall through; otherwise increment the address
+               generator and branch to the branch register.
+``REPEAT``     symmetric-algorithm repeat: first execution loads the
+               reference register's auxiliary complements from this
+               instruction's fields, sets the repeat bit and branches to
+               instruction 1 (the decoder's "Reset to 1" path — the body
+               of a symmetric algorithm always follows the single-
+               instruction initialisation element); second execution acts
+               as a NOP that clears the repeat bit and reference register.
+``NEXT_BG``    background loop: if not *Last Data*, increment the data
+               generator and reset the instruction counter to 0 ("Reset
+               to 0"); else reset the data generator and fall through.
+``HOLD``       retention pause of 2^exponent time units, then fall through.
+``INC_PORT``   port loop: if not *Last Port*, activate the next port and
+               reset the instruction counter to 0; else terminate.
+``SAVE``       copy IC+1 into the branch register explicitly.
+``TERMINATE``  unconditional test end (the *Terminate* signal).
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Width of one microcode word.
+INSTRUCTION_BITS = 10
+
+# Field bit positions.
+BIT_ADDR_INC = 0
+BIT_ADDR_DOWN = 1
+BIT_DATA_INC = 2
+BIT_DATA_INV = 3
+BIT_COMPARE = 4
+BIT_READ_EN = 5
+BIT_WRITE_EN = 6
+COND_SHIFT = 7
+COND_MASK = 0b111
+
+#: Mask of the bits reused as the HOLD pause exponent.
+HOLD_EXPONENT_MASK = 0b0111_1111
+#: Largest representable pause: 2**MAX_HOLD_EXPONENT time units.
+MAX_HOLD_EXPONENT = HOLD_EXPONENT_MASK
+
+
+class ConditionOp(enum.IntEnum):
+    """The 3-bit flow-control field of the microcode word."""
+
+    NOP = 0
+    LOOP = 1
+    REPEAT = 2
+    NEXT_BG = 3
+    HOLD = 4
+    INC_PORT = 5
+    SAVE = 6
+    TERMINATE = 7
+
+    @property
+    def is_memory_op_allowed(self) -> bool:
+        """Whether the instruction may also drive a read/write."""
+        return self in (ConditionOp.NOP, ConditionOp.LOOP)

@@ -1,0 +1,12 @@
+"""Canonical memory-operation types for BIST controllers.
+
+The canonical :class:`MemoryOperation` lives in
+:mod:`repro.march.simulator` because it *is* the semantics of a march
+test; this module re-exports it so controller code (and downstream
+users) can import it from the core package without caring where the
+golden engine lives.
+"""
+
+from repro.march.simulator import Failure, MemoryOperation, RunResult, run_on_memory
+
+__all__ = ["Failure", "MemoryOperation", "RunResult", "run_on_memory"]

@@ -1,0 +1,114 @@
+"""Upper-buffer instruction format of the programmable FSM architecture.
+
+The paper divides the 8-bit instruction into five fields: a 1-bit hold
+condition, a 1-bit reference address order, a 2-bit data-generation
+control, a 1-bit compare polarity and a 3-bit mode.  Concrete layout
+(LSB first)::
+
+    [0]   HOLD       pause in the lower FSM's Done state before this
+                     element (retention testing)
+    [1]   ADDR_DOWN  reference address order (up/down)
+    [3:2] DATA_CTRL  data-generation control (:class:`DataControl`)
+    [4]   COMPARE    base compare polarity C
+    [7:5] MODE       SM index 0..7 (don't-care for loop rows)
+
+``DATA_CTRL`` doubles as the row-type selector, which is how the two
+loop rows of the paper's Fig. 5 (background loop-back / port increment,
+mode column shown as "xxx") fit the same word:
+
+* ``BASE0`` / ``BASE1`` — a march-element row with base data polarity
+  D = 0 / 1;
+* ``LOOP_BG`` — path-A row: increment the data background and loop the
+  whole algorithm back, until *Last Data*;
+* ``LOOP_PORT`` — path-B row: activate the next port and loop back,
+  until *Last Port* (then Test End).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Width of one upper-buffer instruction word.
+INSTRUCTION_BITS = 8
+
+BIT_HOLD = 0
+BIT_ADDR_DOWN = 1
+DATA_CTRL_SHIFT = 2
+DATA_CTRL_MASK = 0b11
+BIT_COMPARE = 4
+MODE_SHIFT = 5
+MODE_MASK = 0b111
+
+
+class DataControl(enum.IntEnum):
+    """The 2-bit data-generation-control field."""
+
+    BASE0 = 0      # element row, base data polarity 0
+    BASE1 = 1      # element row, base data polarity 1
+    LOOP_BG = 2    # background loop-back row (path A)
+    LOOP_PORT = 3  # port-increment row (path B)
+
+
+@dataclass(frozen=True)
+class FsmInstruction:
+    """One decoded upper-buffer word.
+
+    Attributes:
+        hold: pause before executing this element (retention testing).
+        addr_down: traversal order of this element.
+        data_ctrl: row type / base data polarity.
+        compare: base compare polarity.
+        mode: SM index (element rows; ignored on loop rows).
+    """
+
+    hold: bool = False
+    addr_down: bool = False
+    data_ctrl: DataControl = DataControl.BASE0
+    compare: bool = False
+    mode: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mode <= MODE_MASK:
+            raise ValueError(f"mode {self.mode} out of range 0..{MODE_MASK}")
+
+    @property
+    def is_element(self) -> bool:
+        return self.data_ctrl in (DataControl.BASE0, DataControl.BASE1)
+
+    @property
+    def base_data(self) -> int:
+        """Base write polarity D of an element row."""
+        return 1 if self.data_ctrl is DataControl.BASE1 else 0
+
+    def encode(self) -> int:
+        word = int(self.hold) << BIT_HOLD
+        word |= int(self.addr_down) << BIT_ADDR_DOWN
+        word |= int(self.data_ctrl) << DATA_CTRL_SHIFT
+        word |= int(self.compare) << BIT_COMPARE
+        word |= self.mode << MODE_SHIFT
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "FsmInstruction":
+        if not 0 <= word < (1 << INSTRUCTION_BITS):
+            raise ValueError(f"word {word:#x} exceeds {INSTRUCTION_BITS} bits")
+        return cls(
+            hold=bool((word >> BIT_HOLD) & 1),
+            addr_down=bool((word >> BIT_ADDR_DOWN) & 1),
+            data_ctrl=DataControl((word >> DATA_CTRL_SHIFT) & DATA_CTRL_MASK),
+            compare=bool((word >> BIT_COMPARE) & 1),
+            mode=(word >> MODE_SHIFT) & MODE_MASK,
+        )
+
+    def __str__(self) -> str:
+        if self.data_ctrl is DataControl.LOOP_BG:
+            return "loop-bg (path A)"
+        if self.data_ctrl is DataControl.LOOP_PORT:
+            return "loop-port (path B)"
+        order = "down" if self.addr_down else "up"
+        hold = " hold" if self.hold else ""
+        return (
+            f"SM{self.mode} {order} D={self.base_data} "
+            f"C={int(self.compare)}{hold}"
+        )

@@ -1,0 +1,148 @@
+"""Field-programming file format for BIST programs.
+
+The paper's programmable controllers are loaded "through an
+initialization sequence" from the tester; this module defines the
+interchange format that flow would use — a line-oriented hex text with
+provenance comments, one encoded instruction word per line:
+
+```
+# repro-bist-program v1
+# kind: microcode            (or: progfsm)
+# name: March C
+# rows: 9
+0c1    ; 0: w0  addr=up+inc  LOOP
+020    ; 1: r0  addr=up  NOP
+...
+```
+
+Comments (``#`` header lines, ``;`` trailers) are ignored on load, so a
+tester can regenerate or hand-edit programs.  Loading a microcode
+program recovers its source algorithm through the decompiler, which
+makes load/dump a semantic round-trip: the reloaded program drives a
+controller to the exact same operation stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.core.microcode.assembler import MicrocodeProgram
+from repro.core.microcode.decompiler import decompile
+from repro.core.microcode.disassembler import disassemble_instruction
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.progfsm.compiler import FsmProgram
+from repro.core.progfsm.instruction import FsmInstruction
+from repro.march.library import RETENTION_PAUSE
+
+FORMAT_TAG = "repro-bist-program v1"
+
+
+class ProgramFormatError(ValueError):
+    """Raised for malformed program files."""
+
+
+def dump_program(program: Union[MicrocodeProgram, FsmProgram]) -> str:
+    """Serialise a microcode or FSM program to the interchange text."""
+    if isinstance(program, MicrocodeProgram):
+        kind = "microcode"
+        lines = [
+            f"{instr.encode():03x}    ; {index}: {disassemble_instruction(instr)}"
+            for index, instr in enumerate(program.instructions)
+        ]
+    elif isinstance(program, FsmProgram):
+        kind = "progfsm"
+        lines = [
+            f"{instr.encode():02x}    ; {index}: {instr}"
+            for index, instr in enumerate(program.instructions)
+        ]
+    else:
+        raise TypeError(f"cannot serialise {type(program).__name__}")
+    header = [
+        f"# {FORMAT_TAG}",
+        f"# kind: {kind}",
+        f"# name: {program.name}",
+        f"# rows: {len(program.instructions)}",
+    ]
+    return "\n".join(header + lines) + "\n"
+
+
+def _parse(text: str) -> Tuple[str, str, List[int]]:
+    kind = ""
+    name = "loaded"
+    words: List[int] = []
+    seen_tag = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body == FORMAT_TAG:
+                seen_tag = True
+            elif body.startswith("kind:"):
+                kind = body.split(":", 1)[1].strip()
+            elif body.startswith("name:"):
+                name = body.split(":", 1)[1].strip()
+            continue
+        payload = line.split(";", 1)[0].strip()
+        if not payload:
+            continue
+        try:
+            words.append(int(payload, 16))
+        except ValueError:
+            raise ProgramFormatError(
+                f"line {lineno}: {payload!r} is not a hex instruction word"
+            ) from None
+    if not seen_tag:
+        raise ProgramFormatError(f"missing format tag '# {FORMAT_TAG}'")
+    if kind not in ("microcode", "progfsm"):
+        raise ProgramFormatError(f"missing or unknown '# kind:' header ({kind!r})")
+    if not words:
+        raise ProgramFormatError("program has no instruction words")
+    return kind, name, words
+
+
+def load_program(text: str) -> Union[MicrocodeProgram, FsmProgram]:
+    """Parse the interchange text back into a program object.
+
+    Microcode programs get their source algorithm reconstructed via the
+    decompiler; FSM programs likewise via the SM element definitions.
+
+    Raises:
+        ProgramFormatError: for syntactic problems.
+        ValueError: for words that decode to invalid instructions.
+    """
+    kind, name, words = _parse(text)
+    if kind == "microcode":
+        instructions = [MicroInstruction.decode(word) for word in words]
+        source = decompile(instructions, name=name)
+        return MicrocodeProgram(
+            name=name, instructions=instructions, source=source
+        )
+    instructions_fsm = [FsmInstruction.decode(word) for word in words]
+    source = _decompile_fsm(instructions_fsm, name)
+    return FsmProgram(
+        name=name, instructions=instructions_fsm, source=source,
+        pause_duration=RETENTION_PAUSE,
+    )
+
+
+def _decompile_fsm(instructions: List[FsmInstruction], name: str):
+    """Reconstruct the march test of an FSM program."""
+    from repro.core.progfsm.march_elements import sm_element
+    from repro.march.element import AddressOrder, Pause as MarchPause
+    from repro.march.test import MarchTest
+
+    items = []
+    for instr in instructions:
+        if not instr.is_element:
+            continue  # loop rows carry no algorithm content
+        if instr.hold:
+            items.append(MarchPause(RETENTION_PAUSE))
+        order = AddressOrder.DOWN if instr.addr_down else AddressOrder.UP
+        items.append(
+            sm_element(instr.mode, order, instr.base_data, int(instr.compare))
+        )
+    if not items:
+        raise ProgramFormatError("FSM program has no element rows")
+    return MarchTest(name, items)

@@ -1,0 +1,32 @@
+"""Diagnostics on BIST fail logs.
+
+The paper motivates programmable BIST partly by diagnostics and process
+monitoring (its refs [3], [9]): the same controller that gives a go/no-go
+verdict in production can, with a diagnostic algorithm loaded, stream out
+every failing (address, bit, operation) event.  This package consumes
+those events:
+
+* :class:`~repro.diagnostics.faillog.FailLog` — ordered capture of
+  failures with operation context;
+* :class:`~repro.diagnostics.bitmap.FailBitmap` — the physical fail
+  bitmap used for process monitoring;
+* :mod:`~repro.diagnostics.classifier` — heuristic fault-type
+  classification from march failure signatures;
+* :mod:`~repro.diagnostics.address_probe` — the walking-address decoder
+  probe that separates AF classes from coupling (march signatures alone
+  cannot).
+"""
+
+from repro.diagnostics.faillog import FailLog
+from repro.diagnostics.bitmap import FailBitmap
+from repro.diagnostics.classifier import classify, diagnose
+from repro.diagnostics.address_probe import DecoderDiagnosis, decoder_probe
+
+__all__ = [
+    "DecoderDiagnosis",
+    "FailBitmap",
+    "FailLog",
+    "classify",
+    "decoder_probe",
+    "diagnose",
+]

@@ -1,0 +1,135 @@
+"""Address-decoder diagnosis: the walking-address probe.
+
+March signatures cannot reliably separate decoder faults from coupling
+(both look like "cells influencing each other"), so decoder diagnosis
+uses a dedicated probe, as in fab practice: set the array to the base
+value, write the complement to *one* address, and read everything back.
+
+* the written address reads base → its write was lost (AF1 "no cell", or
+  the cell is reachable only through another address);
+* any *other* address reads the complement → the two addresses share a
+  cell (AF2/AF3 aliasing) or the write fanned out (AF4 multi-select).
+
+Walking the probe over all addresses recovers the logical→physical
+aliasing graph in O(N²) operations — acceptable for diagnosis, which
+runs on a handful of failing parts, not in production flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.memory.sram import Sram
+
+
+@dataclass(frozen=True)
+class AddressFinding:
+    """Decoder diagnosis result for one logical address.
+
+    Attributes:
+        address: the probed address.
+        kind: ``'open'`` (writes lost / reads floating), ``'aliased'``
+            (shares cells with other addresses) or ``'multi'`` (write
+            fans out to extra addresses while its own readback works).
+        partners: other addresses observed to share cells with this one.
+    """
+
+    address: int
+    kind: str
+    partners: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind == "open":
+            return f"address {self.address}: selects no cell (AF1-class)"
+        partners = ", ".join(str(p) for p in self.partners)
+        if self.kind == "multi":
+            return (
+                f"address {self.address}: write fans out to {{{partners}}} "
+                "(AF4-class)"
+            )
+        return (
+            f"address {self.address}: shares a cell with {{{partners}}} "
+            "(AF2/AF3-class)"
+        )
+
+
+@dataclass
+class DecoderDiagnosis:
+    """Outcome of the walking-address probe."""
+
+    findings: List[AddressFinding] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.findings
+
+    def by_address(self) -> Dict[int, AddressFinding]:
+        return {finding.address: finding for finding in self.findings}
+
+    def __str__(self) -> str:
+        if self.is_clean:
+            return "decoder probe: clean"
+        return "decoder probe:\n" + "\n".join(
+            f"  {finding.describe()}" for finding in self.findings
+        )
+
+
+def decoder_probe(memory: Sram, port: int = 0) -> DecoderDiagnosis:
+    """Run the walking-address decoder probe through one port.
+
+    The probe uses only functional port accesses (no model peeking), so
+    it works on exactly the information a real BIST/tester has.  The
+    memory's contents are left in the all-base state afterwards.
+    """
+    base = 0
+    mark = memory.word_mask
+    findings: List[AddressFinding] = []
+    aliases: Dict[int, Set[int]] = {}
+    opens: Set[int] = set()
+    fanouts: Dict[int, Set[int]] = {}
+
+    for probe in range(memory.n_words):
+        for address in range(memory.n_words):
+            memory.write(port, address, base)
+        memory.write(port, probe, mark)
+        readback = memory.read(port, probe)
+        hits = {
+            address
+            for address in range(memory.n_words)
+            if address != probe and memory.read(port, address) == mark
+        }
+        if readback != mark and not hits:
+            opens.add(probe)
+        elif readback != mark and hits:
+            aliases.setdefault(probe, set()).update(hits)
+        elif hits:
+            fanouts.setdefault(probe, set()).update(hits)
+
+    # Separate sharing (AF2/AF3) from fan-out (AF4) by symmetry: two
+    # addresses mapped to one cell light each other up in *both* probe
+    # directions; an AF4 extra target lights up only when the faulty
+    # address is probed (probing the extra address writes its own cell,
+    # and the faulty address's wired-AND readback stays at base).
+    for address in sorted(opens):
+        findings.append(AddressFinding(address, "open"))
+    for address in sorted(aliases):
+        findings.append(
+            AddressFinding(address, "aliased", tuple(sorted(aliases[address])))
+        )
+    for address in sorted(fanouts):
+        symmetric = {
+            partner
+            for partner in fanouts[address]
+            if address in fanouts.get(partner, set())
+        }
+        asymmetric = fanouts[address] - symmetric
+        if symmetric:
+            findings.append(
+                AddressFinding(address, "aliased", tuple(sorted(symmetric)))
+            )
+        if asymmetric:
+            findings.append(
+                AddressFinding(address, "multi", tuple(sorted(asymmetric)))
+            )
+    return DecoderDiagnosis(findings=findings)

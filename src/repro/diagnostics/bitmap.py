@@ -1,0 +1,94 @@
+"""Physical fail bitmaps for process monitoring.
+
+A fail bitmap marks every failing cell on the physical cell grid (the
+same near-square folding as :class:`repro.faults.neighborhood.CellGrid`),
+which is how foundries correlate BIST fails with defect classes — the
+process-monitoring application the paper cites from Schanstra et al.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.diagnostics.faillog import FailLog
+from repro.faults.neighborhood import CellGrid
+
+
+class FailBitmap:
+    """Failing-cell bitmap over the physical array.
+
+    Args:
+        n_words / width: memory geometry (defines the grid folding).
+    """
+
+    def __init__(self, n_words: int, width: int = 1) -> None:
+        self.grid = CellGrid(n_words, width)
+        self.n_words = n_words
+        self.width = width
+        self._failing: Set[Tuple[int, int]] = set()
+
+    @classmethod
+    def from_log(
+        cls, log: FailLog, n_words: int, width: int = 1, scrambler=None
+    ) -> "FailBitmap":
+        """Build from a fail log; with an
+        :class:`repro.memory.scramble.AddressScrambler`, failing logical
+        addresses are descrambled so the bitmap shows *silicon*
+        positions (what the process engineer correlates with defects)."""
+        bitmap = cls(n_words, width)
+        for word, bit in log.failing_cells():
+            physical = scrambler.physical(word) if scrambler else word
+            bitmap.mark(physical, bit)
+        return bitmap
+
+    def mark(self, word: int, bit: int) -> None:
+        if not 0 <= word < self.n_words or not 0 <= bit < self.width:
+            raise IndexError(f"cell ({word},{bit}) outside the array")
+        self._failing.add((word, bit))
+
+    @property
+    def fail_count(self) -> int:
+        return len(self._failing)
+
+    def is_failing(self, word: int, bit: int) -> bool:
+        return (word, bit) in self._failing
+
+    def clusters(self) -> List[Set[Tuple[int, int]]]:
+        """Connected components of failing cells (grid adjacency).
+
+        Cluster shape separates defect classes: singles point at cell
+        defects, full rows/columns at decoder or line defects.
+        """
+        remaining = set(self._failing)
+        clusters: List[Set[Tuple[int, int]]] = []
+        while remaining:
+            seed = remaining.pop()
+            cluster = {seed}
+            frontier = [seed]
+            while frontier:
+                cell = frontier.pop()
+                for neighbour in self.grid.neighbours(cell):
+                    if neighbour in remaining:
+                        remaining.remove(neighbour)
+                        cluster.add(neighbour)
+                        frontier.append(neighbour)
+            clusters.append(cluster)
+        return clusters
+
+    def render(self, max_rows: int = 32, max_cols: int = 64) -> str:
+        """ASCII rendering: ``X`` failing, ``.`` good (clipped view)."""
+        rows = min(self.grid.rows, max_rows)
+        cols = min(self.grid.cols, max_cols)
+        total = self.n_words * self.width
+        lines: List[str] = []
+        for row in range(rows):
+            chars: List[str] = []
+            for col in range(cols):
+                index = row * self.grid.cols + col
+                if index >= total:
+                    chars.append(" ")
+                    continue
+                cell = self.grid.cell_at(index)
+                chars.append("X" if cell in self._failing else ".")
+            lines.append("".join(chars))
+        return "\n".join(lines)

@@ -1,0 +1,259 @@
+"""Heuristic fault-type classification from march failure signatures.
+
+A diagnostic BIST run (full fail capture, no early stop) gives, for each
+failing cell, the set of reads that mismatched.  Classical march
+diagnosis groups defects into behaviourally distinguishable classes —
+e.g. a stuck-at-0 and an up-transition fault produce identical March
+signatures (the cell never reads back 1), so they form one class.
+Labels produced:
+
+``SA0/TF-up``      cell never reads back 1 (fails all expect-1 reads).
+``SA1/TF-down``    cell never reads back 0.
+``DRF``            fails only reads that follow a retention pause.
+``SOF``            fails only the later reads of a multi-read burst
+                   (read-disturb; needs a '++'-style diagnostic test).
+``CF``             state-dependent: fails a strict subset of the reads
+                   of some polarity (an aggressor's state gates it).
+``AF/gross``       a large fraction of the address space fails.
+``unknown``        anything else.
+
+The classifier needs to know *which* read each failure came from, so it
+re-expands the diagnostic algorithm's golden stream and annotates every
+read with (element index, position-in-burst, follows-pause) context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.diagnostics.faillog import FailLog
+from repro.march.element import MarchElement, Pause
+from repro.march.simulator import expand, run_on_memory
+from repro.march.test import MarchTest
+from repro.march.library import MARCH_C_PLUS_PLUS
+
+#: Fraction of the address space that must fail to call it AF/gross.
+GROSS_FAIL_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ReadContext:
+    """Context of one read operation within the expanded stream."""
+
+    element_index: int
+    expected_polarity: int
+    background: int
+    burst_position: int  # consecutive-read position within the element ops
+    follows_pause: bool
+
+    def expected_bit(self, bit: int) -> int:
+        """Expected value of one bit position for this read (the
+        background bit XOR the march polarity)."""
+        return ((self.background >> bit) & 1) ^ self.expected_polarity
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Per-cell classification result.
+
+    Attributes:
+        address / bit: the failing cell.
+        label: behavioural fault class (see module docstring).
+        rationale: one-line human-readable evidence summary.
+    """
+
+    address: int
+    bit: int
+    label: str
+    rationale: str
+
+
+def _annotate_reads(
+    test: MarchTest, n_words: int, width: int, ports: int
+) -> List[Optional[ReadContext]]:
+    """Read context per op index of the golden stream (None for non-reads)."""
+    # Build per-element op metadata first.
+    element_meta: List[Tuple[int, List[Tuple[int, int]], bool]] = []
+    follows_pause = False
+    element_index = 0
+    per_item: List[Optional[Tuple[int, List[Tuple[int, int]], bool]]] = []
+    for item in test.items:
+        if isinstance(item, Pause):
+            follows_pause = True
+            per_item.append(None)
+            continue
+        reads: List[Tuple[int, int]] = []  # (op position, burst position)
+        burst = 0
+        meta: List[Tuple[int, int]] = []
+        for op in item.ops:
+            if op.is_read:
+                meta.append((op.polarity, burst))
+                burst += 1
+            else:
+                meta.append((-1, -1))
+                burst = 0
+        per_item.append((element_index, meta, follows_pause))
+        follows_pause = False
+        element_index += 1
+
+    contexts: List[Optional[ReadContext]] = []
+    for op_meta in _iter_stream_meta(test, per_item, n_words, width, ports):
+        contexts.append(op_meta)
+    return contexts
+
+
+def _iter_stream_meta(test, per_item, n_words, width, ports):
+    """Mirror the golden expander's loop nest, yielding per-op context."""
+    from repro.march.backgrounds import data_backgrounds
+
+    backgrounds = data_backgrounds(width)
+    for _port in range(ports):
+        for background in backgrounds:
+            for item, meta in zip(test.items, per_item):
+                if isinstance(item, Pause):
+                    yield None  # the delay op
+                    continue
+                element_index, op_meta, follows_pause = meta
+                for _address in range(n_words):
+                    for (polarity, burst), op in zip(op_meta, item.ops):
+                        if op.is_read:
+                            yield ReadContext(
+                                element_index=element_index,
+                                expected_polarity=polarity,
+                                background=background,
+                                burst_position=burst,
+                                follows_pause=follows_pause,
+                            )
+                        else:
+                            yield None
+
+
+def classify(
+    log: FailLog,
+    test: MarchTest,
+    n_words: int,
+    width: int = 1,
+    ports: int = 1,
+) -> List[Diagnosis]:
+    """Classify every failing cell of a diagnostic run.
+
+    Args:
+        log: full fail capture of the run.
+        test: the diagnostic algorithm that produced it.
+        n_words / width / ports: memory geometry of the run.
+    """
+    if log.is_clean:
+        return []
+    contexts = _annotate_reads(test, n_words, width, ports)
+    from repro.march.backgrounds import data_backgrounds
+
+    backgrounds = data_backgrounds(width)
+
+    failing_addresses = set(log.failing_addresses())
+    gross = len(failing_addresses) >= GROSS_FAIL_FRACTION * n_words
+
+    diagnoses: List[Diagnosis] = []
+    for address, bit in log.failing_cells():
+        # Reads-per-expected-bit-value one cell at this bit position sees
+        # across a full run (backgrounds shift which bit value each march
+        # polarity maps to).
+        reads_per_value: Dict[int, int] = {0: 0, 1: 0}
+        for background in backgrounds:
+            background_bit = (background >> bit) & 1
+            for item in test.items:
+                if isinstance(item, Pause):
+                    continue
+                for op in item.ops:
+                    if op.is_read:
+                        reads_per_value[background_bit ^ op.polarity] += ports
+        fail_contexts: List[ReadContext] = []
+        for failure in log.failures:
+            if failure.address != address:
+                continue
+            if not (failure.failing_bits >> bit) & 1:
+                continue
+            context = contexts[failure.op_index]
+            if context is not None:
+                fail_contexts.append(context)
+        diagnoses.append(
+            _classify_cell(address, bit, fail_contexts, reads_per_value, gross)
+        )
+    return diagnoses
+
+
+def _classify_cell(
+    address: int,
+    bit: int,
+    fails: List[ReadContext],
+    reads_per_cell: Dict[int, int],
+    gross: bool,
+) -> Diagnosis:
+    if gross:
+        return Diagnosis(
+            address, bit, "AF/gross",
+            "more than half the address space fails",
+        )
+    if not fails:
+        return Diagnosis(address, bit, "unknown", "no annotated read context")
+    polarities = {context.expected_bit(bit) for context in fails}
+    fails_by_polarity = {
+        polarity: sum(1 for c in fails if c.expected_bit(bit) == polarity)
+        for polarity in polarities
+    }
+    all_post_pause = all(context.follows_pause for context in fails)
+    deep_burst_fail = any(context.burst_position >= 2 for context in fails)
+
+    if all_post_pause:
+        return Diagnosis(
+            address, bit, "DRF",
+            "fails only reads that follow a retention pause",
+        )
+    if deep_burst_fail and len(polarities) == 1:
+        polarity = next(iter(polarities))
+        if fails_by_polarity[polarity] < reads_per_cell.get(polarity, 0):
+            # A true stuck-at fails *every* read of that polarity
+            # including the first of each burst; failing only once deep
+            # reads accumulate is the read-disturb signature.
+            return Diagnosis(
+                address, bit, "SOF",
+                "fails only after repeated reads of one value (read disturb)",
+            )
+    if polarities == {1}:
+        if fails_by_polarity[1] >= reads_per_cell.get(1, 0):
+            return Diagnosis(address, bit, "SA0/TF-up", "never reads back 1")
+        return Diagnosis(
+            address, bit, "CF",
+            "fails a strict subset of expect-1 reads (state dependent)",
+        )
+    if polarities == {0}:
+        if fails_by_polarity[0] >= reads_per_cell.get(0, 0):
+            return Diagnosis(address, bit, "SA1/TF-down", "never reads back 0")
+        return Diagnosis(
+            address, bit, "CF",
+            "fails a strict subset of expect-0 reads (state dependent)",
+        )
+    return Diagnosis(
+        address, bit, "CF",
+        "fails reads of both polarities intermittently",
+    )
+
+
+def diagnose(
+    memory,
+    test: Optional[MarchTest] = None,
+) -> List[Diagnosis]:
+    """Convenience wrapper: run a diagnostic algorithm and classify.
+
+    Args:
+        memory: an :class:`repro.memory.sram.Sram` (possibly faulty).
+        test: diagnostic algorithm; defaults to March C++ (whose pauses
+            and triple reads make DRF and SOF distinguishable).
+    """
+    test = test or MARCH_C_PLUS_PLUS
+    memory.reset_state()
+    stream = expand(test, memory.n_words, width=memory.width, ports=memory.ports)
+    result = run_on_memory(stream, memory)
+    log = FailLog(test_name=test.name, failures=result.failures)
+    return classify(log, test, memory.n_words, width=memory.width,
+                    ports=memory.ports)

@@ -1,0 +1,79 @@
+"""Ordered fail-event capture for diagnostic BIST runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.march.simulator import Failure
+
+
+@dataclass
+class FailLog:
+    """All read mismatches of one diagnostic BIST run, in order.
+
+    Built from :class:`repro.core.bist_unit.BistResult` failures; offers
+    the aggregations the classifier and bitmap need.
+
+    Attributes:
+        test_name: algorithm that produced the log.
+        failures: raw events in occurrence order.
+    """
+
+    test_name: str
+    failures: List[Failure] = field(default_factory=list)
+
+    @classmethod
+    def from_result(cls, result) -> "FailLog":
+        """Build from a :class:`repro.core.bist_unit.BistResult`."""
+        return cls(test_name=result.test_name, failures=list(result.failures))
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.failures
+
+    def failing_addresses(self) -> List[int]:
+        """Distinct failing addresses, in first-failure order."""
+        seen: Set[int] = set()
+        ordered: List[int] = []
+        for failure in self.failures:
+            if failure.address not in seen:
+                seen.add(failure.address)
+                ordered.append(failure.address)
+        return ordered
+
+    def failing_cells(self) -> List[Tuple[int, int]]:
+        """Distinct failing (address, bit) cells, in first-failure order."""
+        seen: Set[Tuple[int, int]] = set()
+        ordered: List[Tuple[int, int]] = []
+        for failure in self.failures:
+            bits = failure.failing_bits
+            bit = 0
+            while bits:
+                if bits & 1 and (failure.address, bit) not in seen:
+                    seen.add((failure.address, bit))
+                    ordered.append((failure.address, bit))
+                bits >>= 1
+                bit += 1
+        return ordered
+
+    def by_address(self) -> Dict[int, List[Failure]]:
+        groups: Dict[int, List[Failure]] = {}
+        for failure in self.failures:
+            groups.setdefault(failure.address, []).append(failure)
+        return groups
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def __str__(self) -> str:
+        lines = [f"fail log of {self.test_name}: {len(self.failures)} event(s)"]
+        for failure in self.failures[:20]:
+            lines.append(
+                f"  op#{failure.op_index}: port {failure.port} addr "
+                f"{failure.address} expected {failure.expected:x} observed "
+                f"{failure.observed:x}"
+            )
+        if len(self.failures) > 20:
+            lines.append(f"  ... {len(self.failures) - 20} more")
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.eval table1
+    python -m repro.eval table2
+    python -m repro.eval table3
+    python -m repro.eval flexibility
+    python -m repro.eval all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.coverage_study import coverage_table, render_coverage_table
+from repro.eval.test_time import render_test_time, test_time_table
+from repro.eval.experiments import table1, table2, table3
+from repro.eval.flexibility import flexibility_matrix, summarize
+from repro.eval.tables import render_table1, render_table2, render_table3
+
+
+def _render_flexibility() -> str:
+    records = flexibility_matrix()
+    lines = ["Measured flexibility (library algorithms realisable)"]
+    architectures = sorted({r.architecture for r in records})
+    for architecture in architectures:
+        subset = [r for r in records if r.architecture == architecture]
+        done = [r.algorithm for r in subset if r.realizable]
+        missing = [r.algorithm for r in subset if not r.realizable]
+        lines.append(f"{architecture}: {len(done)}/{len(subset)} realisable")
+        if missing:
+            lines.append(f"  not realisable: {', '.join(missing)}")
+    for architecture, (done, total) in summarize(records).items():
+        lines.append(f"summary {architecture}: {done}/{total}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's evaluation tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "flexibility", "coverage",
+                 "testtime", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--words", type=int, default=1024, help="memory depth (default 1024)"
+    )
+    args = parser.parse_args(argv)
+
+    outputs = []
+    if args.experiment in ("table1", "all"):
+        outputs.append(render_table1(table1(n_words=args.words)))
+    if args.experiment in ("table2", "all"):
+        outputs.append(render_table2(table2(n_words=args.words)))
+    if args.experiment in ("table3", "all"):
+        outputs.append(render_table3(table3(n_words=args.words)))
+    if args.experiment in ("flexibility", "all"):
+        outputs.append(_render_flexibility())
+    if args.experiment in ("coverage", "all"):
+        outputs.append(render_coverage_table(coverage_table()))
+    if args.experiment in ("testtime", "all"):
+        outputs.append(
+            render_test_time(test_time_table(args.words), args.words)
+        )
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Text rendering of the experiment tables, in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.experiments import Table1Row, Table2Row, Table3Row
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """Table 1: Size of the Memory BIST Methodology for Bit-Oriented and
+    Single-Port Memories."""
+    lines = [
+        "Table 1. Size of the Memory BIST Methodology",
+        "For Bit-Oriented and Single-Port Memories",
+        f"{'Method':<18} {'Flex.':<8} {'Int. Area':>10} {'Size um^2':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.method:<18} {row.flexibility:<8} "
+            f"{row.gate_equivalents:>10.0f} {row.area_um2:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """Table 2: Size of the Memory BIST Methodology for Word-Oriented and
+    Multiport Memories."""
+    lines = [
+        "Table 2. Size of the Memory BIST Methodology",
+        "For Word-Oriented and Multiport Memories",
+        f"{'Method':<18} {'Word Int.A.':>11} {'Word um^2':>11} "
+        f"{'Multi Int.A.':>12} {'Multi um^2':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.method:<18} {row.word_ge:>11.0f} {row.word_um2:>11.0f} "
+            f"{row.multiport_ge:>12.0f} {row.multiport_um2:>11.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    """Table 3: Adjusted Size of the Microcode-Based Controller."""
+    lines = [
+        "Table 3. Adjusted Size of Microcode-Based Controller",
+        f"{'Method':<15} {'Adj. Int. Area':>14} {'Adj. Size um^2':>15} "
+        f"{'Reduction':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.configuration:<15} {row.gate_equivalents:>14.0f} "
+            f"{row.area_um2:>15.0f} {row.reduction_percent:>9.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Test-time accounting: operations and wall-clock per algorithm.
+
+Production test time is money; this module converts operation counts
+into tester seconds at a BIST clock and tabulates the library (plus the
+classical O(N²) tests for contrast) across memory sizes — the numbers a
+test engineer trades against the coverage matrix when building a stage
+plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.classic import galpat_op_count, walking_op_count
+from repro.march import library
+from repro.march.simulator import operation_count
+from repro.march.test import MarchTest
+
+#: Default BIST clock for wall-clock conversion (a modest embedded
+#: memory clock for the paper's 0.35 µm era).
+DEFAULT_CLOCK_MHZ = 100.0
+
+
+@dataclass(frozen=True)
+class TestTimeRow:
+    """Test time of one algorithm at one geometry.
+
+    Attributes:
+        algorithm: algorithm name.
+        operations: total memory operations (pauses excluded; their idle
+            time is reported separately).
+        pause_time_units: retention idle time (march pauses).
+        milliseconds: wall clock at the configured BIST clock, one
+            operation per cycle plus the pause idle cycles.
+    """
+
+    algorithm: str
+    operations: int
+    pause_time_units: int
+    milliseconds: float
+
+
+def march_test_time(
+    test: MarchTest,
+    n_words: int,
+    width: int = 1,
+    ports: int = 1,
+    clock_mhz: float = DEFAULT_CLOCK_MHZ,
+) -> TestTimeRow:
+    """Test time of one march algorithm at one geometry."""
+    from repro.march.backgrounds import background_count
+
+    operations = operation_count(test, n_words, width, ports)
+    repeats = background_count(width) * ports
+    pause_units = sum(pause.duration for pause in test.pauses) * repeats
+    cycles = operations + pause_units
+    milliseconds = cycles / (clock_mhz * 1e3)
+    return TestTimeRow(
+        algorithm=test.name,
+        operations=operations - repeats * len(test.pauses),
+        pause_time_units=pause_units,
+        milliseconds=milliseconds,
+    )
+
+
+def test_time_table(
+    n_words: int,
+    width: int = 1,
+    ports: int = 1,
+    clock_mhz: float = DEFAULT_CLOCK_MHZ,
+    algorithms: Optional[Sequence[str]] = None,
+    include_classical: bool = True,
+) -> List[TestTimeRow]:
+    """Test-time rows for the library (and the classical tests)."""
+    names = algorithms or [
+        "MATS++", "March C", "PMOVI", "March LR", "March A",
+        "March C+", "March C++", "March A++",
+    ]
+    rows = [
+        march_test_time(library.get(name), n_words, width, ports, clock_mhz)
+        for name in names
+    ]
+    if include_classical:
+        for label, count in (
+            ("Walking 1/0", 2 * walking_op_count(n_words, ports)),
+            ("GALPAT", galpat_op_count(n_words, ports)),
+        ):
+            rows.append(
+                TestTimeRow(
+                    algorithm=label,
+                    operations=count,
+                    pause_time_units=0,
+                    milliseconds=count / (clock_mhz * 1e3),
+                )
+            )
+    return rows
+
+
+def render_test_time(rows: List[TestTimeRow], n_words: int) -> str:
+    """Text table of a test-time sweep."""
+    lines = [
+        f"Test time at {n_words} words "
+        f"({DEFAULT_CLOCK_MHZ:.0f} MHz BIST clock)",
+        f"{'algorithm':<12} {'operations':>12} {'pause units':>12} "
+        f"{'time':>12}",
+    ]
+    for row in rows:
+        if row.milliseconds >= 1000:
+            time_text = f"{row.milliseconds / 1000:.2f} s"
+        elif row.milliseconds >= 1:
+            time_text = f"{row.milliseconds:.2f} ms"
+        else:
+            time_text = f"{row.milliseconds * 1000:.1f} us"
+        lines.append(
+            f"{row.algorithm:<12} {row.operations:>12} "
+            f"{row.pause_time_units:>12} {time_text:>12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Single-fault injection management for coverage experiments.
+
+Coverage studies run one fault at a time (the single-fault assumption of
+the functional fault models): :class:`FaultInjector` wraps a memory and
+provides a context manager that attaches a fault, hands the memory to the
+experiment, and guarantees clean removal and state reset afterwards, so
+thousands of faults can reuse one memory instance cheaply.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.faults.base import CellFault
+from repro.memory.sram import Sram
+
+
+class FaultInjector:
+    """Injects faults one at a time into a dedicated memory instance."""
+
+    def __init__(self, memory: Sram) -> None:
+        self.memory = memory
+
+    @contextlib.contextmanager
+    def injected(self, fault: CellFault) -> Iterator[Sram]:
+        """Context manager: memory with exactly ``fault`` present.
+
+        The memory's cell contents, clock and the fault's dynamic state
+        are reset on entry; the fault (and any decoder rewrite it made)
+        is removed on exit.
+        """
+        self.memory.detach_all()
+        self.memory.reset_state()
+        self.memory.attach(fault)
+        try:
+            yield self.memory
+        finally:
+            self.memory.detach_all()
+            self.memory.reset_state()
+
+    def pristine(self) -> Sram:
+        """The memory with all faults removed and state cleared."""
+        self.memory.detach_all()
+        self.memory.reset_state()
+        return self.memory

@@ -1,0 +1,182 @@
+"""Standard fault universes for coverage experiments.
+
+A *fault universe* is a named, enumerable population of single faults.
+:func:`standard_universe` builds the population the coverage benchmark
+sweeps: every SAF/TF/SOF/DRF per cell, the four AF classes on a sample of
+addresses, and coupling/NPSF faults between physically neighbouring cells
+(restricting coupling to neighbours keeps the universe linear in memory
+size while still exercising every behavioural mechanism — classical march
+coverage proofs are position-independent, so neighbour pairs are
+representative of arbitrary pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from repro.faults.address_decoder import (
+    AddressMapsNowhere,
+    AddressMapsToMultiple,
+    AddressMapsToWrongCell,
+    TwoAddressesOneCell,
+)
+from repro.faults.base import CellFault
+from repro.faults.coupling import (
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    StateCouplingFault,
+)
+from repro.faults.neighborhood import ActiveNpsf, CellGrid, PassiveNpsf
+from repro.faults.read_faults import read_fault_universe
+from repro.faults.retention import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.stuck_open import StuckOpenFault
+from repro.faults.transition import TransitionFault
+
+
+@dataclass
+class FaultUniverse:
+    """A named population of single faults, grouped by taxonomy kind."""
+
+    name: str
+    faults: List[CellFault] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[CellFault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def by_kind(self) -> Dict[str, List[CellFault]]:
+        groups: Dict[str, List[CellFault]] = {}
+        for fault in self.faults:
+            groups.setdefault(fault.kind, []).append(fault)
+        return groups
+
+    def kinds(self) -> List[str]:
+        return sorted(self.by_kind())
+
+    def extend(self, faults: Sequence[CellFault]) -> None:
+        self.faults.extend(faults)
+
+
+def _cells(n_words: int, width: int) -> Iterator[tuple]:
+    for word in range(n_words):
+        for bit in range(width):
+            yield word, bit
+
+
+def stuck_at_universe(n_words: int, width: int = 1) -> List[CellFault]:
+    """Both SAF polarities on every cell (2·N·W faults)."""
+    return [
+        StuckAtFault(word, bit, value)
+        for word, bit in _cells(n_words, width)
+        for value in (0, 1)
+    ]
+
+
+def transition_universe(n_words: int, width: int = 1) -> List[CellFault]:
+    """Both TF directions on every cell."""
+    return [
+        TransitionFault(word, bit, rising)
+        for word, bit in _cells(n_words, width)
+        for rising in (True, False)
+    ]
+
+
+def stuck_open_universe(n_words: int, width: int = 1) -> List[CellFault]:
+    """Both SOF polarities on every cell."""
+    return [
+        StuckOpenFault(word, bit, weak_value)
+        for word, bit in _cells(n_words, width)
+        for weak_value in (0, 1)
+    ]
+
+
+def retention_universe(n_words: int, width: int = 1) -> List[CellFault]:
+    """Both DRF decay directions on every cell."""
+    return [
+        DataRetentionFault(word, bit, from_value)
+        for word, bit in _cells(n_words, width)
+        for from_value in (0, 1)
+    ]
+
+
+def coupling_universe(n_words: int, width: int = 1) -> List[CellFault]:
+    """CFin/CFid/CFst between each cell and its grid neighbours.
+
+    For every ordered (aggressor, victim) neighbour pair: two CFin
+    (rising/falling trigger), four CFid (trigger × forced value) and four
+    CFst (aggressor state × forced value) faults.
+    """
+    grid = CellGrid(n_words, width)
+    faults: List[CellFault] = []
+    for word, bit in _cells(n_words, width):
+        for victim in grid.neighbours((word, bit)):
+            vw, vb = victim
+            for rising in (True, False):
+                faults.append(InversionCouplingFault(word, bit, vw, vb, rising))
+                for forced in (0, 1):
+                    faults.append(
+                        IdempotentCouplingFault(word, bit, vw, vb, rising, forced)
+                    )
+            for state in (0, 1):
+                for forced in (0, 1):
+                    faults.append(
+                        StateCouplingFault(word, bit, vw, vb, state, forced)
+                    )
+    return faults
+
+
+def address_fault_universe(n_words: int) -> List[CellFault]:
+    """The four AF classes on every address (paired with a fixed partner)."""
+    faults: List[CellFault] = []
+    for address in range(n_words):
+        partner = (address + 1) % n_words
+        if partner == address:
+            continue
+        faults.append(AddressMapsNowhere(address))
+        faults.append(AddressMapsToWrongCell(address, partner))
+        faults.append(TwoAddressesOneCell(address, partner))
+        faults.append(AddressMapsToMultiple(address, partner))
+    return faults
+
+
+def npsf_universe(n_words: int, width: int = 1) -> List[CellFault]:
+    """A representative NPSF sample: one PNPSF and two ANPSF per base cell."""
+    grid = CellGrid(n_words, width)
+    faults: List[CellFault] = []
+    for word, bit in _cells(n_words, width):
+        neighbours = grid.neighbours((word, bit))
+        if not neighbours:
+            continue
+        pattern = tuple(1 for _ in neighbours)
+        faults.append(PassiveNpsf((word, bit), neighbours, pattern))
+        trigger = neighbours[0]
+        others = neighbours[1:]
+        other_pattern = tuple(0 for _ in others)
+        for rising in (True, False):
+            faults.append(
+                ActiveNpsf((word, bit), trigger, rising, others, other_pattern)
+            )
+    return faults
+
+
+def standard_universe(
+    n_words: int,
+    width: int = 1,
+    include_npsf: bool = True,
+) -> FaultUniverse:
+    """The full standard universe used by the coverage benchmark."""
+    universe = FaultUniverse(f"standard({n_words}x{width})")
+    universe.extend(stuck_at_universe(n_words, width))
+    universe.extend(transition_universe(n_words, width))
+    universe.extend(coupling_universe(n_words, width))
+    universe.extend(address_fault_universe(n_words))
+    universe.extend(stuck_open_universe(n_words, width))
+    universe.extend(retention_universe(n_words, width))
+    universe.extend(read_fault_universe(n_words, width))
+    if include_npsf:
+        universe.extend(npsf_universe(n_words, width))
+    return universe

@@ -1,0 +1,47 @@
+"""March test algebra: elements, tests, notation, algorithm library.
+
+This package implements the march-test formalism of van de Goor ("Testing
+Semiconductor Memories", 1991) that the paper's BIST controllers execute:
+
+* :class:`~repro.march.element.Operation` — a single read/write of the
+  test data ``d`` or its complement.
+* :class:`~repro.march.element.MarchElement` — an address sweep (up, down
+  or either) applying a fixed operation sequence to every cell.
+* :class:`~repro.march.test.MarchTest` — a sequence of march elements and
+  optional retention pauses.
+* :mod:`~repro.march.notation` — parser/printer for the standard
+  ``{up}(r0,w1);{down}(r1,w0)`` notation.
+* :mod:`~repro.march.library` — the algorithms evaluated in the paper
+  (March C, C+, C++, A, A+, A++, and classic tests for context).
+* :mod:`~repro.march.simulator` — the golden operation-stream expander and
+  memory executor all BIST controllers are checked against.
+"""
+
+from repro.march.element import AddressOrder, MarchElement, OpKind, Operation, Pause
+from repro.march.test import MarchTest
+from repro.march.notation import format_test, parse_test
+from repro.march import library
+from repro.march.simulator import MemoryOperation, expand, run_on_memory
+from repro.march.properties import is_symmetric, symmetric_split
+from repro.march.validate import check_consistency, is_consistent
+from repro.march.backgrounds import data_backgrounds
+
+__all__ = [
+    "AddressOrder",
+    "MarchElement",
+    "MarchTest",
+    "MemoryOperation",
+    "OpKind",
+    "Operation",
+    "Pause",
+    "data_backgrounds",
+    "check_consistency",
+    "expand",
+    "format_test",
+    "is_consistent",
+    "is_symmetric",
+    "library",
+    "parse_test",
+    "run_on_memory",
+    "symmetric_split",
+]

@@ -1,0 +1,66 @@
+"""Data background patterns for word-oriented memory testing.
+
+A march test written for bit-oriented memories is extended to a W-bit
+word-oriented memory by repeating it once per *data background*: ``w0``
+writes the background pattern, ``w1`` its complement, and reads compare
+against the corresponding pattern.  The standard background set (van de
+Goor) has ``log2(W) + 1`` members — the solid pattern plus one
+checkerboard per address-bit-within-word granularity — which detects all
+intra-word coupling faults between adjacent bit pairs at every power-of-
+two distance.
+
+Both programmable controllers in the paper iterate backgrounds in their
+outer loop (the microcode controller's instruction 8, the FSM
+controller's "path A" loop-back), so this module is shared by the golden
+simulator and all controller models.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def data_backgrounds(width: int) -> List[int]:
+    """Standard background set for a ``width``-bit word.
+
+    Returns ``log2(width) + 1`` patterns: all-zero, then checkerboards of
+    block size 1, 2, 4, ... width/2.  For ``width == 1`` (bit-oriented
+    memories) this is just ``[0]`` — the test runs once, exactly as the
+    bit-oriented notation reads.
+
+    Example for ``width == 8``::
+
+        [0b00000000, 0b01010101, 0b00110011, 0b00001111]
+
+    Raises:
+        ValueError: if ``width`` is not a positive power of two.
+    """
+    if width <= 0 or width & (width - 1):
+        raise ValueError(f"word width must be a positive power of two, got {width}")
+    patterns = [0]
+    block = 1
+    while block < width:
+        pattern = 0
+        for bit in range(width):
+            if (bit // block) & 1:
+                pattern |= 1 << bit
+        patterns.append(pattern)
+        block *= 2
+    return patterns
+
+
+def background_count(width: int) -> int:
+    """Number of backgrounds for a ``width``-bit word (``log2(W) + 1``)."""
+    return len(data_backgrounds(width))
+
+
+def apply_polarity(background: int, polarity: int, width: int) -> int:
+    """Word value for a march operation of ``polarity`` under ``background``.
+
+    Polarity 0 yields the background itself, polarity 1 its bitwise
+    complement within ``width`` bits.
+    """
+    if polarity not in (0, 1):
+        raise ValueError(f"polarity must be 0 or 1, got {polarity!r}")
+    mask = (1 << width) - 1
+    return background & mask if polarity == 0 else (~background) & mask

@@ -1,0 +1,126 @@
+"""Fault-coverage evaluation of march tests and BIST controllers.
+
+Coverage of a test over a fault universe is measured by single-fault
+simulation: for each fault, inject it into a pristine memory, run the
+test's operation stream, and mark the fault detected if any read
+mismatches.  The same machinery accepts operation streams produced by
+the BIST controllers of :mod:`repro.core`, which is how the library
+demonstrates that controller-generated and golden streams have identical
+coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.faults.base import CellFault
+from repro.faults.injector import FaultInjector
+from repro.faults.universe import FaultUniverse
+from repro.march.simulator import MemoryOperation, expand, run_on_memory
+from repro.march.test import MarchTest
+from repro.memory.sram import Sram
+
+StreamFactory = Callable[[], Iterable[MemoryOperation]]
+
+
+@dataclass
+class CoverageReport:
+    """Per-kind and overall detection statistics for one test run."""
+
+    test_name: str
+    universe_name: str
+    detected: Dict[str, int] = field(default_factory=dict)
+    total: Dict[str, int] = field(default_factory=dict)
+    escapes: List[CellFault] = field(default_factory=list)
+
+    @property
+    def detected_count(self) -> int:
+        return sum(self.detected.values())
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.total.values())
+
+    @property
+    def overall(self) -> float:
+        """Overall coverage fraction in [0, 1]."""
+        if not self.total_count:
+            return 1.0
+        return self.detected_count / self.total_count
+
+    def coverage_of(self, kind: str) -> float:
+        total = self.total.get(kind, 0)
+        if not total:
+            return 1.0
+        return self.detected.get(kind, 0) / total
+
+    def as_rows(self) -> List[tuple]:
+        """(kind, detected, total, percent) rows, sorted by kind."""
+        rows = []
+        for kind in sorted(self.total):
+            rows.append(
+                (
+                    kind,
+                    self.detected.get(kind, 0),
+                    self.total[kind],
+                    100.0 * self.coverage_of(kind),
+                )
+            )
+        return rows
+
+    def __str__(self) -> str:
+        lines = [
+            f"coverage of {self.test_name} over {self.universe_name}: "
+            f"{100.0 * self.overall:.1f}% "
+            f"({self.detected_count}/{self.total_count})"
+        ]
+        for kind, detected, total, percent in self.as_rows():
+            lines.append(f"  {kind:6s} {detected:5d}/{total:<5d} {percent:6.1f}%")
+        return "\n".join(lines)
+
+
+def evaluate_stream_coverage(
+    make_stream: StreamFactory,
+    memory: Sram,
+    universe: FaultUniverse,
+    test_name: str = "stream",
+) -> CoverageReport:
+    """Measure coverage of an arbitrary operation-stream generator.
+
+    Args:
+        make_stream: zero-argument callable producing a fresh operation
+            stream per fault (streams are consumed once per injection).
+        memory: the memory-under-test instance to reuse across faults.
+        universe: fault population to sweep.
+        test_name: label for the report.
+    """
+    injector = FaultInjector(memory)
+    report = CoverageReport(test_name=test_name, universe_name=universe.name)
+    for fault in universe:
+        report.total[fault.kind] = report.total.get(fault.kind, 0) + 1
+        with injector.injected(fault) as faulty:
+            result = run_on_memory(make_stream(), faulty, stop_at_first_failure=True)
+        if result.failures:
+            report.detected[fault.kind] = report.detected.get(fault.kind, 0) + 1
+        else:
+            report.escapes.append(fault)
+    return report
+
+
+def evaluate_coverage(
+    test: MarchTest,
+    universe: FaultUniverse,
+    n_words: int,
+    width: int = 1,
+    ports: int = 1,
+) -> CoverageReport:
+    """Measure the golden-stream coverage of a march test."""
+    memory = Sram(n_words, width=width, ports=ports)
+
+    def make_stream() -> Iterable[MemoryOperation]:
+        return expand(test, n_words, width=width, ports=ports)
+
+    return evaluate_stream_coverage(
+        make_stream, memory, universe, test_name=test.name
+    )

@@ -1,0 +1,175 @@
+"""Primitive march-test building blocks.
+
+A march test is a finite sequence of *march elements*.  Each element walks
+the whole address space in a fixed order (up, down, or "either") and
+applies the same short sequence of read/write operations to every cell.
+Operations are written relative to the element's *test data* ``d``:
+``r0`` reads expecting ``d``-polarity 0, ``w1`` writes polarity 1, etc.
+For bit-oriented memories with the all-zero data background, polarity 0
+literally means logic 0; for word-oriented memories polarity selects
+between the current background pattern and its complement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+class AddressOrder(enum.Enum):
+    """Traversal order of a march element over the address space.
+
+    ``UP`` visits addresses 0..n-1, ``DOWN`` visits n-1..0 and ``ANY``
+    means the order is irrelevant for fault coverage (the arrow ``m`` /
+    "don't care" of the paper's Eq. 1).  Executors resolve ``ANY`` to
+    ``UP``.
+    """
+
+    UP = "up"
+    DOWN = "down"
+    ANY = "any"
+
+    @property
+    def symbol(self) -> str:
+        """Single-character arrow used by :mod:`repro.march.notation`."""
+        return {"up": "^", "down": "v", "any": "~"}[self.value]
+
+    def reversed(self) -> "AddressOrder":
+        """Return the opposite traversal order (``ANY`` stays ``ANY``)."""
+        if self is AddressOrder.UP:
+            return AddressOrder.DOWN
+        if self is AddressOrder.DOWN:
+            return AddressOrder.UP
+        return AddressOrder.ANY
+
+    def resolve(self) -> "AddressOrder":
+        """Concrete order used at execution time (``ANY`` -> ``UP``)."""
+        return AddressOrder.UP if self is AddressOrder.ANY else self
+
+
+class OpKind(enum.Enum):
+    """Kind of a primitive march operation."""
+
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single march operation, e.g. ``r0`` or ``w1``.
+
+    Attributes:
+        kind: read or write.
+        polarity: 0 applies/expects the test data ``d``; 1 applies/expects
+            its complement.  (van de Goor writes these as ``rD``/``rD̄``.)
+    """
+
+    kind: OpKind
+    polarity: int
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (0, 1):
+            raise ValueError(f"polarity must be 0 or 1, got {self.polarity!r}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    def inverted(self) -> "Operation":
+        """The same operation with complemented data polarity."""
+        return Operation(self.kind, self.polarity ^ 1)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}{self.polarity}"
+
+
+def read(polarity: int) -> Operation:
+    """Shorthand constructor: ``read(0)`` is ``r0``."""
+    return Operation(OpKind.READ, polarity)
+
+
+def write(polarity: int) -> Operation:
+    """Shorthand constructor: ``write(1)`` is ``w1``."""
+    return Operation(OpKind.WRITE, polarity)
+
+
+R0 = read(0)
+R1 = read(1)
+W0 = write(0)
+W1 = write(1)
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One march element: an address sweep applying ``ops`` to each cell.
+
+    Attributes:
+        order: traversal order over the address space.
+        ops: non-empty operation sequence applied to every visited cell.
+    """
+
+    order: AddressOrder
+    ops: Tuple[Operation, ...]
+
+    def __init__(self, order: AddressOrder, ops: Iterable[Operation]) -> None:
+        object.__setattr__(self, "order", order)
+        object.__setattr__(self, "ops", tuple(ops))
+        if not self.ops:
+            raise ValueError("a march element needs at least one operation")
+
+    @property
+    def op_count(self) -> int:
+        """Operations applied per memory cell."""
+        return len(self.ops)
+
+    @property
+    def reads(self) -> Tuple[Operation, ...]:
+        return tuple(op for op in self.ops if op.is_read)
+
+    @property
+    def writes(self) -> Tuple[Operation, ...]:
+        return tuple(op for op in self.ops if op.is_write)
+
+    def inverted(self) -> "MarchElement":
+        """Element with complemented address order and data polarities.
+
+        This is the transformation the microcode controller's *reference
+        register* applies when re-running the stored microcode for the
+        symmetric second half of an algorithm such as March C.
+        """
+        return MarchElement(self.order.reversed(), (op.inverted() for op in self.ops))
+
+    def with_order(self, order: AddressOrder) -> "MarchElement":
+        return MarchElement(order, self.ops)
+
+    def __str__(self) -> str:
+        body = ",".join(str(op) for op in self.ops)
+        return f"{self.order.symbol}({body})"
+
+
+@dataclass(frozen=True)
+class Pause:
+    """A retention pause ("Hold" in the paper's March C+/A+ definitions).
+
+    The BIST controller idles for ``duration`` time units so that leaking
+    cells lose their contents before the following verification element.
+
+    Attributes:
+        duration: idle time in arbitrary retention-time units; the memory
+            model's data-retention faults corrupt cells once the
+            accumulated pause exceeds the fault's decay time.
+    """
+
+    duration: int = 100
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("pause duration must be positive")
+
+    def __str__(self) -> str:
+        return f"Del({self.duration})"

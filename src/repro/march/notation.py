@@ -1,0 +1,95 @@
+"""Parser and printer for the textual march-test notation.
+
+The accepted grammar is the ASCII transliteration of van de Goor's
+notation used throughout the DFT literature::
+
+    test     := item (';' item)*
+    item     := element | pause
+    element  := order '(' op (',' op)* ')'
+    order    := '^' | 'v' | '~'        (up, down, either)
+    op       := ('r' | 'w') ('0' | '1')
+    pause    := 'Del' [ '(' int ')' ]
+
+Whitespace is insignificant.  Example — March C-::
+
+    ~(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); ~(r0)
+
+The printer (:func:`format_test`) emits exactly this form, and
+``parse_test(format_test(t))`` reproduces ``t`` (round-trip property
+covered by the test suite).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.march.element import AddressOrder, MarchElement, OpKind, Operation, Pause
+from repro.march.test import MarchItem, MarchTest
+
+_ORDER_BY_SYMBOL = {
+    "^": AddressOrder.UP,
+    "v": AddressOrder.DOWN,
+    "~": AddressOrder.ANY,
+    # Unicode arrows accepted on input for convenience when pasting from papers.
+    "⇑": AddressOrder.UP,
+    "⇓": AddressOrder.DOWN,
+    "⇕": AddressOrder.ANY,
+}
+
+_ELEMENT_RE = re.compile(r"([\^v~⇑⇓⇕])\(([^)]*)\)$")
+_PAUSE_RE = re.compile(r"Del(?:\((\d+)\))?$")
+_OP_RE = re.compile(r"([rw])([01])$")
+
+
+class NotationError(ValueError):
+    """Raised when a march-test string does not match the grammar."""
+
+
+def _parse_op(token: str) -> Operation:
+    match = _OP_RE.match(token)
+    if not match:
+        raise NotationError(f"bad march operation {token!r} (expected e.g. 'r0' or 'w1')")
+    kind = OpKind.READ if match.group(1) == "r" else OpKind.WRITE
+    return Operation(kind, int(match.group(2)))
+
+
+def _parse_item(token: str) -> MarchItem:
+    pause = _PAUSE_RE.match(token)
+    if pause:
+        return Pause(int(pause.group(1))) if pause.group(1) else Pause()
+    element = _ELEMENT_RE.match(token)
+    if not element:
+        raise NotationError(f"bad march element {token!r} (expected e.g. '^(r0,w1)' or 'Del')")
+    order = _ORDER_BY_SYMBOL[element.group(1)]
+    body = element.group(2)
+    ops = [_parse_op(part.strip()) for part in body.split(",") if part.strip()]
+    if not ops:
+        raise NotationError(f"march element {token!r} has no operations")
+    return MarchElement(order, ops)
+
+
+def parse_test(text: str, name: str = "custom") -> MarchTest:
+    """Parse a march test from its textual notation.
+
+    Args:
+        text: notation string, e.g. ``"~(w0); ^(r0,w1); ~(r1)"``.
+        name: name given to the resulting :class:`MarchTest`.
+
+    Raises:
+        NotationError: on any syntax error.
+    """
+    items: List[MarchItem] = []
+    for raw in text.split(";"):
+        token = "".join(raw.split())
+        if not token:
+            continue
+        items.append(_parse_item(token))
+    if not items:
+        raise NotationError("empty march test string")
+    return MarchTest(name, items)
+
+
+def format_test(test: MarchTest) -> str:
+    """Render a march test in the canonical ASCII notation."""
+    return "; ".join(str(item) for item in test.items)

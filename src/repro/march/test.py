@@ -1,0 +1,83 @@
+"""The :class:`MarchTest` container and its derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple, Union
+
+from repro.march.element import MarchElement, Operation, Pause
+
+MarchItem = Union[MarchElement, Pause]
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A complete march test algorithm.
+
+    A march test is an ordered sequence of :class:`MarchElement` sweeps,
+    optionally interleaved with :class:`Pause` items for data-retention
+    detection (the paper's ``Hold`` steps in March C+ / March A+).
+
+    Attributes:
+        name: human-readable algorithm name, e.g. ``"March C"``.
+        items: the element/pause sequence.
+    """
+
+    name: str
+    items: Tuple[MarchItem, ...] = field(default_factory=tuple)
+
+    def __init__(self, name: str, items: Iterable[MarchItem]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "items", tuple(items))
+        if not self.items:
+            raise ValueError("a march test needs at least one element")
+        for item in self.items:
+            if not isinstance(item, (MarchElement, Pause)):
+                raise TypeError(f"march test items must be MarchElement or Pause, got {item!r}")
+
+    @property
+    def elements(self) -> Tuple[MarchElement, ...]:
+        """The march elements, with pauses filtered out."""
+        return tuple(item for item in self.items if isinstance(item, MarchElement))
+
+    @property
+    def pauses(self) -> Tuple[Pause, ...]:
+        return tuple(item for item in self.items if isinstance(item, Pause))
+
+    @property
+    def element_count(self) -> int:
+        return len(self.elements)
+
+    @property
+    def operation_count(self) -> int:
+        """Total operations applied per memory cell (the ``k`` of ``kN``)."""
+        return sum(element.op_count for element in self.elements)
+
+    @property
+    def complexity(self) -> str:
+        """Canonical complexity string, e.g. ``"10N"`` for March C."""
+        return f"{self.operation_count}N"
+
+    @property
+    def has_pauses(self) -> bool:
+        return bool(self.pauses)
+
+    def operations(self) -> List[Operation]:
+        """All operations in test order, flattened across elements."""
+        ops: List[Operation] = []
+        for element in self.elements:
+            ops.extend(element.ops)
+        return ops
+
+    def renamed(self, name: str) -> "MarchTest":
+        return MarchTest(name, self.items)
+
+    def concatenated(self, other: "MarchTest", name: str = "") -> "MarchTest":
+        """A new test running ``self`` followed by ``other``."""
+        return MarchTest(name or f"{self.name}+{other.name}", self.items + other.items)
+
+    def __str__(self) -> str:
+        return "; ".join(str(item) for item in self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,120 @@
+"""Address scrambling: the logical-to-physical address mapping.
+
+Real SRAMs scramble addresses — row/column decoders interleave, fold and
+mirror so that consecutive *logical* addresses are rarely physically
+adjacent.  Faults that live in physical space (bridges between adjacent
+cells, NPSF neighbourhoods) therefore cannot be targeted by tests
+written in logical address space unless the test generator knows the
+scrambling — the reason vendors publish "topological" descrambling
+tables for their compilers.
+
+:class:`AddressScrambler` models the common linear scramblings (address
+bit permutation plus an XOR mask, which covers folding/mirroring); the
+physical-pattern generators (:func:`repro.classic.checkerboard` and the
+fail bitmap) accept one, and the scrambling tests show the coverage
+collapse when it is ignored.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class AddressScrambler:
+    """Bijective logical↔physical address mapping.
+
+    ``physical = permute(logical) XOR mask`` where ``permute`` reorders
+    address bits.  Identity by default.
+
+    Args:
+        address_bits: width of the address in bits.
+        bit_permutation: for each physical address bit, the logical
+            address bit that feeds it; must be a permutation of
+            ``0..address_bits-1``.  ``None`` keeps bit order.
+        xor_mask: XOR applied after the permutation (folding/mirroring).
+    """
+
+    def __init__(
+        self,
+        address_bits: int,
+        bit_permutation: Optional[Sequence[int]] = None,
+        xor_mask: int = 0,
+    ) -> None:
+        if address_bits <= 0:
+            raise ValueError(f"need at least one address bit, got {address_bits}")
+        permutation = (
+            list(bit_permutation)
+            if bit_permutation is not None
+            else list(range(address_bits))
+        )
+        if sorted(permutation) != list(range(address_bits)):
+            raise ValueError(
+                f"{permutation} is not a permutation of 0..{address_bits - 1}"
+            )
+        if not 0 <= xor_mask < (1 << address_bits):
+            raise ValueError(f"xor mask {xor_mask:#x} exceeds the address width")
+        self.address_bits = address_bits
+        self.permutation = permutation
+        self.xor_mask = xor_mask
+        # Precompute the inverse permutation for descrambling.
+        self._inverse = [0] * address_bits
+        for physical_bit, logical_bit in enumerate(permutation):
+            self._inverse[logical_bit] = physical_bit
+
+    @property
+    def size(self) -> int:
+        return 1 << self.address_bits
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            self.permutation == list(range(self.address_bits))
+            and self.xor_mask == 0
+        )
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.size:
+            raise IndexError(
+                f"address {address} out of range 0..{self.size - 1}"
+            )
+
+    def physical(self, logical: int) -> int:
+        """Physical cell index selected by a logical address."""
+        self._check(logical)
+        result = 0
+        for physical_bit, logical_bit in enumerate(self.permutation):
+            result |= ((logical >> logical_bit) & 1) << physical_bit
+        return result ^ self.xor_mask
+
+    def logical(self, physical: int) -> int:
+        """Logical address that selects a physical cell (the inverse)."""
+        self._check(physical)
+        unmasked = physical ^ self.xor_mask
+        result = 0
+        for logical_bit, physical_bit in enumerate(self._inverse):
+            result |= ((unmasked >> physical_bit) & 1) << logical_bit
+        return result
+
+    def mapping(self) -> List[int]:
+        """The full logical→physical table."""
+        return [self.physical(address) for address in range(self.size)]
+
+    @classmethod
+    def row_column_interleave(cls, address_bits: int) -> "AddressScrambler":
+        """A typical compiler scrambling: swap the row/column halves of
+        the address (low bits become the row index)."""
+        half = address_bits // 2
+        permutation = list(range(half, address_bits)) + list(range(half))
+        return cls(address_bits, permutation)
+
+    @classmethod
+    def folded(cls, address_bits: int) -> "AddressScrambler":
+        """Mirror the top address half (common folded-array layout)."""
+        mask = ((1 << (address_bits // 2)) - 1) << (address_bits - address_bits // 2)
+        return cls(address_bits, xor_mask=mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressScrambler(bits={self.address_bits}, "
+            f"perm={self.permutation}, mask={self.xor_mask:#x})"
+        )

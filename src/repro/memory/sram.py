@@ -1,0 +1,178 @@
+"""Behavioural SRAM model with fault hook points.
+
+:class:`Sram` is the memory-under-test of every BIST run in this library.
+It is deliberately behavioural: a word array plus an address decoder and
+an ordered list of attached cell faults.  Every read and write funnels
+through the fault hooks so that the functional fault models of
+:mod:`repro.faults` (stuck-at, transition, coupling, stuck-open,
+retention, NPSF) can distort the observed behaviour exactly as the DFT
+literature defines them.
+
+Multi-port behaviour: the ports of an embedded multiport SRAM share one
+cell array; the BIST architectures in the paper test each port by
+re-running the whole algorithm per port (the microcode ``Inc. Port``
+instruction / the FSM controller's path B).  Port-specific defects are
+modelled by faults that only fire for a given port.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.memory.decoder import AddressDecoder
+from repro.memory.retention import RetentionClock
+
+
+class Sram:
+    """Word-organised behavioural SRAM.
+
+    Args:
+        n_words: number of logical addresses (= physical words when the
+            decoder is fault-free).
+        width: word width in bits; 1 models a bit-oriented memory.
+        ports: number of identical read/write ports.
+        open_read_value: word returned when the decoder maps an address
+            to no cell (AF1); 0 models bit lines pulled to ground.
+
+    Attributes:
+        decoder: the (mutable) address decoder.
+        clock: retention time base; advanced by 1 per access and by pause
+            durations via :meth:`elapse`.
+        faults: attached cell faults, in injection order.
+    """
+
+    def __init__(
+        self,
+        n_words: int,
+        width: int = 1,
+        ports: int = 1,
+        open_read_value: int = 0,
+    ) -> None:
+        if n_words <= 0:
+            raise ValueError(f"memory needs at least one word, got {n_words}")
+        if width <= 0 or width & (width - 1):
+            raise ValueError(f"width must be a positive power of two, got {width}")
+        if ports <= 0:
+            raise ValueError(f"memory needs at least one port, got {ports}")
+        self.n_words = n_words
+        self.width = width
+        self.ports = ports
+        self.open_read_value = open_read_value & self.word_mask
+        self.decoder = AddressDecoder(n_words)
+        self.clock = RetentionClock()
+        self.faults: List = []
+        self._cells: List[int] = [0] * n_words
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def word_mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def size_bits(self) -> int:
+        """Total capacity in bits."""
+        return self.n_words * self.width
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.ports:
+            raise IndexError(f"port {port} out of range 0..{self.ports - 1}")
+
+    # -- raw cell access (fault models and diagnostics only) ----------------
+
+    def peek(self, word: int) -> int:
+        """Read a physical word without exercising decoder or faults."""
+        return self._cells[word]
+
+    def poke(self, word: int, value: int) -> None:
+        """Set a physical word directly, bypassing decoder and faults.
+
+        Used by coupling-fault models to flip their victim and by tests
+        to establish known state.
+        """
+        self._cells[word] = value & self.word_mask
+
+    def force_bit(self, word: int, bit: int, value: int) -> None:
+        """Set one physical bit directly (fault-model helper)."""
+        if value:
+            self._cells[word] |= 1 << bit
+        else:
+            self._cells[word] &= ~(1 << bit)
+
+    # -- functional port interface ------------------------------------------
+
+    def write(self, port: int, address: int, value: int) -> None:
+        """Write ``value`` through ``port`` at logical ``address``."""
+        self._check_port(port)
+        value &= self.word_mask
+        self.clock.advance(1)
+        for word in self.decoder.targets(address):
+            old = self._cells[word]
+            new = value
+            for fault in self.faults:
+                new = fault.on_write(self, port, word, old, new) & self.word_mask
+            self._cells[word] = new
+            for fault in self.faults:
+                fault.on_any_write(self, port, word, old, new)
+
+    def read(self, port: int, address: int) -> int:
+        """Read through ``port`` at logical ``address``; returns the word.
+
+        Reads of an address decoded to several cells observe the
+        wired-AND of their (fault-distorted) contents; an address decoded
+        to no cell observes :attr:`open_read_value`.
+        """
+        self._check_port(port)
+        self.clock.advance(1)
+        targets = self.decoder.targets(address)
+        if not targets:
+            return self.open_read_value
+        observed = self.word_mask
+        for word in targets:
+            value = self._cells[word]
+            for fault in self.faults:
+                value = fault.on_read(self, port, word, value) & self.word_mask
+            observed &= value
+        return observed
+
+    def elapse(self, duration: int) -> None:
+        """Idle for ``duration`` retention-time units (march pauses)."""
+        self.clock.advance(duration)
+        for fault in self.faults:
+            fault.on_elapse(self, duration)
+
+    # -- fault management ----------------------------------------------------
+
+    def attach(self, fault) -> None:
+        """Attach a cell fault (see :class:`repro.faults.base.CellFault`)."""
+        fault.install(self)
+        self.faults.append(fault)
+
+    def detach_all(self) -> None:
+        """Remove every fault and restore the fault-free decoder."""
+        for fault in self.faults:
+            fault.remove(self)
+        self.faults.clear()
+        self.decoder.reset()
+
+    def reset_state(self, fill: int = 0) -> None:
+        """Reset cell contents, time and the dynamic state of all faults.
+
+        Fault *presence* is kept — this models power-cycling a defective
+        part between test runs.
+        """
+        self._cells = [fill & self.word_mask] * self.n_words
+        self.clock.reset()
+        for fault in self.faults:
+            fault.reset()
+
+    def snapshot(self) -> Sequence[int]:
+        """Immutable copy of the physical cell contents."""
+        return tuple(self._cells)
+
+    def __repr__(self) -> str:
+        kind = "bit-oriented" if self.width == 1 else f"{self.width}-bit word"
+        return (
+            f"Sram({self.n_words} words, {kind}, {self.ports} port(s), "
+            f"{len(self.faults)} fault(s))"
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for technology, components and the estimator."""
+
+import pytest
+
+from repro.area.components import (
+    Comparator,
+    Counter,
+    Decoder,
+    HardwareSpec,
+    LogicBlock,
+    Mux,
+    Register,
+    XorArray,
+)
+from repro.area.estimator import estimate
+from repro.area.report import format_breakdown, format_comparison
+from repro.area.technology import IBM_CMOS5S, Technology
+
+
+class TestTechnology:
+    def test_cell_ge_lookup(self):
+        assert IBM_CMOS5S.cell_ge("dff") == IBM_CMOS5S.dff_ge
+        assert IBM_CMOS5S.cell_ge("scan_dff") == IBM_CMOS5S.scan_dff_ge
+        assert IBM_CMOS5S.cell_ge("scan_only") == IBM_CMOS5S.scan_only_cell_ge
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError):
+            IBM_CMOS5S.cell_ge("latch")
+
+    def test_scan_only_in_paper_ratio(self):
+        """Scan-only cells are 4-5x smaller than full scan registers."""
+        ratio = IBM_CMOS5S.scan_dff_ge / IBM_CMOS5S.scan_only_cell_ge
+        assert 4.0 <= ratio <= 5.0
+
+    def test_to_um2(self):
+        assert IBM_CMOS5S.to_um2(10) == 10 * IBM_CMOS5S.nand2_area_um2
+
+    def test_with_scan_only_ratio(self):
+        tech = IBM_CMOS5S.with_scan_only_ratio(6.0)
+        assert tech.scan_only_cell_ge == pytest.approx(tech.scan_dff_ge / 6.0)
+        assert IBM_CMOS5S.scan_only_cell_ge != tech.scan_only_cell_ge
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            IBM_CMOS5S.with_scan_only_ratio(0)
+
+
+class TestComponents:
+    def test_register_bits(self):
+        register = Register("r", width=10, rows=4)
+        assert register.bits == 40
+
+    def test_register_cell_kind_changes_cost(self):
+        scan = Register("r", 10, cell="scan_dff")
+        scan_only = Register("r", 10, cell="scan_only")
+        assert scan.gate_equivalents(IBM_CMOS5S) > (
+            scan_only.gate_equivalents(IBM_CMOS5S)
+        )
+
+    def test_register_dimension_validation(self):
+        with pytest.raises(ValueError):
+            Register("r", 0)
+        with pytest.raises(ValueError):
+            Register("r", 4, rows=0)
+
+    def test_counter_options_monotone(self):
+        plain = Counter("c", 8)
+        updown = Counter("c", 8, up_down=True)
+        loadable = Counter("c", 8, up_down=True, loadable=True)
+        assert (
+            plain.gate_equivalents(IBM_CMOS5S)
+            < updown.gate_equivalents(IBM_CMOS5S)
+            < loadable.gate_equivalents(IBM_CMOS5S)
+        )
+
+    def test_counter_width_validation(self):
+        with pytest.raises(ValueError):
+            Counter("c", 0)
+
+    def test_mux_cost_scales_with_ways_and_width(self):
+        small = Mux("m", ways=2, width=4)
+        wide = Mux("m", ways=2, width=8)
+        deep = Mux("m", ways=4, width=4)
+        assert small.gate_equivalents(IBM_CMOS5S) < wide.gate_equivalents(IBM_CMOS5S)
+        assert small.gate_equivalents(IBM_CMOS5S) < deep.gate_equivalents(IBM_CMOS5S)
+
+    def test_single_way_mux_free(self):
+        assert Mux("m", ways=1, width=8).gate_equivalents(IBM_CMOS5S) == 0
+
+    def test_xor_array(self):
+        assert XorArray("x", 4).gate_equivalents(IBM_CMOS5S) == 4 * IBM_CMOS5S.xor2_ge
+
+    def test_comparator_cost(self):
+        comparator = Comparator("cmp", 8)
+        expected = 8 * IBM_CMOS5S.xor2_ge + 7 * IBM_CMOS5S.nand2_ge
+        assert comparator.gate_equivalents(IBM_CMOS5S) == expected
+
+    def test_decoder_trivial_free(self):
+        assert Decoder("d", 1).gate_equivalents(IBM_CMOS5S) == 0
+
+    def test_decoder_grows_with_outputs(self):
+        small = Decoder("d", 8)
+        large = Decoder("d", 32)
+        assert small.gate_equivalents(IBM_CMOS5S) < large.gate_equivalents(IBM_CMOS5S)
+
+    def test_logic_block_fixed_cost(self):
+        assert LogicBlock("l", 42.5).gate_equivalents(IBM_CMOS5S) == 42.5
+
+    def test_logic_block_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogicBlock("l", -1)
+
+
+class TestHardwareSpecAndEstimate:
+    def _spec(self):
+        spec = HardwareSpec("demo")
+        spec.add(Register("reg", 8))
+        spec.add(Counter("cnt", 4))
+        return spec
+
+    def test_total_ge_sums_components(self):
+        spec = self._spec()
+        total = spec.total_ge(IBM_CMOS5S)
+        assert total == sum(ge for _, ge in spec.breakdown(IBM_CMOS5S))
+
+    def test_estimate_report_fields(self):
+        report = estimate(self._spec())
+        assert report.name == "demo"
+        assert report.technology == IBM_CMOS5S.name
+        assert report.area_um2 == pytest.approx(
+            report.gate_equivalents * IBM_CMOS5S.nand2_area_um2
+        )
+
+    def test_estimate_custom_technology(self):
+        tech = Technology("toy", nand2_area_um2=1.0)
+        report = estimate(self._spec(), tech)
+        assert report.area_um2 == report.gate_equivalents
+
+    def test_component_ge_prefix_sum(self):
+        report = estimate(self._spec())
+        assert report.component_ge("reg") > 0
+        assert report.component_ge("nonexistent") == 0
+
+    def test_format_breakdown_lists_components(self):
+        text = format_breakdown(estimate(self._spec()))
+        assert "reg" in text and "cnt" in text
+
+    def test_format_comparison_alignment(self):
+        reports = [estimate(self._spec()), estimate(self._spec())]
+        text = format_comparison(reports)
+        assert text.count("demo") == 2

@@ -1,0 +1,137 @@
+"""Property-style tests on the area model: monotonicity and sanity."""
+
+import pytest
+
+from repro.area.estimator import estimate
+from repro.area.technology import IBM_CMOS5S, Technology
+from repro.core.controller import ControllerCapabilities
+from repro.core.hardwired import HardwiredBistController
+from repro.core.microcode import MicrocodeBistController
+from repro.core.progfsm import ProgrammableFsmBistController
+from repro.march import library
+
+
+def ge_of(controller):
+    return estimate(controller.hardware()).gate_equivalents
+
+
+CONTROLLERS = {
+    "microcode": lambda caps: MicrocodeBistController(library.MARCH_C, caps),
+    "progfsm": lambda caps: ProgrammableFsmBistController(library.MARCH_C, caps),
+    "hardwired": lambda caps: HardwiredBistController(library.MARCH_C, caps),
+}
+
+
+@pytest.mark.parametrize("name,factory", CONTROLLERS.items())
+class TestGeometryMonotonicity:
+    def test_wider_words_cost_more(self, name, factory):
+        areas = [
+            ge_of(factory(ControllerCapabilities(n_words=64, width=width)))
+            for width in (1, 4, 16)
+        ]
+        assert areas == sorted(areas)
+        assert areas[0] < areas[-1]
+
+    def test_more_ports_cost_more(self, name, factory):
+        areas = [
+            ge_of(factory(ControllerCapabilities(n_words=64, ports=ports)))
+            for ports in (1, 2, 4)
+        ]
+        assert areas == sorted(areas)
+        assert areas[0] < areas[-1]
+
+    def test_depth_grows_datapath_only(self, name, factory):
+        """Memory depth touches only the datapath (address counter and
+        last-address detect); the controller logic is depth-independent."""
+        small = estimate(
+            factory(ControllerCapabilities(n_words=256)).hardware()
+        )
+        large = estimate(
+            factory(ControllerCapabilities(n_words=65536)).hardware()
+        )
+        assert large.gate_equivalents > small.gate_equivalents
+        assert large.component_ge("controller/") == pytest.approx(
+            small.component_ge("controller/")
+        )
+        assert large.component_ge("datapath/") > small.component_ge(
+            "datapath/"
+        )
+
+
+class TestMicrocodeKnobs:
+    def test_storage_depth_monotone(self):
+        areas = [
+            ge_of(
+                MicrocodeBistController(
+                    library.MARCH_C,
+                    ControllerCapabilities(n_words=64),
+                    storage_rows=rows,
+                )
+            )
+            for rows in (12, 20, 32, 64)
+        ]
+        assert areas == sorted(areas)
+
+    def test_scan_only_never_larger(self):
+        for caps in (
+            ControllerCapabilities(n_words=64),
+            ControllerCapabilities(n_words=64, width=8, ports=2),
+        ):
+            full = ge_of(MicrocodeBistController(library.MARCH_C, caps))
+            adjusted = ge_of(
+                MicrocodeBistController(
+                    library.MARCH_C, caps, storage_cell="scan_only"
+                )
+            )
+            assert adjusted < full
+
+    def test_scan_only_savings_track_the_ratio(self):
+        caps = ControllerCapabilities(n_words=64)
+        previous = None
+        for ratio in (2.0, 3.0, 4.0, 5.0, 6.0):
+            tech = IBM_CMOS5S.with_scan_only_ratio(ratio)
+            area = estimate(
+                MicrocodeBistController(
+                    library.MARCH_C, caps, storage_cell="scan_only"
+                ).hardware(),
+                tech,
+            ).gate_equivalents
+            if previous is not None:
+                assert area < previous
+            previous = area
+
+
+class TestHardwiredComplexityTrend:
+    def test_area_correlates_with_operation_count(self):
+        """Hardwired area tracks algorithm size strongly — but not
+        perfectly monotonically: two-level minimisation rewards regular
+        element structures (March LR synthesises smaller than the
+        shorter PMOVI), which is a genuine property of synthesis, not a
+        model artefact.  Assert the strong rank correlation and the
+        endpoint ordering instead."""
+        import numpy
+
+        caps = ControllerCapabilities(n_words=64)
+        plain = [t for t in library.ALGORITHMS.values() if not t.has_pauses]
+        ops = [t.operation_count for t in plain]
+        areas = [ge_of(HardwiredBistController(t, caps)) for t in plain]
+        correlation = numpy.corrcoef(ops, areas)[0, 1]
+        assert correlation > 0.85
+        by_name = {t.name: a for t, a in zip(plain, areas)}
+        assert by_name["Zero-One"] < by_name["March C"] < by_name["March B"]
+
+
+class TestTechnologyScaling:
+    def test_um2_linear_in_nand_area(self):
+        caps = ControllerCapabilities(n_words=64)
+        spec = MicrocodeBistController(library.MARCH_C, caps).hardware()
+        small = estimate(spec, Technology("a", nand2_area_um2=10.0))
+        large = estimate(spec, Technology("b", nand2_area_um2=20.0))
+        assert large.area_um2 == pytest.approx(2 * small.area_um2)
+        assert large.gate_equivalents == small.gate_equivalents
+
+    def test_all_component_costs_nonnegative(self):
+        caps = ControllerCapabilities(n_words=64, width=8, ports=2)
+        for factory in CONTROLLERS.values():
+            report = estimate(factory(caps).hardware())
+            assert all(ge >= 0 for _, ge in report.breakdown)

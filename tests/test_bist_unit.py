@@ -1,0 +1,123 @@
+"""Unit tests for the composed memory BIST unit."""
+
+import pytest
+
+from repro.core.bist_unit import MemoryBistUnit
+from repro.core.controller import ControllerCapabilities
+from repro.core.hardwired import HardwiredBistController
+from repro.core.microcode import MicrocodeBistController
+from repro.core.progfsm import ProgrammableFsmBistController
+from repro.faults import DataRetentionFault, StuckAtFault, StuckOpenFault
+from repro.march import library
+from repro.memory import Sram
+
+CAPS = ControllerCapabilities(n_words=16)
+
+
+def make_unit(controller_cls=MicrocodeBistController, test=library.MARCH_C,
+              caps=CAPS, memory=None):
+    memory = memory or Sram(caps.n_words, width=caps.width, ports=caps.ports)
+    return MemoryBistUnit(controller_cls(test, caps), memory), memory
+
+
+class TestComposition:
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBistUnit(
+                MicrocodeBistController(library.MARCH_C, CAPS), Sram(8)
+            )
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBistUnit(
+                MicrocodeBistController(library.MARCH_C, CAPS),
+                Sram(16, width=8),
+            )
+
+    def test_port_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBistUnit(
+                MicrocodeBistController(library.MARCH_C, CAPS),
+                Sram(16, ports=2),
+            )
+
+
+class TestRuns:
+    def test_fault_free_passes(self):
+        unit, _ = make_unit()
+        result = unit.run()
+        assert result.passed
+        assert result.operations == 160
+        assert "PASS" in str(result)
+
+    def test_stuck_at_detected(self):
+        unit, memory = make_unit()
+        memory.attach(StuckAtFault(5, 0, 0))
+        result = unit.run()
+        assert not result.passed
+        assert any(f.address == 5 for f in result.failures)
+        assert "FAIL" in str(result)
+
+    def test_stop_at_first_failure(self):
+        unit, memory = make_unit()
+        memory.attach(StuckAtFault(5, 0, 0))
+        result = unit.run(stop_at_first_failure=True)
+        assert result.failure_count == 1
+
+    def test_retention_fault_needs_plus_algorithm(self):
+        caps = CAPS
+        memory = Sram(16)
+        memory.attach(DataRetentionFault(3, 0, from_value=1))
+        plain = MemoryBistUnit(
+            MicrocodeBistController(library.MARCH_C, caps), memory
+        )
+        assert plain.run().passed  # escapes March C
+        memory.reset_state()
+        plus = MemoryBistUnit(
+            MicrocodeBistController(library.MARCH_C_PLUS, caps), memory
+        )
+        assert not plus.run().passed
+
+    def test_stuck_open_needs_plus_plus_algorithm(self):
+        memory = Sram(16)
+        memory.attach(StuckOpenFault(7, 0, weak_value=1))
+        plain = MemoryBistUnit(
+            MicrocodeBistController(library.MARCH_C, CAPS), memory
+        )
+        assert plain.run().passed
+        memory.reset_state()
+        plusplus = MemoryBistUnit(
+            MicrocodeBistController(library.MARCH_C_PLUS_PLUS, CAPS), memory
+        )
+        assert not plusplus.run().passed
+
+    def test_all_architectures_agree_on_verdict(self):
+        for controller_cls in (
+            MicrocodeBistController,
+            ProgrammableFsmBistController,
+            HardwiredBistController,
+        ):
+            memory = Sram(16)
+            memory.attach(StuckAtFault(9, 0, 1))
+            unit = MemoryBistUnit(
+                controller_cls(library.MARCH_C, CAPS), memory
+            )
+            result = unit.run()
+            assert not result.passed, controller_cls.__name__
+
+    def test_result_metadata(self):
+        unit, _ = make_unit()
+        result = unit.run()
+        assert result.controller == "Microcode-Based"
+        assert result.test_name == "March C"
+
+    def test_area_report(self):
+        unit, _ = make_unit()
+        report = unit.area()
+        assert report.gate_equivalents > 0
+
+    def test_rerun_after_reset(self):
+        unit, memory = make_unit()
+        assert unit.run().passed
+        memory.reset_state()
+        assert unit.run().passed

@@ -1,0 +1,156 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import FaultSpecError, main, parse_fault
+from repro.faults import (
+    AddressMapsNowhere,
+    DataRetentionFault,
+    InversionCouplingFault,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+)
+from repro.faults.port import PortStuckOpenAccess
+
+
+class TestParseFault:
+    def test_saf(self):
+        fault = parse_fault("saf:3:0:1")
+        assert isinstance(fault, StuckAtFault)
+        assert (fault.word, fault.bit, fault.value) == (3, 0, 1)
+
+    def test_tf_up_and_down(self):
+        assert parse_fault("tf:4:0:up").rising
+        assert not parse_fault("tf:4:0:down").rising
+
+    def test_drf(self):
+        fault = parse_fault("drf:5:0:1")
+        assert isinstance(fault, DataRetentionFault)
+        assert fault.from_value == 1
+
+    def test_sof(self):
+        assert isinstance(parse_fault("sof:6:0:1"), StuckOpenFault)
+
+    def test_cfin(self):
+        fault = parse_fault("cfin:0:0:1:0:up")
+        assert isinstance(fault, InversionCouplingFault)
+        assert fault.victim_word == 1
+
+    def test_af_classes(self):
+        assert isinstance(parse_fault("af1:3"), AddressMapsNowhere)
+        assert parse_fault("af3:2:6").other_address == 6
+
+    def test_paf(self):
+        fault = parse_fault("paf:1:3:0")
+        assert isinstance(fault, PortStuckOpenAccess)
+        assert fault.port == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault("xyz:1:2:3")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault("saf:3")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault("tf:1:0:sideways")
+
+
+class TestRunCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["run", "--words", "16"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_failing_run_exits_one(self, capsys):
+        code = main(["run", "--words", "16", "--fault", "saf:3:0:1"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("arch", ["microcode", "progfsm", "hardwired"])
+    def test_all_architectures(self, arch, capsys):
+        assert main(["run", "--words", "8", "--architecture", arch]) == 0
+        capsys.readouterr()
+
+    def test_diagnose_prints_classification(self, capsys):
+        code = main([
+            "run", "--words", "16", "--algorithm", "March C++",
+            "--fault", "drf:5:0:1", "--diagnose",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "fail bitmap" in out
+        assert "DRF" in out
+
+    def test_area_flag(self, capsys):
+        assert main(["run", "--words", "16", "--area"]) == 0
+        assert "GE" in capsys.readouterr().out
+
+    def test_unknown_algorithm_errors(self, capsys):
+        assert main(["run", "--algorithm", "March Z"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_fault_spec_errors(self, capsys):
+        assert main(["run", "--fault", "nope"]) == 2
+        capsys.readouterr()
+
+    def test_word_oriented_multiport_run(self, capsys):
+        code = main([
+            "run", "--words", "8", "--width", "4", "--ports", "2",
+            "--fault", "paf:1:3:2",
+        ])
+        assert code == 1
+        capsys.readouterr()
+
+
+class TestAssembleCommand:
+    def test_microcode_listing(self, capsys):
+        assert main(["assemble", "--algorithm", "March C"]) == 0
+        out = capsys.readouterr().out
+        assert "REPEAT" in out
+
+    def test_fsm_listing(self, capsys):
+        assert main(["assemble", "--algorithm", "March C",
+                     "--format", "fsm"]) == 0
+        assert "SM1" in capsys.readouterr().out
+
+    def test_interchange_output_loads_back(self, capsys):
+        assert main(["assemble", "--algorithm", "March A",
+                     "--format", "interchange"]) == 0
+        out = capsys.readouterr().out
+        from repro.core.programming import load_program
+
+        loaded = load_program(out)
+        assert loaded.name == "March A"
+
+    def test_fsm_format_rejects_unrealizable(self, capsys):
+        assert main(["assemble", "--algorithm", "March B",
+                     "--format", "fsm"]) == 2
+        capsys.readouterr()
+
+
+class TestAlgorithmsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("March C", "March A++", "PMOVI", "March LR"):
+            assert name in out
+        assert "10N" in out
+
+
+class TestRecommendCommand:
+    def test_recommend_retention(self, capsys):
+        assert main(["recommend", "--classes", "saf,tf,drf"]) == 0
+        out = capsys.readouterr().out
+        assert "March C+" in out
+        assert "Del(1024)" in out
+
+    def test_recommend_case_insensitive(self, capsys):
+        assert main(["recommend", "--classes", "cfin,cfid,cfst"]) == 0
+        capsys.readouterr()
+
+    def test_recommend_unknown_class_errors(self, capsys):
+        assert main(["recommend", "--classes", "saf,xyz"]) == 2
+        assert "unknown fault classes" in capsys.readouterr().err

@@ -1,0 +1,178 @@
+"""Unit tests for the shared BIST datapath blocks."""
+
+import pytest
+
+from repro.core.datapath import (
+    AddressGenerator,
+    DataGenerator,
+    PortSequencer,
+    shared_datapath_hardware,
+)
+from repro.march.element import AddressOrder
+
+
+class TestAddressGenerator:
+    def test_up_sweep(self):
+        gen = AddressGenerator(4)
+        gen.start(AddressOrder.UP)
+        seen = []
+        for _ in range(4):
+            seen.append(gen.address)
+            if not gen.last_address:
+                gen.increment()
+        assert seen == [0, 1, 2, 3]
+
+    def test_down_sweep(self):
+        gen = AddressGenerator(4)
+        gen.start(AddressOrder.DOWN)
+        assert gen.address == 3
+        gen.increment()
+        assert gen.address == 2
+
+    def test_any_starts_up(self):
+        gen = AddressGenerator(4)
+        gen.start(AddressOrder.ANY)
+        assert gen.direction is AddressOrder.UP
+        assert gen.address == 0
+
+    def test_last_address_up(self):
+        gen = AddressGenerator(3)
+        gen.start(AddressOrder.UP)
+        assert not gen.last_address
+        gen.increment()
+        gen.increment()
+        assert gen.last_address
+
+    def test_last_address_down(self):
+        gen = AddressGenerator(3)
+        gen.start(AddressOrder.DOWN)
+        gen.increment()
+        gen.increment()
+        assert gen.address == 0
+        assert gen.last_address
+
+    def test_wraps_at_sweep_end(self):
+        gen = AddressGenerator(2)
+        gen.start(AddressOrder.UP)
+        gen.increment()
+        gen.increment()  # wrap
+        assert gen.address == 0
+
+    def test_single_word_always_last(self):
+        gen = AddressGenerator(1)
+        gen.start(AddressOrder.UP)
+        assert gen.last_address
+
+    def test_address_bits(self):
+        assert AddressGenerator(1024).address_bits == 10
+        assert AddressGenerator(1).address_bits == 1
+        assert AddressGenerator(1000).address_bits == 10
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressGenerator(0)
+
+    def test_hardware_components(self):
+        names = [c.name for c in AddressGenerator(64).hardware()]
+        assert any("address counter" in n for n in names)
+
+
+class TestDataGenerator:
+    def test_bit_oriented_single_background(self):
+        gen = DataGenerator(1)
+        assert gen.background == 0
+        assert gen.last_background
+
+    def test_word_for_polarity(self):
+        gen = DataGenerator(8)
+        assert gen.word(0) == 0
+        assert gen.word(1) == 0xFF
+
+    def test_increment_steps_backgrounds(self):
+        gen = DataGenerator(8)
+        gen.increment()
+        assert gen.background == 0b10101010
+
+    def test_increment_wraps(self):
+        gen = DataGenerator(4)
+        for _ in range(len(gen.backgrounds)):
+            gen.increment()
+        assert gen.index == 0
+
+    def test_last_background_flag(self):
+        gen = DataGenerator(4)
+        assert not gen.last_background
+        gen.increment()
+        gen.increment()
+        assert gen.last_background
+
+    def test_reset(self):
+        gen = DataGenerator(4)
+        gen.increment()
+        gen.reset()
+        assert gen.index == 0
+
+    def test_hardware_no_counter_for_bit_oriented(self):
+        names = [c.name for c in DataGenerator(1).hardware()]
+        assert not any("background counter" in n for n in names)
+
+    def test_hardware_counter_for_word_oriented(self):
+        names = [c.name for c in DataGenerator(8).hardware()]
+        assert any("background counter" in n for n in names)
+
+
+class TestPortSequencer:
+    def test_single_port(self):
+        ports = PortSequencer(1)
+        assert ports.last_port
+        assert ports.hardware() == []
+
+    def test_multi_port_sequence(self):
+        ports = PortSequencer(3)
+        assert ports.port == 0 and not ports.last_port
+        ports.increment()
+        ports.increment()
+        assert ports.last_port
+        ports.increment()  # wraps
+        assert ports.port == 0
+
+    def test_reset(self):
+        ports = PortSequencer(2)
+        ports.increment()
+        ports.reset()
+        assert ports.port == 0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            PortSequencer(0)
+
+    def test_multiport_hardware_present(self):
+        assert PortSequencer(2).hardware()
+
+
+class TestSharedDatapath:
+    def test_word_oriented_larger_than_bit(self):
+        from repro.area.technology import IBM_CMOS5S
+
+        bit = sum(
+            c.gate_equivalents(IBM_CMOS5S)
+            for c in shared_datapath_hardware(64, 1, 1)
+        )
+        word = sum(
+            c.gate_equivalents(IBM_CMOS5S)
+            for c in shared_datapath_hardware(64, 8, 1)
+        )
+        assert word > bit
+
+    def test_multiport_larger_than_single(self):
+        from repro.area.technology import IBM_CMOS5S
+
+        single = sum(
+            c.gate_equivalents(IBM_CMOS5S)
+            for c in shared_datapath_hardware(64, 1, 1)
+        )
+        multi = sum(
+            c.gate_equivalents(IBM_CMOS5S)
+            for c in shared_datapath_hardware(64, 1, 4)
+        )
+        assert multi > single

@@ -1,0 +1,160 @@
+"""Unit tests for the diagnostics package (fail log, bitmap, classifier)."""
+
+import pytest
+
+from repro.core.bist_unit import MemoryBistUnit
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import MicrocodeBistController
+from repro.diagnostics import FailBitmap, FailLog, classify, diagnose
+from repro.faults import (
+    AddressMapsNowhere,
+    DataRetentionFault,
+    InversionCouplingFault,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+)
+from repro.march import library
+from repro.memory import Sram
+
+N = 16
+CAPS = ControllerCapabilities(n_words=N)
+
+
+def run_diagnostic(*faults, test=library.MARCH_C_PLUS_PLUS):
+    memory = Sram(N)
+    for fault in faults:
+        memory.attach(fault)
+    unit = MemoryBistUnit(MicrocodeBistController(test, CAPS), memory)
+    result = unit.run()
+    return FailLog.from_result(result)
+
+
+class TestFailLog:
+    def test_clean_log(self):
+        log = run_diagnostic()
+        assert log.is_clean
+        assert len(log) == 0
+
+    def test_failing_addresses_deduplicated(self):
+        log = run_diagnostic(StuckAtFault(5, 0, 0))
+        assert log.failing_addresses() == [5]
+
+    def test_failing_cells(self):
+        log = run_diagnostic(StuckAtFault(5, 0, 0), StuckAtFault(9, 0, 1))
+        assert set(log.failing_cells()) == {(5, 0), (9, 0)}
+
+    def test_by_address_groups(self):
+        log = run_diagnostic(StuckAtFault(5, 0, 0))
+        groups = log.by_address()
+        assert set(groups) == {5}
+        assert len(groups[5]) == len(log)
+
+    def test_str_truncates(self):
+        log = run_diagnostic(StuckAtFault(5, 0, 0))
+        assert "fail log" in str(log)
+
+
+class TestFailBitmap:
+    def test_from_log(self):
+        log = run_diagnostic(StuckAtFault(5, 0, 0))
+        bitmap = FailBitmap.from_log(log, N)
+        assert bitmap.fail_count == 1
+        assert bitmap.is_failing(5, 0)
+
+    def test_mark_out_of_range_rejected(self):
+        bitmap = FailBitmap(N)
+        with pytest.raises(IndexError):
+            bitmap.mark(N, 0)
+
+    def test_clusters_single_cells(self):
+        bitmap = FailBitmap(16)
+        bitmap.mark(0, 0)
+        bitmap.mark(15, 0)
+        assert len(bitmap.clusters()) == 2
+
+    def test_clusters_adjacent_merge(self):
+        bitmap = FailBitmap(16)
+        # 16 cells fold into a 4x4 grid; 0 and 1 are row neighbours.
+        bitmap.mark(0, 0)
+        bitmap.mark(1, 0)
+        assert len(bitmap.clusters()) == 1
+
+    def test_render(self):
+        bitmap = FailBitmap(16)
+        bitmap.mark(0, 0)
+        art = bitmap.render()
+        assert art.splitlines()[0][0] == "X"
+        assert "." in art
+
+
+class TestClassifier:
+    def test_clean_memory_no_diagnoses(self):
+        assert diagnose(Sram(N)) == []
+
+    def test_stuck_at_zero(self):
+        memory = Sram(N)
+        memory.attach(StuckAtFault(3, 0, 0))
+        (diag,) = diagnose(memory)
+        assert diag.label == "SA0/TF-up"
+        assert diag.address == 3
+
+    def test_stuck_at_one(self):
+        memory = Sram(N)
+        memory.attach(StuckAtFault(3, 0, 1))
+        (diag,) = diagnose(memory)
+        assert diag.label == "SA1/TF-down"
+
+    def test_transition_fault_in_stuck_class(self):
+        """TF and SAF are behaviourally indistinguishable under march
+        tests — the classifier reports the equivalence class."""
+        memory = Sram(N)
+        memory.attach(TransitionFault(4, 0, rising=True))
+        (diag,) = diagnose(memory)
+        assert diag.label == "SA0/TF-up"
+
+    def test_retention_fault(self):
+        memory = Sram(N)
+        memory.attach(DataRetentionFault(5, 0, from_value=1))
+        (diag,) = diagnose(memory)
+        assert diag.label == "DRF"
+
+    def test_stuck_open(self):
+        memory = Sram(N)
+        memory.attach(StuckOpenFault(6, 0, weak_value=1))
+        (diag,) = diagnose(memory)
+        assert diag.label == "SOF"
+
+    def test_coupling_fault(self):
+        memory = Sram(N)
+        memory.attach(InversionCouplingFault(0, 0, 1, 0, rising=True))
+        diags = diagnose(memory)
+        assert any(d.label == "CF" and d.address == 1 for d in diags)
+
+    def test_gross_address_failure(self):
+        memory = Sram(4)
+        for address in range(4):
+            memory.attach(AddressMapsNowhere(address))
+        diags = diagnose(memory)
+        assert diags and all(d.label == "AF/gross" for d in diags)
+
+    def test_multiple_faults_classified_independently(self):
+        memory = Sram(N)
+        memory.attach(StuckAtFault(3, 0, 0))
+        memory.attach(DataRetentionFault(8, 0, from_value=1))
+        labels = {d.address: d.label for d in diagnose(memory)}
+        assert labels[3] == "SA0/TF-up"
+        assert labels[8] == "DRF"
+
+    def test_classify_empty_log(self):
+        log = FailLog(test_name="x")
+        assert classify(log, library.MARCH_C, N) == []
+
+    def test_word_oriented_diagnosis(self):
+        memory = Sram(8, width=8)
+        memory.attach(StuckAtFault(2, 5, 0))
+        diags = diagnose(memory)
+        assert any(
+            d.address == 2 and d.bit == 5 and d.label == "SA0/TF-up"
+            for d in diags
+        )

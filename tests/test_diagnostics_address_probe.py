@@ -1,0 +1,104 @@
+"""Unit tests for the walking-address decoder probe."""
+
+import pytest
+
+from repro.diagnostics.address_probe import decoder_probe
+from repro.faults import (
+    AddressMapsNowhere,
+    AddressMapsToMultiple,
+    AddressMapsToWrongCell,
+    StuckAtFault,
+    TwoAddressesOneCell,
+)
+from repro.memory import Sram
+
+N = 8
+
+
+def probed(*faults, n=N, width=1, ports=1):
+    memory = Sram(n, width=width, ports=ports)
+    for fault in faults:
+        memory.attach(fault)
+    return decoder_probe(memory)
+
+
+class TestCleanMemory:
+    def test_clean_probe(self):
+        diagnosis = probed()
+        assert diagnosis.is_clean
+        assert "clean" in str(diagnosis)
+
+    def test_contents_left_at_base(self):
+        memory = Sram(4)
+        memory.poke(2, 1)
+        decoder_probe(memory)
+        assert all(memory.peek(w) == 0 for w in range(3))
+
+
+class TestAfClasses:
+    def test_af1_reported_open(self):
+        diagnosis = probed(AddressMapsNowhere(3))
+        findings = diagnosis.by_address()
+        assert findings[3].kind == "open"
+        assert "AF1" in findings[3].describe()
+
+    def test_af2_reported_aliased_both_ways(self):
+        diagnosis = probed(AddressMapsToWrongCell(3, 5))
+        findings = diagnosis.by_address()
+        assert findings[3].kind == "aliased"
+        assert 5 in findings[3].partners
+        assert findings[5].kind == "aliased"
+        assert 3 in findings[5].partners
+
+    def test_af3_reported_aliased(self):
+        diagnosis = probed(TwoAddressesOneCell(2, 6))
+        findings = diagnosis.by_address()
+        assert findings[2].kind == "aliased"
+        assert findings[6].kind == "aliased"
+
+    def test_af4_reported_multi_one_way(self):
+        diagnosis = probed(AddressMapsToMultiple(2, 6))
+        findings = diagnosis.by_address()
+        assert findings[2].kind == "multi"
+        assert findings[2].partners == (6,)
+        assert 6 not in findings or findings.get(6) is None or (
+            findings[6].kind != "multi"
+        )
+        assert "AF4" in findings[2].describe()
+
+    def test_multiple_decoder_faults(self):
+        diagnosis = probed(
+            AddressMapsNowhere(1), TwoAddressesOneCell(2, 6)
+        )
+        findings = diagnosis.by_address()
+        assert findings[1].kind == "open"
+        assert findings[2].kind == "aliased"
+
+
+class TestRobustness:
+    def test_cell_faults_do_not_fake_decoder_findings(self):
+        """A stuck cell is not a decoder fault; the probe must stay
+        quiet about it (stuck-at-0 just loses the mark quietly only at
+        its own address when probed — which is 'open'-like; stuck-at-1
+        lights its own address in every probe).  The probe therefore
+        flags SA1 cells as suspicious aliases of everything — document
+        the boundary: run the probe only on parts whose march signature
+        points at the address decoder."""
+        diagnosis = probed(StuckAtFault(4, 0, 0))
+        findings = diagnosis.by_address()
+        # SA0: writing the mark at address 4 is lost -> 'open'-like.
+        assert findings[4].kind == "open"
+
+    def test_word_oriented_probe(self):
+        diagnosis = probed(AddressMapsToWrongCell(1, 2), n=4, width=8)
+        findings = diagnosis.by_address()
+        assert findings[1].kind == "aliased"
+
+    def test_multiport_probe_uses_requested_port(self):
+        memory = Sram(4, ports=2)
+        memory.attach(AddressMapsNowhere(2))
+        diagnosis = decoder_probe(memory, port=1)
+        assert diagnosis.by_address()[2].kind == "open"
+
+    def test_single_word_memory(self):
+        assert probed(n=1).is_clean

@@ -1,0 +1,63 @@
+"""Unit tests for the coverage-study eval module and CLI."""
+
+import pytest
+
+from repro.eval.coverage_study import (
+    COVERAGE_COLUMNS,
+    CoverageRow,
+    coverage_table,
+    render_coverage_table,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return coverage_table(n_words=4, algorithms=(
+        "MATS", "March C", "March C+", "March C++",
+    ))
+
+
+class TestCoverageTable:
+    def test_row_per_algorithm(self, rows):
+        assert [r.algorithm for r in rows] == [
+            "MATS", "March C", "March C+", "March C++",
+        ]
+
+    def test_columns_complete(self, rows):
+        for row in rows:
+            assert tuple(c for c, _ in row.by_class) == COVERAGE_COLUMNS
+
+    def test_percentages_in_range(self, rows):
+        for row in rows:
+            for _, percent in row.by_class:
+                assert 0.0 <= percent <= 100.0
+            assert 0.0 <= row.overall <= 100.0
+
+    def test_af_column_aggregates_four_classes(self, rows):
+        march_c = next(r for r in rows if r.algorithm == "March C")
+        assert march_c.percent("AF") == 100.0
+
+    def test_enhancement_monotone_overall(self, rows):
+        by_name = {r.algorithm: r.overall for r in rows}
+        assert (
+            by_name["MATS"]
+            < by_name["March C"]
+            < by_name["March C+"]
+            < by_name["March C++"]
+        )
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            coverage_table(n_words=4, algorithms=("Nope",))
+
+    def test_render(self, rows):
+        text = render_coverage_table(rows)
+        assert "March C++" in text
+        assert "SAF" in text and "DRF" in text
+
+    def test_cli_coverage(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "Measured fault coverage" in out

@@ -1,0 +1,117 @@
+"""Unit tests for the algorithm recommender."""
+
+import pytest
+
+from repro.eval.coverage_study import coverage_table
+from repro.eval.recommend import (
+    NoAlgorithmError,
+    recommend,
+    stage_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return coverage_table(n_words=8)
+
+
+class TestRecommend:
+    def test_saf_only_picks_cheapest(self, rows):
+        choice = recommend(["SAF"], rows=rows)
+        # Zero-One (4N) is the cheapest full-SAF algorithm in the library.
+        assert choice.test.name == "Zero-One"
+
+    def test_saf_tf_picks_mats_plus_plus(self, rows):
+        choice = recommend(["SAF", "TF"], rows=rows)
+        assert choice.test.name == "MATS++"
+
+    def test_full_coupling_picks_march_c(self, rows):
+        choice = recommend(["SAF", "TF", "AF", "CFin", "CFid", "CFst"],
+                           rows=rows)
+        assert choice.test.name == "March C"
+
+    def test_retention_requires_plus_variant(self, rows):
+        choice = recommend(["SAF", "DRF"], rows=rows)
+        assert choice.test.has_pauses
+
+    def test_everything_requires_march_c_plus_plus(self, rows):
+        choice = recommend(
+            ["SAF", "TF", "AF", "CFin", "CFid", "CFst", "SOF", "DRF"],
+            rows=rows,
+        )
+        assert choice.test.name == "March C++"
+
+    def test_alternatives_are_costlier(self, rows):
+        from repro.march import library
+
+        choice = recommend(["SAF", "TF"], rows=rows)
+        for name in choice.alternatives:
+            assert (
+                library.get(name).operation_count
+                >= choice.operation_factor
+            )
+
+    def test_unknown_class_rejected(self, rows):
+        with pytest.raises(ValueError):
+            recommend(["SAF", "XYZ"], rows=rows)
+
+    def test_empty_request_rejected(self, rows):
+        with pytest.raises(ValueError):
+            recommend([], rows=rows)
+
+    def test_str(self, rows):
+        text = str(recommend(["SAF"], rows=rows))
+        assert "covers" in text and "SAF" in text
+
+
+class TestStagePlan:
+    def test_typical_flow(self):
+        plan = stage_plan([
+            ("wafer sort", ["SAF", "TF", "AF"]),
+            ("package test", ["SAF", "TF", "AF", "CFin", "CFid", "CFst",
+                              "DRF"]),
+            ("burn-in", ["SAF", "TF", "AF", "CFin", "CFid", "CFst", "SOF",
+                         "DRF"]),
+        ])
+        names = [recommendation.test.name for _, recommendation in plan]
+        assert names == ["MATS++", "March C+", "March C++"]
+
+    def test_costs_increase_along_the_flow(self):
+        plan = stage_plan([
+            ("fast", ["SAF"]),
+            ("full", ["SAF", "TF", "CFin", "CFid", "CFst"]),
+        ])
+        costs = [r.operation_factor for _, r in plan]
+        assert costs == sorted(costs)
+
+    def test_impossible_stage_raises(self):
+        # NPSF is not a coverage column; unknown class is a ValueError,
+        # but a column nothing covers raises NoAlgorithmError — build one
+        # by filtering the table to weak algorithms only.
+        rows = coverage_table(n_words=8, algorithms=("Zero-One", "MATS"))
+        with pytest.raises(NoAlgorithmError):
+            recommend(["CFst"], rows=rows)
+
+
+class TestReadFaultRecommendations:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return coverage_table(n_words=8)
+
+    def test_drdf_picks_march_y(self, rows):
+        """The cheapest re-read structure in the library is March Y."""
+        choice = recommend(["SAF", "DRDF"], rows=rows)
+        assert choice.test.name == "March Y"
+
+    def test_drdf_plus_couplings_picks_pmovi(self, rows):
+        choice = recommend(
+            ["SAF", "TF", "CFin", "CFst", "DRDF"], rows=rows
+        )
+        assert choice.test.name == "PMOVI"
+
+    def test_all_eleven_classes_still_march_c_plus_plus(self, rows):
+        from repro.eval.coverage_study import COVERAGE_COLUMNS
+
+        choice = recommend(COVERAGE_COLUMNS, rows=rows)
+        assert choice.test.name == "March C++"
+        assert choice.alternatives == ()

@@ -1,0 +1,64 @@
+"""Unit tests for the test-time accounting module."""
+
+import pytest
+
+from repro.eval.test_time import march_test_time, render_test_time
+from repro.eval.test_time import test_time_table as build_table
+from repro.march import library
+from repro.march.simulator import operation_count
+
+
+class TestMarchTestTime:
+    def test_operations_match_simulator(self):
+        row = march_test_time(library.MARCH_C, 64)
+        assert row.operations == operation_count(library.MARCH_C, 64)
+        assert row.pause_time_units == 0
+
+    def test_pause_accounting(self):
+        row = march_test_time(library.MARCH_C_PLUS, 64)
+        # Two 1024-unit pauses, single background, single port.
+        assert row.pause_time_units == 2048
+        # Pauses are reported separately, not in the op count.
+        assert row.operations == 14 * 64
+
+    def test_pauses_scale_with_backgrounds_and_ports(self):
+        row = march_test_time(library.MARCH_C_PLUS, 64, width=4, ports=2)
+        assert row.pause_time_units == 2048 * 3 * 2
+
+    def test_wall_clock_conversion(self):
+        row = march_test_time(library.MARCH_C, 100, clock_mhz=100.0)
+        assert row.milliseconds == pytest.approx(1000 / (100.0 * 1e3))
+
+    def test_faster_clock_shortens(self):
+        slow = march_test_time(library.MARCH_C, 64, clock_mhz=50.0)
+        fast = march_test_time(library.MARCH_C, 64, clock_mhz=200.0)
+        assert fast.milliseconds < slow.milliseconds
+
+
+class TestTable:
+    def test_classical_rows_present_by_default(self):
+        rows = build_table(64)
+        names = [row.algorithm for row in rows]
+        assert "GALPAT" in names and "Walking 1/0" in names
+
+    def test_classical_rows_optional(self):
+        rows = build_table(64, include_classical=False)
+        assert all("GALPAT" != row.algorithm for row in rows)
+
+    def test_march_rows_linear_classical_quadratic(self):
+        small = {r.algorithm: r.operations for r in build_table(64)}
+        large = {r.algorithm: r.operations for r in build_table(640)}
+        assert large["March C"] == 10 * small["March C"]
+        assert large["GALPAT"] > 50 * small["GALPAT"]
+
+    def test_render(self):
+        text = render_test_time(build_table(1024), 1024)
+        assert "GALPAT" in text
+        assert "March C" in text
+        assert any(unit in text for unit in ("us", "ms", " s"))
+
+    def test_cli_testtime(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["testtime", "--words", "256"]) == 0
+        assert "Test time" in capsys.readouterr().out

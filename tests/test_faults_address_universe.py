@@ -1,0 +1,150 @@
+"""Unit tests for address-decoder faults, the injector and universes."""
+
+import pytest
+
+from repro.faults.address_decoder import (
+    AddressMapsNowhere,
+    AddressMapsToMultiple,
+    AddressMapsToWrongCell,
+    TwoAddressesOneCell,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.universe import (
+    address_fault_universe,
+    coupling_universe,
+    retention_universe,
+    standard_universe,
+    stuck_at_universe,
+    stuck_open_universe,
+    transition_universe,
+)
+from repro.memory.sram import Sram
+
+
+class TestAddressFaults:
+    def test_af1_write_lost(self):
+        memory = Sram(8)
+        memory.attach(AddressMapsNowhere(3))
+        memory.write(0, 3, 1)
+        assert memory.read(0, 3) == 0  # floating read
+
+    def test_af1_remove_restores(self):
+        memory = Sram(8)
+        fault = AddressMapsNowhere(3)
+        memory.attach(fault)
+        memory.detach_all()
+        memory.write(0, 3, 1)
+        assert memory.read(0, 3) == 1
+
+    def test_af2_accesses_wrong_cell(self):
+        memory = Sram(8)
+        memory.attach(AddressMapsToWrongCell(3, 5))
+        memory.write(0, 3, 1)
+        assert memory.peek(5) == 1
+        assert memory.peek(3) == 0
+
+    def test_af2_same_cell_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapsToWrongCell(3, 3)
+
+    def test_af3_aliasing(self):
+        memory = Sram(8)
+        memory.attach(TwoAddressesOneCell(2, 6))
+        memory.write(0, 6, 1)  # lands in cell 2
+        assert memory.read(0, 2) == 1
+
+    def test_af3_distinct_addresses_required(self):
+        with pytest.raises(ValueError):
+            TwoAddressesOneCell(2, 2)
+
+    def test_af4_writes_both_cells(self):
+        memory = Sram(8)
+        memory.attach(AddressMapsToMultiple(2, 6))
+        memory.write(0, 2, 1)
+        assert memory.peek(2) == 1 and memory.peek(6) == 1
+
+    def test_af4_read_wired_and(self):
+        memory = Sram(8)
+        memory.attach(AddressMapsToMultiple(2, 6))
+        memory.poke(2, 1)
+        memory.poke(6, 0)
+        assert memory.read(0, 2) == 0
+
+
+class TestInjector:
+    def test_injected_context_attaches_and_removes(self):
+        memory = Sram(8)
+        injector = FaultInjector(memory)
+        fault = StuckAtFault(1, 0, 1)
+        with injector.injected(fault) as faulty:
+            assert faulty.faults == [fault]
+        assert memory.faults == []
+
+    def test_state_reset_between_injections(self):
+        memory = Sram(8)
+        injector = FaultInjector(memory)
+        with injector.injected(StuckAtFault(1, 0, 1)):
+            pass
+        with injector.injected(StuckAtFault(2, 0, 1)) as faulty:
+            assert faulty.peek(1) == 0  # previous stuck level cleared
+
+    def test_removal_on_exception(self):
+        memory = Sram(8)
+        injector = FaultInjector(memory)
+        with pytest.raises(RuntimeError):
+            with injector.injected(StuckAtFault(1, 0, 1)):
+                raise RuntimeError("boom")
+        assert memory.faults == []
+
+    def test_pristine(self):
+        memory = Sram(8)
+        memory.attach(StuckAtFault(0, 0, 1))
+        injector = FaultInjector(memory)
+        pristine = injector.pristine()
+        assert pristine.faults == []
+        assert pristine.peek(0) == 0
+
+
+class TestUniverses:
+    def test_stuck_at_universe_size(self):
+        assert len(stuck_at_universe(8, 1)) == 16
+        assert len(stuck_at_universe(4, 2)) == 16
+
+    def test_transition_universe_size(self):
+        assert len(transition_universe(8)) == 16
+
+    def test_stuck_open_universe_size(self):
+        assert len(stuck_open_universe(8)) == 16
+
+    def test_retention_universe_size(self):
+        assert len(retention_universe(8)) == 16
+
+    def test_address_universe_has_four_classes(self):
+        faults = address_fault_universe(8)
+        kinds = {f.kind for f in faults}
+        assert kinds == {"AF1", "AF2", "AF3", "AF4"}
+        assert len(faults) == 32
+
+    def test_coupling_universe_neighbour_local(self):
+        faults = coupling_universe(16, 1)
+        kinds = {f.kind for f in faults}
+        assert kinds == {"CFin", "CFid", "CFst"}
+
+    def test_standard_universe_composition(self):
+        universe = standard_universe(8, 1)
+        kinds = set(universe.kinds())
+        assert {"SAF", "TF", "CFin", "CFid", "CFst", "AF1", "DRF", "SOF"} <= kinds
+
+    def test_standard_universe_without_npsf(self):
+        universe = standard_universe(8, 1, include_npsf=False)
+        assert not any(k.endswith("NPSF") for k in universe.kinds())
+
+    def test_by_kind_partitions(self):
+        universe = standard_universe(4, 1)
+        groups = universe.by_kind()
+        assert sum(len(g) for g in groups.values()) == len(universe)
+
+    def test_single_word_universe_skips_pairs(self):
+        faults = address_fault_universe(1)
+        assert faults == []

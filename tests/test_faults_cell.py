@@ -1,0 +1,198 @@
+"""Unit tests for the per-cell fault models (SAF, TF, SOF, DRF)."""
+
+import pytest
+
+from repro.faults.retention import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.stuck_open import StuckOpenFault
+from repro.faults.transition import TransitionFault
+from repro.memory.sram import Sram
+
+
+class TestStuckAt:
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(0, 0, 2)
+
+    def test_stuck_at_zero_blocks_write_one(self):
+        memory = Sram(4)
+        memory.attach(StuckAtFault(2, 0, 0))
+        memory.write(0, 2, 1)
+        assert memory.read(0, 2) == 0
+
+    def test_stuck_at_one_blocks_write_zero(self):
+        memory = Sram(4)
+        memory.attach(StuckAtFault(2, 0, 1))
+        memory.write(0, 2, 0)
+        assert memory.read(0, 2) == 1
+
+    def test_install_forces_initial_value(self):
+        memory = Sram(4)
+        memory.attach(StuckAtFault(2, 0, 1))
+        assert memory.peek(2) == 1
+
+    def test_other_cells_unaffected(self):
+        memory = Sram(4)
+        memory.attach(StuckAtFault(2, 0, 0))
+        memory.write(0, 1, 1)
+        assert memory.read(0, 1) == 1
+
+    def test_word_oriented_single_bit(self):
+        memory = Sram(4, width=8)
+        memory.attach(StuckAtFault(1, 3, 0))
+        memory.write(0, 1, 0xFF)
+        assert memory.read(0, 1) == 0xFF & ~(1 << 3)
+
+    def test_describe(self):
+        assert "stuck-at-1" in StuckAtFault(3, 2, 1).describe()
+
+
+class TestTransition:
+    def test_up_transition_blocked(self):
+        memory = Sram(4)
+        memory.attach(TransitionFault(1, 0, rising=True))
+        memory.write(0, 1, 1)  # 0 -> 1 fails
+        assert memory.read(0, 1) == 0
+
+    def test_up_fault_allows_down(self):
+        memory = Sram(4)
+        memory.attach(TransitionFault(1, 0, rising=True))
+        memory.poke(1, 1)
+        memory.write(0, 1, 0)
+        assert memory.read(0, 1) == 0
+
+    def test_down_transition_blocked(self):
+        memory = Sram(4)
+        memory.attach(TransitionFault(1, 0, rising=False))
+        memory.poke(1, 1)
+        memory.write(0, 1, 0)  # 1 -> 0 fails
+        assert memory.read(0, 1) == 1
+
+    def test_down_fault_allows_up(self):
+        memory = Sram(4)
+        memory.attach(TransitionFault(1, 0, rising=False))
+        memory.write(0, 1, 1)
+        assert memory.read(0, 1) == 1
+
+    def test_rewrite_same_value_fine(self):
+        memory = Sram(4)
+        memory.attach(TransitionFault(1, 0, rising=True))
+        memory.write(0, 1, 0)
+        assert memory.read(0, 1) == 0
+
+    def test_describe(self):
+        assert "0->1" in TransitionFault(0, 0, True).describe()
+        assert "1->0" in TransitionFault(0, 0, False).describe()
+
+
+class TestStuckOpen:
+    def test_invalid_weak_value_rejected(self):
+        with pytest.raises(ValueError):
+            StuckOpenFault(0, 0, 2)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            StuckOpenFault(0, 0, 1, disturb_threshold=0)
+
+    def test_single_read_correct(self):
+        memory = Sram(4)
+        memory.attach(StuckOpenFault(1, 0, weak_value=1))
+        memory.write(0, 1, 1)
+        assert memory.read(0, 1) == 1
+
+    def test_third_read_observes_collapse(self):
+        memory = Sram(4)
+        memory.attach(StuckOpenFault(1, 0, weak_value=1))
+        memory.write(0, 1, 1)
+        assert memory.read(0, 1) == 1  # disturb 1
+        assert memory.read(0, 1) == 1  # disturb 2, node collapses
+        assert memory.read(0, 1) == 0  # observed
+
+    def test_write_resets_disturb_counter(self):
+        memory = Sram(4)
+        memory.attach(StuckOpenFault(1, 0, weak_value=1))
+        memory.write(0, 1, 1)
+        memory.read(0, 1)
+        memory.write(0, 1, 1)  # refresh
+        assert memory.read(0, 1) == 1
+        assert memory.read(0, 1) == 1
+        assert memory.read(0, 1) == 0
+
+    def test_opposite_value_reads_harmless(self):
+        memory = Sram(4)
+        memory.attach(StuckOpenFault(1, 0, weak_value=1))
+        for _ in range(10):
+            assert memory.read(0, 1) == 0  # stores 0, weak value is 1
+
+    def test_weak_zero_polarity(self):
+        memory = Sram(4)
+        memory.attach(StuckOpenFault(1, 0, weak_value=0))
+        memory.write(0, 1, 0)
+        memory.read(0, 1)
+        memory.read(0, 1)
+        assert memory.read(0, 1) == 1
+
+    def test_reset_clears_counter(self):
+        fault = StuckOpenFault(1, 0, 1)
+        memory = Sram(4)
+        memory.attach(fault)
+        memory.write(0, 1, 1)
+        memory.read(0, 1)
+        fault.reset()
+        assert memory.read(0, 1) == 1
+        assert memory.read(0, 1) == 1
+
+
+class TestDataRetention:
+    def test_invalid_from_value_rejected(self):
+        with pytest.raises(ValueError):
+            DataRetentionFault(0, 0, 2)
+
+    def test_invalid_decay_time_rejected(self):
+        with pytest.raises(ValueError):
+            DataRetentionFault(0, 0, 1, decay_time=0)
+
+    def test_decays_after_idle(self):
+        memory = Sram(4)
+        memory.attach(DataRetentionFault(1, 0, from_value=1, decay_time=500))
+        memory.write(0, 1, 1)
+        memory.elapse(600)
+        assert memory.read(0, 1) == 0
+
+    def test_short_idle_is_fine(self):
+        memory = Sram(4)
+        memory.attach(DataRetentionFault(1, 0, from_value=1, decay_time=500))
+        memory.write(0, 1, 1)
+        memory.elapse(100)
+        assert memory.read(0, 1) == 1
+
+    def test_idle_accumulates_across_pauses(self):
+        memory = Sram(4)
+        memory.attach(DataRetentionFault(1, 0, from_value=1, decay_time=500))
+        memory.write(0, 1, 1)
+        memory.elapse(300)
+        memory.elapse(300)
+        assert memory.read(0, 1) == 0
+
+    def test_access_refreshes(self):
+        memory = Sram(4)
+        memory.attach(DataRetentionFault(1, 0, from_value=1, decay_time=500))
+        memory.write(0, 1, 1)
+        memory.elapse(300)
+        memory.read(0, 1)  # refresh
+        memory.elapse(300)
+        assert memory.read(0, 1) == 1
+
+    def test_opposite_state_does_not_decay(self):
+        memory = Sram(4)
+        memory.attach(DataRetentionFault(1, 0, from_value=1, decay_time=500))
+        memory.write(0, 1, 0)
+        memory.elapse(10_000)
+        assert memory.read(0, 1) == 0
+
+    def test_zero_decay_direction(self):
+        memory = Sram(4)
+        memory.attach(DataRetentionFault(1, 0, from_value=0, decay_time=500))
+        memory.write(0, 1, 0)
+        memory.elapse(600)
+        assert memory.read(0, 1) == 1

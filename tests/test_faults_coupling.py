@@ -1,0 +1,181 @@
+"""Unit tests for coupling and NPSF fault models."""
+
+import pytest
+
+from repro.faults.coupling import (
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    StateCouplingFault,
+)
+from repro.faults.neighborhood import ActiveNpsf, CellGrid, PassiveNpsf
+from repro.memory.sram import Sram
+
+
+class TestInversionCoupling:
+    def test_same_cell_rejected(self):
+        with pytest.raises(ValueError):
+            InversionCouplingFault(1, 0, 1, 0, True)
+
+    def test_rising_trigger_inverts_victim(self):
+        memory = Sram(4)
+        memory.attach(InversionCouplingFault(0, 0, 1, 0, rising=True))
+        memory.poke(1, 1)
+        memory.write(0, 0, 1)  # aggressor 0->1
+        assert memory.peek(1) == 0
+
+    def test_falling_edge_ignored_by_rising_fault(self):
+        memory = Sram(4)
+        memory.attach(InversionCouplingFault(0, 0, 1, 0, rising=True))
+        memory.poke(0, 1)
+        memory.poke(1, 1)
+        memory.write(0, 0, 0)  # aggressor 1->0
+        assert memory.peek(1) == 1
+
+    def test_no_transition_no_effect(self):
+        memory = Sram(4)
+        memory.attach(InversionCouplingFault(0, 0, 1, 0, rising=True))
+        memory.write(0, 0, 0)  # 0 -> 0
+        assert memory.peek(1) == 0
+
+    def test_two_triggers_cancel(self):
+        memory = Sram(4)
+        memory.attach(InversionCouplingFault(0, 0, 1, 0, rising=True))
+        memory.write(0, 0, 1)
+        memory.write(0, 0, 0)
+        memory.write(0, 0, 1)
+        assert memory.peek(1) == 0  # inverted twice
+
+
+class TestIdempotentCoupling:
+    def test_invalid_forced_value_rejected(self):
+        with pytest.raises(ValueError):
+            IdempotentCouplingFault(0, 0, 1, 0, True, 2)
+
+    def test_trigger_forces_victim(self):
+        memory = Sram(4)
+        memory.attach(IdempotentCouplingFault(0, 0, 1, 0, rising=True,
+                                              forced_value=1))
+        memory.write(0, 0, 1)
+        assert memory.peek(1) == 1
+
+    def test_idempotent_repeat_harmless(self):
+        memory = Sram(4)
+        memory.attach(IdempotentCouplingFault(0, 0, 1, 0, rising=True,
+                                              forced_value=1))
+        memory.write(0, 0, 1)
+        memory.write(0, 0, 0)
+        memory.write(0, 0, 1)
+        assert memory.peek(1) == 1
+
+    def test_falling_variant(self):
+        memory = Sram(4)
+        memory.attach(IdempotentCouplingFault(0, 0, 1, 0, rising=False,
+                                              forced_value=0))
+        memory.poke(0, 1)
+        memory.poke(1, 1)
+        memory.write(0, 0, 0)
+        assert memory.peek(1) == 0
+
+
+class TestStateCoupling:
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            StateCouplingFault(0, 0, 1, 0, 2, 0)
+
+    def test_victim_distorted_while_aggressor_in_state(self):
+        memory = Sram(4)
+        memory.attach(StateCouplingFault(0, 0, 1, 0, aggressor_state=1,
+                                         forced_value=0))
+        memory.poke(0, 1)
+        memory.poke(1, 1)
+        assert memory.read(0, 1) == 0
+
+    def test_victim_recovers_when_aggressor_leaves_state(self):
+        memory = Sram(4)
+        memory.attach(StateCouplingFault(0, 0, 1, 0, aggressor_state=1,
+                                         forced_value=0))
+        memory.poke(0, 0)
+        memory.poke(1, 1)
+        assert memory.read(0, 1) == 1
+
+    def test_stored_value_not_corrupted(self):
+        memory = Sram(4)
+        memory.attach(StateCouplingFault(0, 0, 1, 0, aggressor_state=1,
+                                         forced_value=0))
+        memory.poke(0, 1)
+        memory.poke(1, 1)
+        memory.read(0, 1)
+        assert memory.peek(1) == 1  # only the observation is distorted
+
+
+class TestCellGrid:
+    def test_square_grid(self):
+        grid = CellGrid(16, 1)
+        assert grid.cols == 4
+        assert grid.rows == 4
+
+    def test_linear_and_cell_at_roundtrip(self):
+        grid = CellGrid(8, 4)
+        for word in range(8):
+            for bit in range(4):
+                assert grid.cell_at(grid.linear((word, bit))) == (word, bit)
+
+    def test_corner_has_two_neighbours(self):
+        grid = CellGrid(16, 1)
+        assert len(grid.neighbours((0, 0))) == 2
+
+    def test_interior_has_four_neighbours(self):
+        grid = CellGrid(16, 1)
+        # Cell 5 sits at row 1, col 1 of the 4x4 grid.
+        assert len(grid.neighbours((5, 0))) == 4
+
+    def test_neighbours_within_array(self):
+        grid = CellGrid(10, 1)  # non-square fill
+        for index in range(10):
+            for neighbour in grid.neighbours(grid.cell_at(index)):
+                assert 0 <= grid.linear(neighbour) < 10
+
+
+class TestNpsf:
+    def test_passive_freezes_base_when_pattern_matches(self):
+        memory = Sram(16)
+        grid = CellGrid(16, 1)
+        base = (5, 0)
+        neighbours = grid.neighbours(base)
+        for word, bit in neighbours:
+            memory.force_bit(word, bit, 1)
+        memory.attach(PassiveNpsf(base, neighbours, tuple([1] * len(neighbours))))
+        memory.write(0, 5, 1)
+        assert memory.peek(5) == 0  # frozen at 0
+
+    def test_passive_releases_when_pattern_broken(self):
+        memory = Sram(16)
+        grid = CellGrid(16, 1)
+        base = (5, 0)
+        neighbours = grid.neighbours(base)
+        memory.attach(PassiveNpsf(base, neighbours, tuple([1] * len(neighbours))))
+        memory.write(0, 5, 1)  # neighbours are 0: pattern mismatch
+        assert memory.peek(5) == 1
+
+    def test_passive_pattern_length_checked(self):
+        with pytest.raises(ValueError):
+            PassiveNpsf((0, 0), [(1, 0)], (1, 1))
+
+    def test_active_trigger_flips_base(self):
+        memory = Sram(16)
+        memory.attach(ActiveNpsf(base=(5, 0), trigger=(6, 0), rising=True))
+        memory.write(0, 6, 1)
+        assert memory.peek(5) == 1
+
+    def test_active_pattern_gates_flip(self):
+        memory = Sram(16)
+        memory.attach(
+            ActiveNpsf(base=(5, 0), trigger=(6, 0), rising=True,
+                       others=[(4, 0)], pattern=(1,))
+        )
+        memory.write(0, 6, 1)  # cell 4 is 0, pattern wants 1
+        assert memory.peek(5) == 0
+        memory.write(0, 6, 0)
+        memory.poke(4, 1)
+        memory.write(0, 6, 1)
+        assert memory.peek(5) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for port-restricted multiport faults."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import MicrocodeBistController
+from repro.faults.port import (
+    PortRestrictedFault,
+    PortStuckOpenAccess,
+    port_fault_universe,
+)
+from repro.faults.stuck_at import StuckAtFault
+from repro.march import library
+from repro.march.simulator import expand, run_on_memory
+from repro.memory.sram import Sram
+
+
+class TestPortRestrictedFault:
+    def test_negative_port_rejected(self):
+        with pytest.raises(ValueError):
+            PortRestrictedFault(-1, StuckAtFault(0, 0, 0))
+
+    def test_nonexistent_port_rejected_at_install(self):
+        memory = Sram(4, ports=2)
+        with pytest.raises(ValueError):
+            memory.attach(PortRestrictedFault(2, StuckAtFault(0, 0, 0)))
+
+    def test_fault_active_on_its_port(self):
+        memory = Sram(4, ports=2)
+        memory.attach(PortRestrictedFault(1, StuckAtFault(2, 0, 0)))
+        memory.write(1, 2, 1)
+        assert memory.read(1, 2) == 0
+
+    def test_fault_silent_on_other_port(self):
+        memory = Sram(4, ports=2)
+        memory.attach(PortRestrictedFault(1, StuckAtFault(2, 0, 0)))
+        memory.write(0, 2, 1)
+        assert memory.read(0, 2) == 1
+
+    def test_kind_tagged_with_port(self):
+        fault = PortRestrictedFault(1, StuckAtFault(0, 0, 0))
+        assert fault.kind == "SAF@p1"
+
+    def test_describe(self):
+        fault = PortRestrictedFault(0, StuckAtFault(1, 0, 1))
+        assert "port 0" in fault.describe()
+
+
+class TestPortStuckOpenAccess:
+    def test_write_through_defective_port_lost(self):
+        memory = Sram(4, ports=2)
+        memory.attach(PortStuckOpenAccess(1, 2, 0))
+        memory.write(1, 2, 1)
+        assert memory.peek(2) == 0
+
+    def test_read_through_defective_port_floats(self):
+        memory = Sram(4, ports=2)
+        memory.attach(PortStuckOpenAccess(1, 2, 0, open_value=0))
+        memory.poke(2, 1)
+        assert memory.read(1, 2) == 0
+        assert memory.read(0, 2) == 1
+
+    def test_other_cells_unaffected(self):
+        memory = Sram(4, ports=2)
+        memory.attach(PortStuckOpenAccess(1, 2, 0))
+        memory.write(1, 3, 1)
+        assert memory.read(1, 3) == 1
+
+    def test_invalid_open_value(self):
+        with pytest.raises(ValueError):
+            PortStuckOpenAccess(0, 0, 0, open_value=2)
+
+    def test_universe_size(self):
+        assert len(port_fault_universe(4, 2, 3)) == 24
+
+
+class TestPortLoopJustification:
+    """The reason for per-port repetition: a single-port run misses
+    port-1 access faults; the full per-port algorithm catches them."""
+
+    def test_single_port_pass_misses_port1_fault(self):
+        memory = Sram(8, ports=2)
+        memory.attach(PortStuckOpenAccess(1, 3, 0))
+        single_port = expand(library.MARCH_C, 8, ports=1)
+        assert run_on_memory(single_port, memory).passed
+
+    def test_per_port_run_catches_port1_fault(self):
+        memory = Sram(8, ports=2)
+        memory.attach(PortStuckOpenAccess(1, 3, 0))
+        all_ports = expand(library.MARCH_C, 8, ports=2)
+        result = run_on_memory(all_ports, memory)
+        assert not result.passed
+        assert all(f.port == 1 for f in result.failures)
+
+    def test_microcode_inc_port_catches_every_port_fault(self):
+        caps = ControllerCapabilities(n_words=4, ports=3)
+        controller = MicrocodeBistController(library.MARCH_C, caps)
+        for fault in port_fault_universe(4, 1, 3):
+            memory = Sram(4, ports=3)
+            memory.attach(fault)
+            result = run_on_memory(controller.operations(), memory)
+            assert not result.passed, fault.describe()
+
+    def test_wrapped_coupling_trigger_stays_global(self):
+        """Cell-internal mechanisms are not gated by the access port."""
+        from repro.faults.coupling import InversionCouplingFault
+
+        memory = Sram(4, ports=2)
+        memory.attach(
+            PortRestrictedFault(1, InversionCouplingFault(0, 0, 1, 0, True))
+        )
+        memory.write(0, 0, 1)  # aggressor toggled through the GOOD port
+        assert memory.peek(1) == 1  # victim still flips

@@ -1,0 +1,165 @@
+"""Unit tests for the hardwired (non-programmable) controllers."""
+
+import pytest
+
+from repro.area.estimator import estimate
+from repro.core.controller import ControllerCapabilities, Flexibility
+from repro.core.hardwired.controller import HardwiredBistController
+from repro.core.hardwired.synthesis import step_signals, synthesize
+from repro.march import library
+from repro.march.notation import parse_test
+from repro.march.simulator import expand
+
+CAPS = ControllerCapabilities(n_words=8)
+
+
+class TestSynthesis:
+    def test_state_count_march_c(self):
+        """idle + 10 op states + done = 12 states for March C (bit/1p)."""
+        graph = synthesize(library.MARCH_C, CAPS)
+        assert graph.state_count == 12
+
+    def test_state_count_with_pauses(self):
+        graph = synthesize(library.MARCH_C_PLUS, CAPS)
+        # idle + 14 ops + 2 pauses + done.
+        assert graph.state_count == 18
+
+    def test_loop_states_added_for_capabilities(self):
+        full = ControllerCapabilities(n_words=8, width=8, ports=2)
+        graph = synthesize(library.MARCH_C, full)
+        kinds = [s.kind for s in graph.states]
+        assert "bg_loop" in kinds and "port_loop" in kinds
+
+    def test_state_bits(self):
+        graph = synthesize(library.MARCH_C, CAPS)
+        assert graph.state_bits == 4
+
+    def test_element_first_links(self):
+        graph = synthesize(library.MARCH_C, CAPS)
+        op_states = [s for s in graph.states if s.kind == "op"]
+        for state in op_states:
+            first = graph.states[state.element_first]
+            assert first.kind == "op" and first.starts_element
+
+    def test_done_self_loops(self):
+        graph = synthesize(library.MARCH_C, CAPS)
+        done = graph.states[-1]
+        assert done.kind == "done" and done.next_index == done.index
+
+    def test_truth_table_matches_step_signals(self):
+        graph = synthesize(library.MATS_PLUS, CAPS)
+        table = graph.truth_table()
+        covers = table.synthesize()
+        bits = graph.state_bits
+        for minterm in range(1 << (bits + 3)):
+            code = minterm & ((1 << bits) - 1)
+            if code >= graph.state_count:
+                continue
+            signals = step_signals(
+                graph.states[code],
+                bool(minterm >> bits & 1),
+                bool(minterm >> (bits + 1) & 1),
+                bool(minterm >> (bits + 2) & 1),
+            )
+            for name, cover in covers.items():
+                got = any(
+                    (minterm & care) == (value & care) for value, care in cover
+                )
+                if name.startswith("ns"):
+                    bit = int(name[2:])
+                    expected = bool((int(signals["next_state"]) >> bit) & 1)
+                else:
+                    expected = bool(signals[name])
+                assert got == expected, (name, minterm)
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "test", list(library.ALGORITHMS.values()), ids=lambda t: t.name
+    )
+    def test_stream_matches_golden(self, test):
+        controller = HardwiredBistController(test, CAPS)
+        assert list(controller.operations()) == list(expand(test, 8))
+
+    def test_word_oriented_multiport(self):
+        caps = ControllerCapabilities(n_words=4, width=4, ports=2)
+        controller = HardwiredBistController(library.MARCH_A, caps)
+        assert list(controller.operations()) == list(
+            expand(library.MARCH_A, 4, width=4, ports=2)
+        )
+
+    def test_trace_exposes_states(self):
+        controller = HardwiredBistController(library.MATS, CAPS)
+        kinds = {entry.state.kind for entry in controller.trace()}
+        assert "op" in kinds
+
+    def test_flexibility_low(self):
+        controller = HardwiredBistController(library.MARCH_C, CAPS)
+        assert controller.flexibility is Flexibility.LOW
+
+    def test_loaded_test(self):
+        controller = HardwiredBistController(library.MARCH_C, CAPS)
+        assert controller.loaded_test() is library.MARCH_C
+
+    def test_no_load_method(self):
+        """Non-programmable: there is deliberately no load()."""
+        controller = HardwiredBistController(library.MARCH_C, CAPS)
+        assert not hasattr(controller, "load")
+
+
+class TestAreaGrowth:
+    """The paper's R2: hardwired area grows with algorithm capability."""
+
+    def _area(self, test):
+        return estimate(
+            HardwiredBistController(test, CAPS).hardware()
+        ).gate_equivalents
+
+    def test_c_family_growth(self):
+        assert (
+            self._area(library.MARCH_C)
+            < self._area(library.MARCH_C_PLUS)
+            < self._area(library.MARCH_C_PLUS_PLUS)
+        )
+
+    def test_a_family_growth(self):
+        assert (
+            self._area(library.MARCH_A)
+            < self._area(library.MARCH_A_PLUS)
+            < self._area(library.MARCH_A_PLUS_PLUS)
+        )
+
+    def test_a_larger_than_c(self):
+        """15N March A needs more states than 10N March C."""
+        assert self._area(library.MARCH_A) > self._area(library.MARCH_C)
+
+    def test_pause_timer_only_when_needed(self):
+        plain = HardwiredBistController(library.MARCH_C, CAPS).hardware()
+        plus = HardwiredBistController(library.MARCH_C_PLUS, CAPS).hardware()
+        plain_names = [c.name for c in plain.components]
+        plus_names = [c.name for c in plus.components]
+        assert not any("pause timer" in n for n in plain_names)
+        assert any("pause timer" in n for n in plus_names)
+
+    def test_word_oriented_grows_area(self):
+        word = ControllerCapabilities(n_words=8, width=8)
+        assert estimate(
+            HardwiredBistController(library.MARCH_C, word).hardware()
+        ).gate_equivalents > self._area(library.MARCH_C)
+
+
+class TestRobustness:
+    def test_single_word_memory(self):
+        caps = ControllerCapabilities(n_words=1)
+        controller = HardwiredBistController(library.MARCH_C, caps)
+        assert list(controller.operations()) == list(expand(library.MARCH_C, 1))
+
+    def test_custom_algorithm(self):
+        test = parse_test("~(w1); ^(r1,w0); ~(r0)", name="custom")
+        controller = HardwiredBistController(test, CAPS)
+        assert list(controller.operations()) == list(expand(test, 8))
+
+    def test_runaway_guard(self):
+        controller = HardwiredBistController(library.MARCH_C, CAPS, max_cycles=3)
+        with pytest.raises(RuntimeError):
+            list(controller.operations())

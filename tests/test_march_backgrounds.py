@@ -1,0 +1,68 @@
+"""Unit tests for data-background generation."""
+
+import pytest
+
+from repro.march.backgrounds import apply_polarity, background_count, data_backgrounds
+
+
+class TestDataBackgrounds:
+    def test_bit_oriented_single_background(self):
+        assert data_backgrounds(1) == [0]
+
+    def test_width_two(self):
+        assert data_backgrounds(2) == [0b00, 0b10]
+
+    def test_width_four(self):
+        assert data_backgrounds(4) == [0b0000, 0b1010, 0b1100]
+
+    def test_width_eight(self):
+        assert data_backgrounds(8) == [0b00000000, 0b10101010, 0b11001100, 0b11110000]
+
+    def test_count_is_log2_plus_one(self):
+        for width in (1, 2, 4, 8, 16, 32):
+            assert background_count(width) == width.bit_length()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            data_backgrounds(3)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            data_backgrounds(0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            data_backgrounds(-4)
+
+    def test_backgrounds_distinct(self):
+        patterns = data_backgrounds(16)
+        assert len(set(patterns)) == len(patterns)
+
+    def test_each_checkerboard_balanced(self):
+        """Every non-solid background has exactly half the bits set."""
+        for width in (2, 4, 8, 16):
+            for pattern in data_backgrounds(width)[1:]:
+                assert bin(pattern).count("1") == width // 2
+
+
+class TestApplyPolarity:
+    def test_polarity_zero_is_background(self):
+        assert apply_polarity(0b1100, 0, 4) == 0b1100
+
+    def test_polarity_one_is_complement(self):
+        assert apply_polarity(0b1100, 1, 4) == 0b0011
+
+    def test_complement_masked_to_width(self):
+        assert apply_polarity(0, 1, 4) == 0b1111
+
+    def test_bit_oriented(self):
+        assert apply_polarity(0, 0, 1) == 0
+        assert apply_polarity(0, 1, 1) == 1
+
+    def test_invalid_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            apply_polarity(0, 2, 4)
+
+    def test_double_complement_identity(self):
+        for pattern in data_backgrounds(8):
+            assert apply_polarity(apply_polarity(pattern, 1, 8), 1, 8) == pattern

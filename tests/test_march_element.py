@@ -1,0 +1,163 @@
+"""Unit tests for the march-test primitives."""
+
+import pytest
+
+from repro.march.element import (
+    AddressOrder,
+    MarchElement,
+    OpKind,
+    Operation,
+    Pause,
+    R0,
+    R1,
+    W0,
+    W1,
+    read,
+    write,
+)
+
+
+class TestAddressOrder:
+    def test_up_symbol(self):
+        assert AddressOrder.UP.symbol == "^"
+
+    def test_down_symbol(self):
+        assert AddressOrder.DOWN.symbol == "v"
+
+    def test_any_symbol(self):
+        assert AddressOrder.ANY.symbol == "~"
+
+    def test_up_reverses_to_down(self):
+        assert AddressOrder.UP.reversed() is AddressOrder.DOWN
+
+    def test_down_reverses_to_up(self):
+        assert AddressOrder.DOWN.reversed() is AddressOrder.UP
+
+    def test_any_reverses_to_any(self):
+        assert AddressOrder.ANY.reversed() is AddressOrder.ANY
+
+    def test_any_resolves_to_up(self):
+        assert AddressOrder.ANY.resolve() is AddressOrder.UP
+
+    def test_up_resolves_to_itself(self):
+        assert AddressOrder.UP.resolve() is AddressOrder.UP
+
+    def test_down_resolves_to_itself(self):
+        assert AddressOrder.DOWN.resolve() is AddressOrder.DOWN
+
+    def test_double_reverse_is_identity(self):
+        for order in AddressOrder:
+            assert order.reversed().reversed() is order
+
+
+class TestOperation:
+    def test_read_constructor(self):
+        op = read(0)
+        assert op.kind is OpKind.READ
+        assert op.polarity == 0
+
+    def test_write_constructor(self):
+        op = write(1)
+        assert op.kind is OpKind.WRITE
+        assert op.polarity == 1
+
+    def test_is_read(self):
+        assert R0.is_read and R1.is_read
+        assert not W0.is_read
+
+    def test_is_write(self):
+        assert W0.is_write and W1.is_write
+        assert not R1.is_write
+
+    def test_invalid_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, 2)
+
+    def test_negative_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.WRITE, -1)
+
+    def test_inverted_flips_polarity(self):
+        assert R0.inverted() == R1
+        assert W1.inverted() == W0
+
+    def test_inverted_preserves_kind(self):
+        assert R0.inverted().kind is OpKind.READ
+
+    def test_double_inversion_identity(self):
+        for op in (R0, R1, W0, W1):
+            assert op.inverted().inverted() == op
+
+    def test_str(self):
+        assert str(R0) == "r0"
+        assert str(W1) == "w1"
+
+    def test_equality_and_hash(self):
+        assert read(0) == R0
+        assert hash(read(1)) == hash(R1)
+
+
+class TestMarchElement:
+    def test_basic_construction(self):
+        element = MarchElement(AddressOrder.UP, [R0, W1])
+        assert element.op_count == 2
+        assert element.ops == (R0, W1)
+
+    def test_empty_ops_rejected(self):
+        with pytest.raises(ValueError):
+            MarchElement(AddressOrder.UP, [])
+
+    def test_reads_and_writes_partition(self):
+        element = MarchElement(AddressOrder.UP, [R0, W1, R1, W0])
+        assert element.reads == (R0, R1)
+        assert element.writes == (W1, W0)
+
+    def test_inverted_reverses_order(self):
+        element = MarchElement(AddressOrder.UP, [R0, W1])
+        assert element.inverted().order is AddressOrder.DOWN
+
+    def test_inverted_complements_ops(self):
+        element = MarchElement(AddressOrder.UP, [R0, W1])
+        assert element.inverted().ops == (R1, W0)
+
+    def test_inverted_involution(self):
+        element = MarchElement(AddressOrder.DOWN, [R1, W0, W1])
+        assert element.inverted().inverted() == element
+
+    def test_with_order(self):
+        element = MarchElement(AddressOrder.UP, [R0])
+        down = element.with_order(AddressOrder.DOWN)
+        assert down.order is AddressOrder.DOWN
+        assert down.ops == element.ops
+
+    def test_str(self):
+        element = MarchElement(AddressOrder.DOWN, [R1, W0])
+        assert str(element) == "v(r1,w0)"
+
+    def test_frozen(self):
+        element = MarchElement(AddressOrder.UP, [R0])
+        with pytest.raises(Exception):
+            element.order = AddressOrder.DOWN
+
+    def test_accepts_generator(self):
+        element = MarchElement(AddressOrder.UP, (op for op in (R0, W1)))
+        assert element.op_count == 2
+
+
+class TestPause:
+    def test_default_duration(self):
+        assert Pause().duration == 100
+
+    def test_custom_duration(self):
+        assert Pause(512).duration == 512
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Pause(0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Pause(-5)
+
+    def test_str(self):
+        assert str(Pause(256)) == "Del(256)"

@@ -1,0 +1,123 @@
+"""Structural checks on the algorithm library (complexities from the
+literature; '+'/'++' construction rules from the paper's Section 3)."""
+
+import pytest
+
+from repro.march import library
+from repro.march.element import OpKind, Pause
+
+
+class TestComplexities:
+    """Operation counts match the published complexities."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("MATS", "4N"),
+            ("MATS+", "5N"),
+            ("MATS++", "6N"),
+            ("March X", "6N"),
+            ("March Y", "8N"),
+            ("March C", "10N"),
+            ("March C (original)", "11N"),
+            ("March A", "15N"),
+            ("March B", "17N"),
+        ],
+    )
+    def test_complexity(self, name, expected):
+        assert library.get(name).complexity == expected
+
+    def test_march_c_plus_adds_four_ops(self):
+        assert (
+            library.MARCH_C_PLUS.operation_count
+            == library.MARCH_C.operation_count + 4
+        )
+
+    def test_march_a_plus_adds_four_ops(self):
+        assert (
+            library.MARCH_A_PLUS.operation_count
+            == library.MARCH_A.operation_count + 4
+        )
+
+
+class TestPlusVariants:
+    def test_march_c_plus_has_two_pauses(self):
+        assert len(library.MARCH_C_PLUS.pauses) == 2
+
+    def test_march_a_plus_has_two_pauses(self):
+        assert len(library.MARCH_A_PLUS.pauses) == 2
+
+    def test_pause_duration_is_power_of_two(self):
+        duration = library.RETENTION_PAUSE
+        assert duration > 0 and duration & (duration - 1) == 0
+
+    def test_pause_exceeds_default_decay(self):
+        from repro.faults.retention import DEFAULT_DECAY_TIME
+
+        assert library.RETENTION_PAUSE > DEFAULT_DECAY_TIME
+
+    def test_base_algorithm_prefix_preserved(self):
+        assert library.MARCH_C_PLUS.items[: len(library.MARCH_C.items)] == (
+            library.MARCH_C.items
+        )
+
+
+class TestPlusPlusVariants:
+    def test_all_reads_tripled_in_march_c_plus_plus(self):
+        """Every maximal read run in C++ has length divisible by 3."""
+        for element in library.MARCH_C_PLUS_PLUS.elements:
+            run = 0
+            for op in element.ops:
+                if op.kind is OpKind.READ:
+                    run += 1
+                else:
+                    assert run % 3 == 0
+                    run = 0
+            assert run % 3 == 0
+
+    def test_write_count_unchanged(self):
+        writes = lambda t: sum(
+            1 for op in t.operations() if op.kind is OpKind.WRITE
+        )
+        assert writes(library.MARCH_C_PLUS_PLUS) == writes(library.MARCH_C_PLUS)
+
+    def test_read_count_tripled(self):
+        reads = lambda t: sum(1 for op in t.operations() if op.kind is OpKind.READ)
+        assert reads(library.MARCH_C_PLUS_PLUS) == 3 * reads(library.MARCH_C_PLUS)
+
+    def test_pauses_preserved(self):
+        assert len(library.MARCH_C_PLUS_PLUS.pauses) == 2
+        assert len(library.MARCH_A_PLUS_PLUS.pauses) == 2
+
+
+class TestRegistry:
+    def test_get_known(self):
+        assert library.get("March C") is library.MARCH_C
+
+    def test_get_unknown_lists_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            library.get("March Z")
+        assert "March C" in str(excinfo.value)
+
+    def test_paper_baselines_order(self):
+        names = [t.name for t in library.PAPER_BASELINES]
+        assert names == [
+            "March C",
+            "March C+",
+            "March C++",
+            "March A",
+            "March A+",
+            "March A++",
+        ]
+
+    def test_march_c_minus_alias(self):
+        assert library.MARCH_C_MINUS.items == library.MARCH_C.items
+
+    def test_all_names_unique(self):
+        assert len(library.ALGORITHMS) == 17
+
+    def test_every_algorithm_starts_with_write(self):
+        """All library tests initialise the array before reading."""
+        for test in library.ALGORITHMS.values():
+            first = test.elements[0]
+            assert all(op.kind is OpKind.WRITE for op in first.ops), test.name

@@ -1,0 +1,97 @@
+"""Unit tests for the march-test notation parser/printer."""
+
+import pytest
+
+from repro.march import library
+from repro.march.element import AddressOrder, Pause
+from repro.march.notation import NotationError, format_test, parse_test
+
+
+class TestParse:
+    def test_single_element(self):
+        test = parse_test("^(r0,w1)")
+        assert test.element_count == 1
+        assert test.elements[0].order is AddressOrder.UP
+
+    def test_down_element(self):
+        test = parse_test("v(r1,w0)")
+        assert test.elements[0].order is AddressOrder.DOWN
+
+    def test_any_element(self):
+        test = parse_test("~(w0)")
+        assert test.elements[0].order is AddressOrder.ANY
+
+    def test_unicode_arrows_accepted(self):
+        test = parse_test("⇑(r0,w1); ⇓(r1,w0); ⇕(r0)")
+        orders = [e.order for e in test.elements]
+        assert orders == [AddressOrder.UP, AddressOrder.DOWN, AddressOrder.ANY]
+
+    def test_multi_element(self):
+        test = parse_test("~(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); ~(r0)")
+        assert test.operation_count == 10
+
+    def test_pause_default(self):
+        test = parse_test("~(w0); Del; ~(r0)")
+        assert test.pauses[0].duration == Pause().duration
+
+    def test_pause_with_duration(self):
+        test = parse_test("~(w0); Del(2048); ~(r0)")
+        assert test.pauses[0].duration == 2048
+
+    def test_whitespace_insensitive(self):
+        a = parse_test("^( r0 , w1 )")
+        b = parse_test("^(r0,w1)")
+        assert a.items == b.items
+
+    def test_name_parameter(self):
+        assert parse_test("~(w0)", name="mine").name == "mine"
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(NotationError):
+            parse_test("")
+
+    def test_bad_operation_rejected(self):
+        with pytest.raises(NotationError):
+            parse_test("^(x0)")
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(NotationError):
+            parse_test("^(r2)")
+
+    def test_missing_parens_rejected(self):
+        with pytest.raises(NotationError):
+            parse_test("^r0,w1")
+
+    def test_empty_element_rejected(self):
+        with pytest.raises(NotationError):
+            parse_test("^()")
+
+    def test_unknown_order_symbol_rejected(self):
+        with pytest.raises(NotationError):
+            parse_test(">(r0)")
+
+    def test_trailing_semicolons_tolerated(self):
+        test = parse_test("~(w0); ~(r0);")
+        assert test.element_count == 2
+
+
+class TestFormat:
+    def test_march_c_format(self):
+        text = format_test(library.MARCH_C)
+        assert text == "~(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); ~(r0)"
+
+    def test_pause_formatting(self):
+        text = format_test(library.MARCH_C_PLUS)
+        assert "Del(1024)" in text
+
+    def test_round_trip_all_library_algorithms(self):
+        for test in library.ALGORITHMS.values():
+            text = format_test(test)
+            reparsed = parse_test(text, name=test.name)
+            assert reparsed.items == test.items, test.name
+
+    def test_round_trip_preserves_operation_count(self):
+        for test in library.ALGORITHMS.values():
+            assert parse_test(format_test(test)).operation_count == (
+                test.operation_count
+            )

@@ -1,0 +1,133 @@
+"""Unit tests for symmetry analysis (the REPEAT-compression basis)."""
+
+import pytest
+
+from repro.march import library
+from repro.march.element import AddressOrder, MarchElement, R0, R1, W0, W1
+from repro.march.notation import parse_test
+from repro.march.properties import (
+    AuxComplement,
+    is_symmetric,
+    stored_element_count,
+    symmetric_split,
+)
+
+
+class TestAuxComplement:
+    def test_order_only(self):
+        aux = AuxComplement(True, False, False)
+        element = MarchElement(AddressOrder.UP, [R0, W1])
+        applied = aux.apply(element)
+        assert applied.order is AddressOrder.DOWN
+        assert applied.ops == (R0, W1)
+
+    def test_data_only_flips_writes(self):
+        aux = AuxComplement(False, True, False)
+        element = MarchElement(AddressOrder.UP, [R0, W1])
+        assert aux.apply(element).ops == (R0, W0)
+
+    def test_compare_only_flips_reads(self):
+        aux = AuxComplement(False, False, True)
+        element = MarchElement(AddressOrder.UP, [R0, W1])
+        assert aux.apply(element).ops == (R1, W1)
+
+    def test_full_complement_equals_inverted(self):
+        aux = AuxComplement(True, True, True)
+        element = MarchElement(AddressOrder.UP, [R0, W1, W0])
+        assert aux.apply(element) == element.inverted()
+
+    def test_any_order_resolves_before_reversal(self):
+        """'Either' elements re-execute concretely downward (hardware XOR)."""
+        aux = AuxComplement(True, False, False)
+        element = MarchElement(AddressOrder.ANY, [R0])
+        assert aux.apply(element).order is AddressOrder.DOWN
+
+    def test_any_flag(self):
+        assert not AuxComplement(False, False, False).any
+        assert AuxComplement(True, False, False).any
+
+    def test_str(self):
+        assert str(AuxComplement(True, True, True)) == "order+data+compare"
+        assert str(AuxComplement(False, False, False)) == "none"
+
+
+class TestSymmetricSplit:
+    def test_march_c_is_order_symmetric(self):
+        split = symmetric_split(library.MARCH_C)
+        assert split is not None
+        assert split.aux == AuxComplement(True, False, False)
+        assert len(split.prefix) == 1
+        assert len(split.body) == 2
+        assert len(split.suffix) == 1
+
+    def test_march_a_is_fully_symmetric(self):
+        split = symmetric_split(library.MARCH_A)
+        assert split is not None
+        assert split.aux == AuxComplement(True, True, True)
+        assert len(split.body) == 2
+        assert len(split.suffix) == 0
+
+    def test_march_c_plus_compresses_base_keeps_retention_suffix(self):
+        split = symmetric_split(library.MARCH_C_PLUS)
+        assert split is not None
+        assert len(split.body) == 2
+        # Suffix carries the final read element plus the retention tail.
+        assert len(split.suffix) == 5
+
+    def test_march_c_plus_plus_still_symmetric(self):
+        assert is_symmetric(library.MARCH_C_PLUS_PLUS)
+
+    def test_mats_plus_symmetric(self):
+        """MATS+ down sweep is the full complement of the up sweep."""
+        split = symmetric_split(library.MATS_PLUS)
+        assert split is not None
+        assert split.aux == AuxComplement(True, True, True)
+
+    def test_asymmetric_test_returns_none(self):
+        test = parse_test("~(w0); ^(r0,w1); v(r1,w0,w1)")
+        assert symmetric_split(test) is None
+
+    def test_saved_rows(self):
+        split = symmetric_split(library.MARCH_A)
+        assert split.saved_rows == 2
+
+    def test_stored_element_count_march_c(self):
+        # 6 elements, 2 saved.
+        assert stored_element_count(library.MARCH_C) == 4
+
+    def test_stored_element_count_asymmetric(self):
+        test = parse_test("~(w0); ^(r0,w1); v(r1,w0,w1)")
+        assert stored_element_count(test) == 3
+
+    def test_single_op_prefix_constraint_accepts_march_c(self):
+        split = symmetric_split(library.MARCH_C, require_single_op_prefix=True)
+        assert split is not None
+        assert len(split.prefix) == 1
+        assert split.prefix[0].op_count == 1
+
+    def test_single_op_prefix_constraint_rejects_wide_prefix(self):
+        # Symmetric around a two-op prefix element: ^(w0,w0) then mirror.
+        test = parse_test("^(w0,w0); ^(r0,w1); v(r0,w1)")
+        unconstrained = symmetric_split(test)
+        assert unconstrained is not None
+        constrained = symmetric_split(test, require_single_op_prefix=True)
+        assert constrained is None
+
+    def test_reconstruction_equals_original(self):
+        """prefix + body + aux(body) + suffix reproduces the elements."""
+        for test in (library.MARCH_C, library.MARCH_A, library.MATS_PLUS):
+            split = symmetric_split(test)
+            rebuilt = (
+                list(split.prefix)
+                + list(split.body)
+                + [split.aux.apply(e) for e in split.body]
+            )
+            originals = list(test.elements)[: len(rebuilt)]
+            for got, want in zip(rebuilt, originals):
+                assert got.ops == want.ops
+                assert got.order.resolve() is want.order.resolve()
+
+    def test_mirror_in_pause_region_not_compressed(self):
+        """Pauses inside the would-be mirror region block compression."""
+        test = parse_test("~(w0); ^(r0,w1); Del(512); v(r1,w0)")
+        assert symmetric_split(test) is None

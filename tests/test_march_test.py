@@ -1,0 +1,98 @@
+"""Unit tests for the MarchTest container."""
+
+import pytest
+
+from repro.march.element import (
+    AddressOrder,
+    MarchElement,
+    Pause,
+    R0,
+    R1,
+    W0,
+    W1,
+)
+from repro.march.test import MarchTest
+
+UP = AddressOrder.UP
+DOWN = AddressOrder.DOWN
+ANY = AddressOrder.ANY
+
+
+def make_test():
+    return MarchTest(
+        "demo",
+        [
+            MarchElement(ANY, [W0]),
+            MarchElement(UP, [R0, W1]),
+            Pause(512),
+            MarchElement(DOWN, [R1]),
+        ],
+    )
+
+
+class TestMarchTest:
+    def test_name(self):
+        assert make_test().name == "demo"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MarchTest("empty", [])
+
+    def test_non_march_item_rejected(self):
+        with pytest.raises(TypeError):
+            MarchTest("bad", ["not an element"])
+
+    def test_elements_excludes_pauses(self):
+        test = make_test()
+        assert len(test.elements) == 3
+        assert all(isinstance(e, MarchElement) for e in test.elements)
+
+    def test_pauses(self):
+        test = make_test()
+        assert len(test.pauses) == 1
+        assert test.pauses[0].duration == 512
+
+    def test_element_count(self):
+        assert make_test().element_count == 3
+
+    def test_operation_count(self):
+        assert make_test().operation_count == 4
+
+    def test_complexity_string(self):
+        assert make_test().complexity == "4N"
+
+    def test_has_pauses(self):
+        assert make_test().has_pauses
+        plain = MarchTest("p", [MarchElement(UP, [R0])])
+        assert not plain.has_pauses
+
+    def test_operations_flattened(self):
+        assert make_test().operations() == [W0, R0, W1, R1]
+
+    def test_renamed(self):
+        renamed = make_test().renamed("other")
+        assert renamed.name == "other"
+        assert renamed.items == make_test().items
+
+    def test_concatenated(self):
+        a = MarchTest("a", [MarchElement(UP, [W0])])
+        b = MarchTest("b", [MarchElement(UP, [R0])])
+        joined = a.concatenated(b)
+        assert joined.element_count == 2
+        assert joined.name == "a+b"
+
+    def test_concatenated_custom_name(self):
+        a = MarchTest("a", [MarchElement(UP, [W0])])
+        joined = a.concatenated(a, name="double")
+        assert joined.name == "double"
+
+    def test_len_counts_items(self):
+        assert len(make_test()) == 4
+
+    def test_str_joins_items(self):
+        text = str(make_test())
+        assert "~(w0)" in text
+        assert "Del(512)" in text
+
+    def test_items_are_tuple(self):
+        assert isinstance(make_test().items, tuple)

@@ -1,0 +1,110 @@
+"""Unit and property tests for the march-test consistency checker."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.march import library
+from repro.march.notation import parse_test
+from repro.march.simulator import expand, run_on_memory
+from repro.march.validate import (
+    Inconsistency,
+    assert_consistent,
+    check_consistency,
+    is_consistent,
+)
+from repro.memory import Sram
+
+
+class TestChecker:
+    @pytest.mark.parametrize(
+        "test", list(library.ALGORITHMS.values()), ids=lambda t: t.name
+    )
+    def test_all_library_algorithms_consistent(self, test):
+        assert is_consistent(test), [
+            str(p) for p in check_consistency(test)
+        ]
+
+    def test_wrong_polarity_read_flagged(self):
+        test = parse_test("~(w0); ^(r1)")
+        problems = check_consistency(test)
+        assert len(problems) == 1
+        assert problems[0].item_index == 1
+        assert "polarity 0" in problems[0].message
+
+    def test_read_before_init_flagged(self):
+        test = parse_test("^(r0,w1)")
+        problems = check_consistency(test)
+        assert problems and "unknown" in problems[0].message
+
+    def test_mid_element_read_after_write_ok(self):
+        assert is_consistent(parse_test("~(w0); ^(r0,w1,r1)"))
+
+    def test_mid_element_read_after_write_wrong(self):
+        test = parse_test("~(w0); ^(r0,w1,r0)")
+        problems = check_consistency(test)
+        assert len(problems) == 1
+        assert problems[0].op_index == 2
+
+    def test_pause_preserves_state(self):
+        assert is_consistent(parse_test("~(w1); Del(512); ~(r1)"))
+
+    def test_multiple_problems_all_reported(self):
+        test = parse_test("^(r0); ~(w1); ^(r0); ^(r0)")
+        assert len(check_consistency(test)) == 3
+
+    def test_assert_consistent_raises_with_details(self):
+        with pytest.raises(ValueError) as excinfo:
+            assert_consistent(parse_test("~(w0); ^(r1)", name="bad"))
+        assert "bad" in str(excinfo.value)
+        assert "item 1" in str(excinfo.value)
+
+    def test_assert_consistent_silent_for_good(self):
+        assert_consistent(library.MARCH_C)
+
+    def test_inconsistency_str(self):
+        problem = Inconsistency(2, 1, "boom")
+        assert str(problem) == "item 2, op 1: boom"
+
+
+# The static checker must agree with fault-free simulation everywhere.
+
+from repro.march.element import AddressOrder, MarchElement, OpKind, Operation, Pause
+from repro.march.test import MarchTest
+
+_ops = st.builds(
+    Operation,
+    st.sampled_from([OpKind.READ, OpKind.WRITE]),
+    st.integers(0, 1),
+)
+_elements = st.builds(
+    MarchElement,
+    st.sampled_from(list(AddressOrder)),
+    st.lists(_ops, min_size=1, max_size=4),
+)
+_tests = st.builds(
+    MarchTest,
+    st.just("generated"),
+    st.lists(st.one_of(_elements, st.builds(Pause, st.just(64))),
+             min_size=1, max_size=6),
+)
+
+
+@settings(deadline=None, max_examples=150)
+@given(_tests)
+def test_checker_agrees_with_simulation(test):
+    """With the model's zero power-on assumption, static consistency is
+    exactly 'passes on a fault-free memory'."""
+    memory = Sram(4)
+    result = run_on_memory(expand(test, 4), memory)
+    assert is_consistent(test, power_on=0) == result.passed
+
+
+@settings(deadline=None, max_examples=150)
+@given(_tests)
+def test_strict_checker_is_sound(test):
+    """The unknown-power-on checker is conservative: anything it passes
+    also passes in simulation (never the other way around)."""
+    if is_consistent(test):
+        memory = Sram(4)
+        assert run_on_memory(expand(test, 4), memory).passed

@@ -1,0 +1,87 @@
+"""Unit tests for the address decoder model."""
+
+import pytest
+
+from repro.memory.decoder import AddressDecoder
+from repro.memory.retention import RetentionClock
+
+
+class TestAddressDecoder:
+    def test_identity_by_default(self):
+        decoder = AddressDecoder(8)
+        assert decoder.targets(5) == (5,)
+        assert not decoder.is_faulty
+
+    def test_remap_single(self):
+        decoder = AddressDecoder(8)
+        decoder.remap(2, (6,))
+        assert decoder.targets(2) == (6,)
+        assert decoder.is_faulty
+
+    def test_remap_empty(self):
+        decoder = AddressDecoder(8)
+        decoder.remap(2, ())
+        assert decoder.targets(2) == ()
+
+    def test_remap_multiple(self):
+        decoder = AddressDecoder(8)
+        decoder.remap(2, (2, 5))
+        assert decoder.targets(2) == (2, 5)
+
+    def test_restore(self):
+        decoder = AddressDecoder(8)
+        decoder.remap(2, (6,))
+        decoder.restore(2)
+        assert decoder.targets(2) == (2,)
+
+    def test_reset(self):
+        decoder = AddressDecoder(8)
+        decoder.remap(1, ())
+        decoder.remap(2, (0,))
+        decoder.reset()
+        assert not decoder.is_faulty
+
+    def test_out_of_range_address_rejected(self):
+        decoder = AddressDecoder(8)
+        with pytest.raises(IndexError):
+            decoder.targets(8)
+        with pytest.raises(IndexError):
+            decoder.remap(9, ())
+
+    def test_out_of_range_target_rejected(self):
+        decoder = AddressDecoder(8)
+        with pytest.raises(IndexError):
+            decoder.remap(0, (8,))
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(ValueError):
+            AddressDecoder(0)
+
+    def test_unreachable_cells_identity(self):
+        assert AddressDecoder(4).unreachable_cells() == []
+
+    def test_unreachable_cells_after_remap(self):
+        decoder = AddressDecoder(4)
+        decoder.remap(2, (0,))  # cell 2 orphaned
+        assert decoder.unreachable_cells() == [2]
+
+
+class TestRetentionClock:
+    def test_starts_at_zero(self):
+        assert RetentionClock().now == 0
+
+    def test_advance(self):
+        clock = RetentionClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionClock().advance(-1)
+
+    def test_reset(self):
+        clock = RetentionClock()
+        clock.advance(100)
+        clock.reset()
+        assert clock.now == 0

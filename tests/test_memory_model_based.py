@@ -1,0 +1,91 @@
+"""Model-based testing of the SRAM: random access sequences against a
+plain dictionary reference model.
+
+A fault-free :class:`repro.memory.sram.Sram` must behave exactly like a
+dict of words, for any interleaving of reads, writes and pauses across
+ports — and after detaching faults it must return to that behaviour.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.faults import StuckAtFault
+from repro.memory import Sram
+
+N_WORDS = 8
+WIDTH = 4
+PORTS = 2
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "elapse"]),
+        st.integers(0, PORTS - 1),
+        st.integers(0, N_WORDS - 1),
+        st.integers(0, (1 << WIDTH) - 1),
+    ),
+    max_size=60,
+)
+
+
+@settings(deadline=None, max_examples=150)
+@given(operations)
+def test_fault_free_sram_matches_dict_model(sequence):
+    memory = Sram(N_WORDS, width=WIDTH, ports=PORTS)
+    model = {address: 0 for address in range(N_WORDS)}
+    for kind, port, address, value in sequence:
+        if kind == "write":
+            memory.write(port, address, value)
+            model[address] = value
+        elif kind == "read":
+            assert memory.read(port, address) == model[address]
+        else:
+            memory.elapse(value + 1)
+    assert list(memory.snapshot()) == [model[a] for a in range(N_WORDS)]
+
+
+@settings(deadline=None, max_examples=80)
+@given(operations)
+def test_detach_all_restores_dict_behaviour(sequence):
+    memory = Sram(N_WORDS, width=WIDTH, ports=PORTS)
+    memory.attach(StuckAtFault(3, 1, 1))
+    # Arbitrary faulty activity...
+    for kind, port, address, value in sequence[:20]:
+        if kind == "write":
+            memory.write(port, address, value)
+        elif kind == "read":
+            memory.read(port, address)
+    # ...then the part is 'repaired' and must behave like the model.
+    memory.detach_all()
+    memory.reset_state()
+    model = {address: 0 for address in range(N_WORDS)}
+    for kind, port, address, value in sequence:
+        if kind == "write":
+            memory.write(port, address, value)
+            model[address] = value
+        elif kind == "read":
+            assert memory.read(port, address) == model[address]
+
+
+@settings(deadline=None, max_examples=80)
+@given(operations, st.integers(0, N_WORDS - 1), st.integers(0, WIDTH - 1),
+       st.integers(0, 1))
+def test_stuck_bit_is_the_only_deviation(sequence, word, bit, value):
+    """With one SAF attached, behaviour equals the dict model with that
+    single bit forced — everywhere, always."""
+    memory = Sram(N_WORDS, width=WIDTH, ports=PORTS)
+    memory.attach(StuckAtFault(word, bit, value))
+
+    def force(model_value, address):
+        if address != word:
+            return model_value
+        if value:
+            return model_value | (1 << bit)
+        return model_value & ~(1 << bit)
+
+    model = {address: force(0, address) for address in range(N_WORDS)}
+    for kind, port, address, data in sequence:
+        if kind == "write":
+            memory.write(port, address, data)
+            model[address] = force(data, address)
+        elif kind == "read":
+            assert memory.read(port, address) == model[address]

@@ -1,0 +1,122 @@
+"""Unit tests for the march → microcode assembler and disassembler."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode.assembler import AssemblyError, assemble
+from repro.core.microcode.disassembler import disassemble
+from repro.core.microcode.isa import ConditionOp
+from repro.march import library
+from repro.march.notation import parse_test
+
+BIT_CAPS = ControllerCapabilities(n_words=64)
+FULL_CAPS = ControllerCapabilities(n_words=64, width=8, ports=2)
+
+
+class TestProgramShapes:
+    def test_march_c_is_nine_rows_full_config(self):
+        """The paper's Fig. 2 March C program has exactly 9 instructions
+        in the word-oriented multiport configuration."""
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        assert len(program) == 9
+        assert program.compressed
+
+    def test_march_c_row_roles(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        conds = [i.cond for i in program.instructions]
+        assert conds == [
+            ConditionOp.LOOP,       # w0 element
+            ConditionOp.NOP,        # r0
+            ConditionOp.LOOP,       # w1 + loop
+            ConditionOp.NOP,        # r1
+            ConditionOp.LOOP,       # w0 + loop
+            ConditionOp.REPEAT,     # symmetric repeat
+            ConditionOp.LOOP,       # final r0 element
+            ConditionOp.NEXT_BG,    # background loop
+            ConditionOp.INC_PORT,   # port loop / terminate
+        ]
+
+    def test_march_c_repeat_carries_order_complement_only(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        repeat = program.instructions[5]
+        assert repeat.addr_down and not repeat.data_inv and not repeat.compare
+
+    def test_march_a_repeat_carries_full_complement(self):
+        program = assemble(library.MARCH_A, FULL_CAPS)
+        repeat = next(
+            i for i in program.instructions if i.cond is ConditionOp.REPEAT
+        )
+        assert repeat.addr_down and repeat.data_inv and repeat.compare
+
+    def test_bit_oriented_single_port_ends_with_terminate(self):
+        program = assemble(library.MARCH_C, BIT_CAPS)
+        assert program.instructions[-1].cond is ConditionOp.TERMINATE
+        assert not any(
+            i.cond in (ConditionOp.NEXT_BG, ConditionOp.INC_PORT)
+            for i in program.instructions
+        )
+
+    def test_word_oriented_single_port_has_next_bg_then_terminate(self):
+        caps = ControllerCapabilities(n_words=64, width=8)
+        program = assemble(library.MARCH_C, caps)
+        assert program.instructions[-2].cond is ConditionOp.NEXT_BG
+        assert program.instructions[-1].cond is ConditionOp.TERMINATE
+
+    def test_multiport_ends_with_inc_port(self):
+        caps = ControllerCapabilities(n_words=64, ports=2)
+        program = assemble(library.MARCH_C, caps)
+        assert program.instructions[-1].cond is ConditionOp.INC_PORT
+
+    def test_pause_becomes_hold_row(self):
+        program = assemble(library.MARCH_C_PLUS, BIT_CAPS)
+        holds = [i for i in program.instructions if i.cond is ConditionOp.HOLD]
+        assert len(holds) == 2
+        assert all(h.hold_duration == 1024 for h in holds)
+
+    def test_compression_saves_rows(self):
+        compressed = assemble(library.MARCH_A, BIT_CAPS, compress=True)
+        flat = assemble(library.MARCH_A, BIT_CAPS, compress=False)
+        assert len(compressed) < len(flat)
+        # March A: body of 7 ops stored once, repeat row added.
+        assert len(flat) - len(compressed) == 7 - 1
+
+    def test_uncompressed_row_count_is_op_count_plus_tail(self):
+        program = assemble(library.MARCH_C, BIT_CAPS, compress=False)
+        assert len(program) == library.MARCH_C.operation_count + 1
+
+    def test_non_power_of_two_pause_rejected(self):
+        test = parse_test("~(w0); Del(1000); ~(r0)")
+        with pytest.raises(AssemblyError):
+            assemble(test, BIT_CAPS)
+
+    def test_element_final_ops_carry_addr_inc(self):
+        program = assemble(library.MARCH_C, BIT_CAPS)
+        for instr in program.instructions:
+            if instr.cond is ConditionOp.LOOP:
+                assert instr.addr_inc
+            if instr.cond is ConditionOp.NOP:
+                assert not instr.addr_inc
+
+    def test_down_elements_carry_down_bit(self):
+        program = assemble(parse_test("~(w0); v(r0,w1)"), BIT_CAPS, compress=False)
+        down_rows = [i for i in program.instructions if i.addr_down]
+        assert len(down_rows) == 2  # both ops of the down element
+
+
+class TestDisassembler:
+    def test_listing_contains_all_rows(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        listing = disassemble(program)
+        assert listing.count("\n") >= len(program)
+
+    def test_listing_shows_compression(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        assert "REPEAT-compressed" in disassemble(program)
+
+    def test_listing_shows_operations(self):
+        listing = disassemble(assemble(library.MARCH_C, FULL_CAPS))
+        assert "w0" in listing and "r1" in listing and "repeat(~order)" in listing
+
+    def test_hold_rendered_with_duration(self):
+        listing = disassemble(assemble(library.MARCH_C_PLUS, BIT_CAPS))
+        assert "hold 1024" in listing

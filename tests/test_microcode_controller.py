@@ -1,0 +1,227 @@
+"""Unit tests for the cycle-accurate microcode BIST controller."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities, Flexibility
+from repro.core.microcode.assembler import assemble
+from repro.core.microcode.controller import (
+    DECODER_OUTPUTS,
+    MicrocodeBistController,
+    decoder_outputs,
+    decoder_truth_table,
+)
+from repro.core.microcode.isa import ConditionOp
+from repro.march import library
+from repro.march.notation import parse_test
+from repro.march.simulator import expand
+
+CAPS = ControllerCapabilities(n_words=8)
+
+
+class TestDecoderOutputs:
+    def test_nop_increments(self):
+        out = decoder_outputs(ConditionOp.NOP, False, False, False, False)
+        assert out["ic_inc"] and not out["test_end"]
+
+    def test_loop_not_last_branches(self):
+        out = decoder_outputs(ConditionOp.LOOP, False, False, False, False)
+        assert out["ic_load_branch"]
+        assert not out["ic_inc"]
+
+    def test_loop_last_saves_and_advances(self):
+        out = decoder_outputs(ConditionOp.LOOP, True, False, False, False)
+        assert out["branch_save"] and out["ic_inc"] and out["addr_restart"]
+
+    def test_repeat_first_execution(self):
+        out = decoder_outputs(ConditionOp.REPEAT, False, False, False, False)
+        assert out["ref_load"] and out["ic_reset1"]
+
+    def test_repeat_second_execution(self):
+        out = decoder_outputs(ConditionOp.REPEAT, False, False, False, True)
+        assert out["ref_clear"] and out["ic_inc"] and out["branch_save"]
+
+    def test_next_bg_not_last(self):
+        out = decoder_outputs(ConditionOp.NEXT_BG, False, False, False, False)
+        assert out["data_step"] and out["ic_reset0"]
+
+    def test_next_bg_last(self):
+        out = decoder_outputs(ConditionOp.NEXT_BG, False, True, False, False)
+        assert out["data_reset"] and out["ic_inc"]
+
+    def test_inc_port_not_last(self):
+        out = decoder_outputs(ConditionOp.INC_PORT, False, False, False, False)
+        assert out["port_step"] and out["ic_reset0"] and out["data_reset"]
+
+    def test_inc_port_last_terminates(self):
+        out = decoder_outputs(ConditionOp.INC_PORT, False, False, True, False)
+        assert out["test_end"]
+
+    def test_terminate(self):
+        out = decoder_outputs(ConditionOp.TERMINATE, False, False, False, False)
+        assert out["test_end"]
+
+    def test_save(self):
+        out = decoder_outputs(ConditionOp.SAVE, False, False, False, False)
+        assert out["branch_save"] and out["ic_inc"]
+
+    def test_hold_waits(self):
+        out = decoder_outputs(
+            ConditionOp.HOLD, False, False, False, False, hold_done=False
+        )
+        assert not out["ic_inc"]
+
+    def test_exactly_one_sequencing_strobe(self):
+        """Per cycle at most one of the IC control strobes fires."""
+        for cond in ConditionOp:
+            for flags in range(32):
+                out = decoder_outputs(
+                    cond,
+                    bool(flags & 1),
+                    bool(flags & 2),
+                    bool(flags & 4),
+                    bool(flags & 8),
+                    bool(flags & 16),
+                )
+                sequencing = sum(
+                    out[name]
+                    for name in ("ic_inc", "ic_reset0", "ic_reset1",
+                                 "ic_load_branch")
+                )
+                assert sequencing <= 1
+
+
+class TestDecoderTruthTable:
+    def test_covers_all_outputs(self):
+        table = decoder_truth_table()
+        assert set(table.outputs) == set(DECODER_OUTPUTS)
+
+    def test_synthesis_matches_function(self):
+        """The minimised SOP agrees with decoder_outputs everywhere."""
+        table = decoder_truth_table()
+        covers = table.synthesize()
+        for minterm in range(256):
+            cond = ConditionOp(minterm & 0b111)
+            expected = decoder_outputs(
+                cond,
+                bool(minterm >> 3 & 1),
+                bool(minterm >> 4 & 1),
+                bool(minterm >> 5 & 1),
+                bool(minterm >> 6 & 1),
+                bool(minterm >> 7 & 1),
+            )
+            for name, cover in covers.items():
+                got = any(
+                    (minterm & care) == (value & care) for value, care in cover
+                )
+                assert got == expected[name], (name, minterm)
+
+    def test_positive_cost(self):
+        assert decoder_truth_table().gate_equivalents() > 0
+
+
+class TestControllerExecution:
+    @pytest.mark.parametrize(
+        "test",
+        list(library.ALGORITHMS.values()),
+        ids=lambda t: t.name,
+    )
+    def test_stream_matches_golden(self, test):
+        controller = MicrocodeBistController(test, CAPS)
+        assert list(controller.operations()) == list(expand(test, 8))
+
+    def test_uncompressed_stream_matches_golden(self):
+        controller = MicrocodeBistController(
+            library.MARCH_C, CAPS, compress=False
+        )
+        assert list(controller.operations()) == list(expand(library.MARCH_C, 8))
+
+    def test_word_oriented_multiport_stream(self):
+        caps = ControllerCapabilities(n_words=4, width=4, ports=2)
+        controller = MicrocodeBistController(library.MARCH_A, caps)
+        assert list(controller.operations()) == list(
+            expand(library.MARCH_A, 4, width=4, ports=2)
+        )
+
+    def test_trace_exposes_repeat_bit(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        repeat_states = {entry.repeat_bit for entry in controller.trace()}
+        assert repeat_states == {True, False}
+
+    def test_trace_cycle_monotone(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        cycles = [entry.cycle for entry in controller.trace()]
+        assert cycles == sorted(cycles)
+
+    def test_runaway_program_raises(self):
+        program = assemble(parse_test("~(w0)"), CAPS)
+        # Corrupt: replace TERMINATE with an unconditional self-branch by
+        # building a program whose only row loops forever.
+        from repro.core.microcode.assembler import MicrocodeProgram
+        from repro.core.microcode.instruction import MicroInstruction
+
+        bad = MicrocodeProgram(
+            name="runaway",
+            instructions=[
+                MicroInstruction(cond=ConditionOp.SAVE),
+                MicroInstruction(cond=ConditionOp.LOOP, read_en=True),
+            ],
+            source=parse_test("~(r0)"),
+        )
+        controller = MicrocodeBistController(bad, CAPS, max_cycles=200)
+        with pytest.raises(RuntimeError):
+            list(controller.operations())
+
+    def test_load_swaps_algorithm_without_hardware_change(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        storage_before = controller.storage
+        controller.load(library.MARCH_Y)
+        assert controller.storage is storage_before
+        assert list(controller.operations()) == list(expand(library.MARCH_Y, 8))
+
+    def test_reload_longer_program_into_same_storage_rejected(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        with pytest.raises(ValueError):
+            controller.load(library.MARCH_A_PLUS_PLUS)  # 26 rows > 20
+
+    def test_loaded_test(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        assert controller.loaded_test() is library.MARCH_C
+
+
+class TestControllerMetadata:
+    def test_flexibility_high(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        assert controller.flexibility is Flexibility.HIGH
+
+    def test_storage_auto_grows_for_long_programs(self):
+        controller = MicrocodeBistController(library.MARCH_A_PLUS_PLUS, CAPS)
+        assert controller.storage.rows >= len(controller.program)
+
+    def test_hardware_lists_architecture_blocks(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        names = [c.name for c in controller.hardware().components]
+        for expected in (
+            "controller/storage unit",
+            "controller/instruction counter",
+            "controller/branch register",
+            "controller/reference register",
+            "controller/instruction decoder",
+            "datapath/address counter",
+        ):
+            assert any(expected in n for n in names), expected
+
+    def test_scan_only_cell_reduces_area(self):
+        from repro.area.estimator import estimate
+
+        full = MicrocodeBistController(library.MARCH_C, CAPS)
+        adjusted = MicrocodeBistController(
+            library.MARCH_C, CAPS, storage_cell="scan_only"
+        )
+        assert (
+            estimate(adjusted.hardware()).gate_equivalents
+            < estimate(full.hardware()).gate_equivalents
+        )
+
+    def test_repr(self):
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        assert "Microcode-Based" in repr(controller)

@@ -1,0 +1,165 @@
+"""Edge-case tests for the microcode controller's control flow."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode.assembler import MicrocodeProgram
+from repro.core.microcode.controller import MicrocodeBistController
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.microcode.isa import ConditionOp
+from repro.march.notation import parse_test
+from repro.march.simulator import MemoryOperation
+
+CAPS = ControllerCapabilities(n_words=4)
+
+
+def program_of(*instructions, name="handwritten"):
+    return MicrocodeProgram(
+        name=name,
+        instructions=list(instructions),
+        source=parse_test("~(w0)", name=name),
+    )
+
+
+def run(program, caps=CAPS, **kwargs):
+    controller = MicrocodeBistController(program, caps, **kwargs)
+    return list(controller.operations())
+
+
+class TestInstructionCounterExhaustion:
+    def test_running_off_the_end_terminates(self):
+        """The paper: test end 'by exhausting the allowed instruction
+        addresses' — a program without TERMINATE simply ends."""
+        program = program_of(
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+        )
+        ops = run(program)
+        assert len(ops) == 4  # one write sweep, then IC runs off
+
+    def test_empty_program_is_an_immediate_end(self):
+        program = program_of(
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        assert run(program) == []
+
+
+class TestSaveInstruction:
+    def test_explicit_save_builds_a_loop(self):
+        """SAVE marks the next row as a branch target; a LOOP row then
+        sweeps the element between them."""
+        program = program_of(
+            MicroInstruction(cond=ConditionOp.SAVE),
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        ops = run(program)
+        assert [op.address for op in ops] == [0, 1, 2, 3]
+        assert all(op.is_write for op in ops)
+
+
+class TestHoldInstruction:
+    def test_standalone_hold_emits_delay(self):
+        program = program_of(
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(cond=ConditionOp.HOLD, hold_exponent=5),
+            MicroInstruction(read_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        ops = run(program)
+        delays = [op for op in ops if op.is_delay]
+        assert len(delays) == 1
+        assert delays[0].delay == 32
+
+    def test_hold_restarts_the_next_element(self):
+        """Reads after a pause start a fresh sweep at address 0."""
+        program = program_of(
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(cond=ConditionOp.HOLD, hold_exponent=3),
+            MicroInstruction(read_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        reads = [op for op in run(program) if op.is_read]
+        assert [op.address for op in reads] == [0, 1, 2, 3]
+
+
+class TestRepeatEdgeCases:
+    def test_repeat_without_aux_bits_reruns_body_verbatim(self):
+        """An all-zero aux REPEAT just executes the body twice."""
+        program = program_of(
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(read_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(cond=ConditionOp.REPEAT),
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        ops = run(program)
+        reads = [op for op in ops if op.is_read]
+        assert len(reads) == 8  # the read element ran twice
+        assert [op.address for op in reads] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_repeat_order_complement_reverses_second_pass(self):
+        program = program_of(
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(read_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(addr_down=True, cond=ConditionOp.REPEAT),
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        reads = [op for op in run(program) if op.is_read]
+        assert [op.address for op in reads] == [0, 1, 2, 3, 3, 2, 1, 0]
+
+    def test_repeat_compare_complement_flips_expectations(self):
+        program = program_of(
+            MicroInstruction(write_en=True, data_inv=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),  # w1 everywhere
+            MicroInstruction(read_en=True, compare=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),  # r1
+            MicroInstruction(compare=True, cond=ConditionOp.REPEAT),
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        reads = [op for op in run(program) if op.is_read]
+        assert [op.expected for op in reads[:4]] == [1, 1, 1, 1]
+        assert [op.expected for op in reads[4:]] == [0, 0, 0, 0]
+
+
+class TestSingleWordMemory:
+    def test_every_loop_falls_through_immediately(self):
+        caps = ControllerCapabilities(n_words=1)
+        program = program_of(
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(read_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(cond=ConditionOp.TERMINATE),
+        )
+        ops = run(program, caps=caps)
+        assert [str(op) for op in ops] == ["p0 w@0=0", "p0 r@0?0"]
+
+
+class TestStorageInteraction:
+    def test_program_larger_than_explicit_storage_rejected(self):
+        program = program_of(
+            *[MicroInstruction(read_en=True) for _ in range(3)],
+        )
+        with pytest.raises(ValueError):
+            MicrocodeBistController(program, CAPS, storage_rows=2)
+
+    def test_unused_rows_execute_as_nops_until_exhaustion(self):
+        """Falling into the zeroed tail of the storage does nothing and
+        the test ends at the last row — matches the 'exhaust addresses'
+        termination (operations() iterates program rows only)."""
+        program = program_of(
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(),  # explicit NOP, no memory op
+        )
+        ops = run(program)
+        assert len(ops) == 4

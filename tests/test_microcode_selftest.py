@@ -1,0 +1,120 @@
+"""Unit tests for the storage-unit scan self-test."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import MicrocodeBistController, assemble
+from repro.core.microcode.selftest import (
+    readback_verify,
+    scan_test,
+    standard_scan_patterns,
+)
+from repro.core.microcode.storage import StorageUnit
+from repro.march import library
+
+CAPS = ControllerCapabilities(n_words=8)
+
+
+class TestPatterns:
+    def test_five_patterns(self):
+        assert len(standard_scan_patterns(8, 10)) == 5
+
+    def test_pattern_lengths(self):
+        for pattern in standard_scan_patterns(8, 10):
+            assert len(pattern) == 80
+
+    def test_solid_and_checker_content(self):
+        zero, one, checker, inverse, _ = standard_scan_patterns(4, 10)
+        assert set(zero) == {0}
+        assert set(one) == {1}
+        assert checker[:4] == [0, 1, 0, 1]
+        assert inverse[:4] == [1, 0, 1, 0]
+
+    def test_checker_pair_covers_both_values_everywhere(self):
+        """Every cell sees both a 0 and a 1 across the pattern set."""
+        patterns = standard_scan_patterns(6, 10)
+        for index in range(60):
+            values = {pattern[index] for pattern in patterns}
+            assert values == {0, 1}
+
+
+class TestScanTest:
+    def test_clean_storage_passes(self):
+        storage = StorageUnit(rows=8)
+        result = scan_test(storage)
+        assert result.passed
+        assert result.patterns_run == 5
+        assert "PASS" in str(result)
+
+    def test_contents_restored_after_test(self):
+        program = assemble(library.MARCH_C, CAPS)
+        storage = StorageUnit(rows=16)
+        storage.load(program.instructions)
+        before = [storage.word(r) for r in range(16)]
+        scan_test(storage)
+        assert [storage.word(r) for r in range(16)] == before
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_stuck_cell_detected(self, value):
+        storage = StorageUnit(rows=8)
+        storage.inject_storage_defect(3, 7, value)
+        result = scan_test(storage)
+        assert not result.passed
+        assert (3, 7) in result.failing_cells
+        assert "FAIL" in str(result)
+
+    def test_multiple_defects_all_located(self):
+        storage = StorageUnit(rows=8)
+        storage.inject_storage_defect(0, 0, 1)
+        storage.inject_storage_defect(5, 9, 0)
+        result = scan_test(storage)
+        assert set(result.failing_cells) == {(0, 0), (5, 9)}
+
+    def test_defect_injection_validation(self):
+        storage = StorageUnit(rows=4)
+        with pytest.raises(IndexError):
+            storage.inject_storage_defect(4, 0, 1)
+        with pytest.raises(ValueError):
+            storage.inject_storage_defect(0, 0, 2)
+
+    def test_clear_defects(self):
+        storage = StorageUnit(rows=4)
+        storage.inject_storage_defect(1, 1, 1)
+        storage.clear_storage_defects()
+        assert scan_test(storage).passed
+
+
+class TestReadbackVerify:
+    def test_clean_readback_passes(self):
+        program = assemble(library.MARCH_C, CAPS)
+        storage = StorageUnit(rows=16)
+        result = readback_verify(storage, program)
+        assert result.passed
+
+    def test_defective_row_caught(self):
+        program = assemble(library.MARCH_C, CAPS)
+        storage = StorageUnit(rows=16)
+        # Stuck bit that actually flips a program bit: row 0 encodes
+        # w0/LOOP (bit 6 = write_en = 1); stick it at 0.
+        storage.inject_storage_defect(0, 6, 0)
+        result = readback_verify(storage, program)
+        assert not result.passed
+        assert result.mismatching_rows == (0,)
+
+    def test_benign_defect_in_unused_row_passes_readback(self):
+        """A defect beyond the program image escapes readback (and is
+        why the scan test runs first — it covers every cell)."""
+        program = assemble(library.MARCH_C, CAPS)
+        storage = StorageUnit(rows=16)
+        storage.inject_storage_defect(15, 3, 1)
+        assert readback_verify(storage, program).passed
+        assert not scan_test(storage).passed
+
+    def test_controller_integration(self):
+        """A controller with a corrupted program bit misbehaves; the
+        self-test flow catches the part before any BIST verdict."""
+        controller = MicrocodeBistController(library.MARCH_C, CAPS)
+        controller.storage.inject_storage_defect(0, 6, 0)  # drops the w0
+        controller.storage.load(controller.program.instructions)
+        result = readback_verify(controller.storage, controller.program)
+        assert not result.passed

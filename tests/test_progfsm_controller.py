@@ -1,0 +1,111 @@
+"""Unit tests for the programmable FSM BIST controller execution."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities, Flexibility
+from repro.core.progfsm.compiler import CompileError
+from repro.core.progfsm.controller import ProgrammableFsmBistController
+from repro.core.progfsm.instruction import DataControl
+from repro.core.progfsm.lower_fsm import LowerFsmState
+from repro.march import library
+from repro.march.simulator import expand
+
+CAPS = ControllerCapabilities(n_words=8)
+
+SM_REALIZABLE = [
+    t
+    for t in library.ALGORITHMS.values()
+    if t.name not in ("March B", "March C++", "March A++", "March G")
+]
+
+
+class TestExecution:
+    @pytest.mark.parametrize("test", SM_REALIZABLE, ids=lambda t: t.name)
+    def test_stream_matches_golden(self, test):
+        controller = ProgrammableFsmBistController(test, CAPS, buffer_rows=16)
+        assert list(controller.operations()) == list(expand(test, 8))
+
+    def test_word_oriented_multiport(self):
+        caps = ControllerCapabilities(n_words=4, width=4, ports=2)
+        controller = ProgrammableFsmBistController(library.MARCH_C, caps)
+        assert list(controller.operations()) == list(
+            expand(library.MARCH_C, 4, width=4, ports=2)
+        )
+
+    def test_unrealizable_algorithm_raises_at_construction(self):
+        with pytest.raises(CompileError):
+            ProgrammableFsmBistController(library.MARCH_B, CAPS)
+
+    def test_load_swaps_algorithm(self):
+        controller = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+        controller.load(library.MATS_PLUS)
+        assert list(controller.operations()) == list(expand(library.MATS_PLUS, 8))
+
+    def test_loaded_test(self):
+        controller = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+        assert controller.loaded_test() is library.MARCH_C
+
+    def test_flexibility_medium(self):
+        controller = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+        assert controller.flexibility is Flexibility.MEDIUM
+
+
+class TestTrace:
+    def test_lower_fsm_state_walk(self):
+        """Elements walk IDLE -> RESET -> RW states -> DONE (Fig. 4a)."""
+        controller = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+        states = [entry.state for entry in controller.trace()]
+        assert states[0] is LowerFsmState.IDLE
+        assert LowerFsmState.RESET in states
+        assert LowerFsmState.DONE in states
+
+    def test_path_a_taken_per_background(self):
+        """Word-oriented runs loop back through path A per background."""
+        caps = ControllerCapabilities(n_words=2, width=4, ports=1)
+        controller = ProgrammableFsmBistController(library.MARCH_C, caps)
+        paths = [entry.path for entry in controller.trace() if entry.path]
+        # 3 backgrounds: 2 path-A loop-backs.
+        assert paths.count("A") == 2
+
+    def test_path_b_taken_per_port(self):
+        caps = ControllerCapabilities(n_words=2, width=1, ports=3)
+        controller = ProgrammableFsmBistController(library.MARCH_C, caps)
+        paths = [entry.path for entry in controller.trace() if entry.path]
+        assert paths.count("B") == 2
+
+    def test_loop_rows_have_no_operation(self):
+        caps = ControllerCapabilities(n_words=2, width=4, ports=2)
+        controller = ProgrammableFsmBistController(library.MARCH_C, caps)
+        for entry in controller.trace():
+            if not entry.instruction.is_element:
+                assert entry.operation is None
+
+    def test_hold_rows_emit_pause_before_element(self):
+        controller = ProgrammableFsmBistController(library.MARCH_C_PLUS, CAPS)
+        ops = list(controller.operations())
+        delays = [op for op in ops if op.is_delay]
+        assert len(delays) == 2
+        assert all(op.delay == library.RETENTION_PAUSE for op in delays)
+
+
+class TestHardware:
+    def test_hardware_blocks(self):
+        controller = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+        names = [c.name for c in controller.hardware().components]
+        for expected in (
+            "controller/circular buffer",
+            "controller/lower FSM state register",
+            "controller/lower FSM logic",
+            "datapath/address counter",
+        ):
+            assert any(expected in n for n in names), expected
+
+    def test_hardware_independent_of_loaded_algorithm(self):
+        from repro.area.estimator import estimate
+
+        a = ProgrammableFsmBistController(library.MARCH_C, CAPS)
+        b = ProgrammableFsmBistController(library.MATS_PLUS, CAPS)
+        assert (
+            estimate(a.hardware()).gate_equivalents
+            == estimate(b.hardware()).gate_equivalents
+        )

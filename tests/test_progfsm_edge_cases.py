@@ -1,0 +1,107 @@
+"""Edge-case tests for the programmable FSM controller's control flow."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.progfsm.compiler import FsmProgram
+from repro.core.progfsm.controller import ProgrammableFsmBistController
+from repro.core.progfsm.instruction import DataControl, FsmInstruction
+from repro.march.notation import parse_test
+
+CAPS = ControllerCapabilities(n_words=4)
+
+
+def program_of(*instructions, pause=64, name="handwritten"):
+    return FsmProgram(
+        name=name,
+        instructions=list(instructions),
+        source=parse_test("~(w0)", name=name),
+        pause_duration=pause,
+    )
+
+
+def run(program, caps=CAPS, **kwargs):
+    controller = ProgrammableFsmBistController(program, caps, **kwargs)
+    return list(controller.operations())
+
+
+class TestHandwrittenPrograms:
+    def test_single_sm0_element(self):
+        ops = run(program_of(FsmInstruction(mode=0)))
+        assert [str(op) for op in ops] == [
+            "p0 w@0=0", "p0 w@1=0", "p0 w@2=0", "p0 w@3=0",
+        ]
+
+    def test_down_element(self):
+        ops = run(program_of(
+            FsmInstruction(mode=0),
+            FsmInstruction(mode=5, addr_down=True),
+        ))
+        reads = [op for op in ops if op.is_read]
+        assert [op.address for op in reads] == [3, 2, 1, 0]
+
+    def test_base_data_polarity(self):
+        ops = run(program_of(
+            FsmInstruction(mode=0, data_ctrl=DataControl.BASE1),
+        ))
+        assert all(op.value == 1 for op in ops)
+
+    def test_hold_pause_duration_from_program(self):
+        ops = run(program_of(
+            FsmInstruction(mode=0),
+            FsmInstruction(mode=5, hold=True),
+            pause=128,
+        ))
+        delays = [op for op in ops if op.is_delay]
+        assert len(delays) == 1 and delays[0].delay == 128
+
+    def test_lone_loop_bg_row_single_background_terminates(self):
+        """A LOOP_BG row on a bit-oriented memory immediately sees Last
+        Data and ends the test."""
+        ops = run(program_of(
+            FsmInstruction(mode=0),
+            FsmInstruction(data_ctrl=DataControl.LOOP_BG),
+        ))
+        assert len(ops) == 4  # one write sweep, then done
+
+    def test_loop_port_row_single_port_terminates(self):
+        ops = run(program_of(
+            FsmInstruction(mode=0),
+            FsmInstruction(data_ctrl=DataControl.LOOP_PORT),
+        ))
+        assert len(ops) == 4
+
+    def test_empty_program_produces_nothing(self):
+        program = program_of()
+        program.instructions.clear()
+        controller = ProgrammableFsmBistController(
+            program, CAPS, buffer_rows=4
+        )
+        # Loading an empty program leaves the buffer unused; running it
+        # terminates immediately.
+        assert list(controller.operations()) == []
+
+    def test_runaway_guard(self):
+        program = program_of(FsmInstruction(mode=2))  # 4-op element
+        controller = ProgrammableFsmBistController(
+            program, CAPS, max_cycles=3
+        )
+        with pytest.raises(RuntimeError):
+            list(controller.operations())
+
+    def test_single_word_memory(self):
+        caps = ControllerCapabilities(n_words=1)
+        ops = run(program_of(
+            FsmInstruction(mode=0),
+            FsmInstruction(mode=5),
+        ), caps=caps)
+        assert [str(op) for op in ops] == ["p0 w@0=0", "p0 r@0?0"]
+
+    def test_sm4_triple_read(self):
+        ops = run(program_of(
+            FsmInstruction(mode=0),
+            FsmInstruction(mode=4),
+        ))
+        reads = [op for op in ops if op.is_read]
+        assert [op.address for op in reads] == [0, 0, 0, 1, 1, 1, 2, 2, 2,
+                                                3, 3, 3]

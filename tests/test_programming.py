@@ -1,0 +1,151 @@
+"""Unit tests for the decompiler and the program interchange format."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import MicrocodeBistController, assemble
+from repro.core.microcode.decompiler import DecompileError, decompile
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.microcode.isa import ConditionOp
+from repro.core.programming import (
+    ProgramFormatError,
+    dump_program,
+    load_program,
+)
+from repro.core.progfsm import ProgrammableFsmBistController, compile_to_sm
+from repro.march import library
+from repro.march.simulator import expand
+
+CAPS = ControllerCapabilities(n_words=8)
+FULL_CAPS = ControllerCapabilities(n_words=8, width=4, ports=2)
+
+
+def streams_equal(test_a, test_b, n=8, w=1, p=1):
+    return list(expand(test_a, n, width=w, ports=p)) == list(
+        expand(test_b, n, width=w, ports=p)
+    )
+
+
+class TestDecompiler:
+    @pytest.mark.parametrize(
+        "test", list(library.ALGORITHMS.values()), ids=lambda t: t.name
+    )
+    def test_assemble_decompile_semantic_roundtrip(self, test):
+        program = assemble(test, CAPS)
+        recovered = decompile(program.instructions, name=test.name)
+        assert streams_equal(test, recovered)
+
+    def test_uncompressed_roundtrip(self):
+        program = assemble(library.MARCH_A, CAPS, compress=False)
+        recovered = decompile(program.instructions)
+        assert streams_equal(library.MARCH_A, recovered)
+
+    def test_pause_recovered(self):
+        program = assemble(library.MARCH_C_PLUS, CAPS)
+        recovered = decompile(program.instructions)
+        assert recovered.has_pauses
+        assert recovered.pauses[0].duration == 1024
+
+    def test_dangling_element_rejected(self):
+        rows = [MicroInstruction(read_en=True)]  # NOP, never LOOPs
+        with pytest.raises(DecompileError):
+            decompile(rows)
+
+    def test_repeat_without_body_rejected(self):
+        rows = [
+            MicroInstruction(write_en=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+            MicroInstruction(addr_down=True, cond=ConditionOp.REPEAT),
+        ]
+        with pytest.raises(DecompileError):
+            decompile(rows)
+
+    def test_order_change_mid_element_rejected(self):
+        rows = [
+            MicroInstruction(read_en=True, addr_down=False),
+            MicroInstruction(write_en=True, addr_down=True, addr_inc=True,
+                             cond=ConditionOp.LOOP),
+        ]
+        with pytest.raises(DecompileError):
+            decompile(rows)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DecompileError):
+            decompile([MicroInstruction(cond=ConditionOp.TERMINATE)])
+
+
+class TestInterchangeFormat:
+    def test_microcode_dump_contains_header_and_rows(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        text = dump_program(program)
+        assert "# repro-bist-program v1" in text
+        assert "# kind: microcode" in text
+        assert "# name: March C" in text
+        assert text.count("\n") >= len(program.instructions)
+
+    @pytest.mark.parametrize(
+        "test", [library.MARCH_C, library.MARCH_A_PLUS, library.MARCH_B],
+        ids=lambda t: t.name,
+    )
+    def test_microcode_load_roundtrip(self, test):
+        program = assemble(test, FULL_CAPS)
+        loaded = load_program(dump_program(program))
+        assert [i.encode() for i in loaded.instructions] == [
+            i.encode() for i in program.instructions
+        ]
+        assert streams_equal(test, loaded.source, n=8, w=4, p=2)
+
+    def test_loaded_program_drives_controller_identically(self):
+        program = assemble(library.MARCH_C, CAPS)
+        loaded = load_program(dump_program(program))
+        original = MicrocodeBistController(program, CAPS)
+        reloaded = MicrocodeBistController(loaded, CAPS)
+        assert list(original.operations()) == list(reloaded.operations())
+
+    def test_fsm_dump_and_load_roundtrip(self):
+        program = compile_to_sm(library.MARCH_C, FULL_CAPS)
+        loaded = load_program(dump_program(program))
+        assert [i.encode() for i in loaded.instructions] == [
+            i.encode() for i in program.instructions
+        ]
+        controller = ProgrammableFsmBistController(loaded, FULL_CAPS)
+        assert list(controller.operations()) == list(
+            expand(library.MARCH_C, 8, width=4, ports=2)
+        )
+
+    def test_fsm_hold_recovered_as_pause(self):
+        program = compile_to_sm(library.MARCH_C_PLUS, CAPS)
+        loaded = load_program(dump_program(program))
+        assert loaded.source.has_pauses
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ProgramFormatError):
+            load_program("# kind: microcode\n0c1\n")
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ProgramFormatError):
+            load_program("# repro-bist-program v1\n0c1\n")
+
+    def test_bad_hex_rejected(self):
+        text = "# repro-bist-program v1\n# kind: microcode\nzz\n"
+        with pytest.raises(ProgramFormatError):
+            load_program(text)
+
+    def test_empty_body_rejected(self):
+        text = "# repro-bist-program v1\n# kind: microcode\n"
+        with pytest.raises(ProgramFormatError):
+            load_program(text)
+
+    def test_invalid_word_rejected(self):
+        # read+write both set is not a decodable instruction.
+        bad = (1 << 5) | (1 << 6)
+        text = f"# repro-bist-program v1\n# kind: microcode\n{bad:03x}\n"
+        with pytest.raises(ValueError):
+            load_program(text)
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(library.MARCH_C, CAPS)
+        text = dump_program(program)
+        noisy = "\n\n# a comment\n" + text + "\n   \n"
+        loaded = load_program(noisy)
+        assert len(loaded.instructions) == len(program.instructions)

@@ -1,0 +1,188 @@
+"""Unit tests for the built-in self-repair (BISR) package."""
+
+import pytest
+
+from repro.diagnostics.bitmap import FailBitmap
+from repro.faults import StuckAtFault, TransitionFault
+from repro.repair import RepairPlan, allocate_repair, apply_repair, repair_flow
+from repro.repair.apply import RepairError, make_repairable_memory
+
+N = 16  # folds into a 4x4 grid
+
+
+def bitmap_with(*cells):
+    bitmap = FailBitmap(N)
+    for word in cells:
+        bitmap.mark(word, 0)
+    return bitmap
+
+
+class TestAllocation:
+    def test_clean_bitmap_needs_nothing(self):
+        plan = allocate_repair(bitmap_with(), 2, 2)
+        assert plan is not None
+        assert plan.lines_used == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_repair(bitmap_with(), -1, 0)
+
+    def test_single_fail_single_spare_row(self):
+        plan = allocate_repair(bitmap_with(5), 1, 0)
+        assert plan is not None
+        assert plan.rows == (1,)  # word 5 sits at grid row 1
+
+    def test_single_fail_single_spare_column(self):
+        plan = allocate_repair(bitmap_with(5), 0, 1)
+        assert plan is not None
+        assert plan.columns == (1,)
+
+    def test_row_cluster_repaired_by_one_row(self):
+        plan = allocate_repair(bitmap_with(4, 5, 6, 7), 1, 1)
+        assert plan is not None
+        assert plan.rows == (1,) and plan.columns == ()
+
+    def test_must_repair_forces_the_row(self):
+        """Three fails in one row with only 2 spare columns: the row is
+        forced even though columns could cover two of them."""
+        plan = allocate_repair(bitmap_with(4, 5, 6), 1, 2)
+        assert plan is not None
+        assert plan.rows == (1,)
+        assert plan.columns == ()
+
+    def test_unrepairable_returns_none(self):
+        # Diagonal fails need one line each; budget of 2 cannot cover 3.
+        assert allocate_repair(bitmap_with(0, 5, 10), 1, 1) is None
+
+    def test_diagonal_with_enough_budget(self):
+        plan = allocate_repair(bitmap_with(0, 5, 10), 2, 1)
+        assert plan is not None
+        covered = all(
+            plan.covers(*bitmap_with().grid.position((word, 0)))
+            for word in (0, 5, 10)
+        )
+        assert covered
+
+    def test_mixed_row_and_column_solution(self):
+        # Row 0 fully failing + one isolated fail elsewhere.
+        plan = allocate_repair(bitmap_with(0, 1, 2, 3, 9), 1, 1)
+        assert plan is not None
+        assert 0 in plan.rows
+        assert plan.lines_used <= 2
+
+    def test_every_plan_covers_every_fail(self):
+        cells = (0, 3, 5, 6, 12)
+        plan = allocate_repair(bitmap_with(*cells), 2, 2)
+        assert plan is not None
+        grid = bitmap_with().grid
+        for word in cells:
+            assert plan.covers(*grid.position((word, 0))), word
+
+
+class TestApply:
+    def test_remap_moves_words_to_spares(self):
+        memory = make_repairable_memory(N, spare_words=4)
+        memory.attach(StuckAtFault(5, 0, 1))
+        bitmap = bitmap_with(5)
+        plan = allocate_repair(bitmap, 1, 0)
+        remapped = apply_repair(memory, plan, bitmap)
+        assert set(remapped) == {4, 5, 6, 7}  # the whole grid row
+        # The stuck cell is now behind a remap: logical 5 reads clean.
+        memory.write(0, 5, 0)
+        assert memory.read(0, 5) == 0
+
+    def test_insufficient_spares_raise(self):
+        memory = make_repairable_memory(N, spare_words=2)
+        bitmap = bitmap_with(5)
+        plan = allocate_repair(bitmap, 1, 0)
+        with pytest.raises(RepairError):
+            apply_repair(memory, plan, bitmap)
+
+
+class TestRepairFlow:
+    def test_clean_part(self):
+        memory = make_repairable_memory(N, spare_words=8)
+        outcome = repair_flow(memory, 2, 0)
+        assert outcome.repaired
+        assert outcome.plan is None
+        assert "clean part" in str(outcome)
+
+    def test_repairable_part_passes_after_repair(self):
+        memory = make_repairable_memory(N, spare_words=8)
+        memory.attach(StuckAtFault(5, 0, 0))
+        memory.attach(TransitionFault(10, 0, rising=True))
+        outcome = repair_flow(memory, 2, 0)
+        assert outcome.repaired
+        assert outcome.final_failures == 0
+        assert outcome.initial_failures > 0
+        assert "repaired" in str(outcome)
+
+    def test_unrepairable_part_reported(self):
+        memory = make_repairable_memory(N, spare_words=8)
+        for word in (0, 5, 10):
+            memory.attach(StuckAtFault(word, 0, 1))
+        outcome = repair_flow(memory, spare_rows=2, spare_columns=0)
+        assert not outcome.repaired
+        assert outcome.plan is None
+        assert "UNREPAIRABLE" in str(outcome)
+
+    def test_column_budget_repairs_column_cluster(self):
+        memory = make_repairable_memory(N, spare_words=8)
+        # Words 1, 5, 13 share grid column 1.
+        for word in (1, 5, 13):
+            memory.attach(StuckAtFault(word, 0, 1))
+        outcome = repair_flow(memory, spare_rows=0, spare_columns=1)
+        assert outcome.repaired
+        assert outcome.plan.columns == (1,)
+
+    def test_repair_survives_full_diagnostic_algorithm(self):
+        """The re-test uses March C++ (pauses + triple reads): repairs
+        must hold under the most demanding library algorithm."""
+        from repro.faults import DataRetentionFault, StuckOpenFault
+
+        memory = make_repairable_memory(N, spare_words=8)
+        memory.attach(DataRetentionFault(4, 0, from_value=1))
+        memory.attach(StuckOpenFault(6, 0, weak_value=1))
+        outcome = repair_flow(memory, spare_rows=1, spare_columns=1)
+        assert outcome.repaired, str(outcome)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the allocator over random fail maps.
+# ---------------------------------------------------------------------------
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+
+@settings(deadline=None, max_examples=120)
+@given(
+    st.lists(st.integers(0, N - 1), unique=True, max_size=8),
+    st.integers(0, 3),
+    st.integers(0, 3),
+)
+def test_allocator_plans_are_sound(cells, spare_rows, spare_columns):
+    """Any plan returned covers every fail within the budget."""
+    bitmap = bitmap_with(*cells)
+    plan = allocate_repair(bitmap, spare_rows, spare_columns)
+    if plan is None:
+        return
+    assert len(plan.rows) <= spare_rows
+    assert len(plan.columns) <= spare_columns
+    for word in cells:
+        assert plan.covers(*bitmap.grid.position((word, 0))), word
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.lists(st.integers(0, N - 1), unique=True, min_size=1, max_size=4))
+def test_full_budget_always_repairs_few_defects(cells):
+    """With as many spare lines as defects, repair always succeeds —
+    and the repaired memory passes the full diagnostic algorithm."""
+    memory = make_repairable_memory(N, spare_words=len(cells) * 4)
+    for word in cells:
+        memory.attach(StuckAtFault(word, 0, 1))
+    outcome = repair_flow(
+        memory, spare_rows=len(cells), spare_columns=len(cells)
+    )
+    assert outcome.repaired, str(outcome)
+    assert outcome.final_failures == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the datasheet generator and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.controller import ControllerCapabilities
+from repro.march import library
+from repro.reporting import build_controller, datasheet
+
+CAPS = ControllerCapabilities(n_words=16)
+
+
+class TestBuildController:
+    @pytest.mark.parametrize("arch", ["microcode", "progfsm", "hardwired"])
+    def test_known_architectures(self, arch):
+        controller = build_controller(arch, library.MARCH_C, CAPS)
+        assert controller.capabilities is CAPS
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            build_controller("quantum", library.MARCH_C, CAPS)
+
+
+class TestDatasheet:
+    def test_microcode_sheet_sections(self):
+        controller = build_controller("microcode", library.MARCH_C, CAPS)
+        text = datasheet(controller)
+        for heading in (
+            "# Microcode-Based MBIST — March C",
+            "## Configuration",
+            "## Microcode program",
+            "## Measured fault coverage",
+            "## Silicon area",
+        ):
+            assert heading in text
+
+    def test_progfsm_sheet_lists_sm_rows(self):
+        controller = build_controller("progfsm", library.MARCH_C, CAPS)
+        text = datasheet(controller)
+        assert "## SM instruction program" in text
+        assert "SM1" in text
+
+    def test_hardwired_sheet_notes_redesign(self):
+        controller = build_controller("hardwired", library.MARCH_C, CAPS)
+        text = datasheet(controller)
+        assert "## Hardwired FSM" in text
+        assert "re-synthesis" in text
+
+    def test_coverage_values_match_algorithm(self):
+        controller = build_controller("microcode", library.MARCH_C_PLUS, CAPS)
+        text = datasheet(controller)
+        assert "| DRF | 100 % |" in text
+        assert "| SOF | 0 % |" in text
+
+    def test_area_breakdown_present(self):
+        controller = build_controller("microcode", library.MARCH_C, CAPS)
+        text = datasheet(controller)
+        assert "controller/storage unit" in text
+        assert "datapath/address counter" in text
+
+    def test_custom_title(self):
+        controller = build_controller("microcode", library.MARCH_C, CAPS)
+        assert datasheet(controller, title="My Sheet").startswith("# My Sheet")
+
+
+class TestReportCommand:
+    def test_stdout(self, capsys):
+        assert main(["report", "--words", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "## Silicon area" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "sheet.md"
+        assert main(["report", "--words", "16", "--output", str(target)]) == 0
+        assert "## Measured fault coverage" in target.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_hardwired_report(self, capsys):
+        assert main(["report", "--words", "16",
+                     "--architecture", "hardwired"]) == 0
+        assert "Hardwired FSM" in capsys.readouterr().out

@@ -1,0 +1,254 @@
+"""Unit tests for the Verilog export."""
+
+import re
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.hardwired import HardwiredBistController
+from repro.core.microcode import assemble
+from repro.march import library
+from repro.rtl import (
+    check_verilog_structure,
+    hardwired_controller_verilog,
+    microcode_rom_verilog,
+    program_memh,
+)
+
+CAPS = ControllerCapabilities(n_words=64)
+FULL_CAPS = ControllerCapabilities(n_words=64, width=8, ports=2)
+
+
+def hardwired(test=library.MARCH_C, caps=CAPS):
+    return HardwiredBistController(test, caps)
+
+
+class TestHardwiredEmitter:
+    def test_module_name_derived_from_algorithm(self):
+        text = hardwired_controller_verilog(hardwired())
+        assert "module bist_march_c_ctrl" in text
+
+    def test_structure_clean(self):
+        for test in (library.MARCH_C, library.MARCH_C_PLUS,
+                      library.MARCH_A_PLUS_PLUS):
+            text = hardwired_controller_verilog(hardwired(test))
+            assert check_verilog_structure(text) == [], test.name
+
+    def test_one_case_arm_per_state(self):
+        controller = hardwired()
+        text = hardwired_controller_verilog(controller)
+        arms = re.findall(r"^\s+S\d+: begin", text, flags=re.M)
+        assert len(arms) == controller.graph.state_count
+
+    def test_all_ports_present(self):
+        text = hardwired_controller_verilog(hardwired())
+        for port in ("last_address", "last_data", "last_port", "pause_done",
+                     "read_en", "write_en", "test_end", "addr_down"):
+            assert re.search(rf"\b{port}\b", text), port
+
+    def test_pause_states_only_in_plus_variants(self):
+        plain = hardwired_controller_verilog(hardwired(library.MARCH_C))
+        plus = hardwired_controller_verilog(hardwired(library.MARCH_C_PLUS))
+        assert "pause_done" in plain  # port always exists
+        assert "// pause" not in plain
+        assert "// pause" in plus
+
+    def test_loop_states_follow_capabilities(self):
+        bit = hardwired_controller_verilog(hardwired())
+        full = hardwired_controller_verilog(
+            hardwired(library.MARCH_C, FULL_CAPS)
+        )
+        assert "// bg_loop" not in bit
+        assert "// bg_loop" in full and "// port_loop" in full
+
+    def test_reset_goes_to_idle(self):
+        text = hardwired_controller_verilog(hardwired())
+        assert "state <= S0;" in text
+
+    def test_case_arms_match_simulator_semantics(self):
+        """The emitted arm for an element-final state mirrors
+        step_signals on both branch conditions."""
+        controller = hardwired()
+        text = hardwired_controller_verilog(controller)
+        # Element-final op states branch on last_address.
+        finals = [
+            s for s in controller.graph.states
+            if s.kind == "op" and s.is_element_last
+        ]
+        assert finals
+        for state in finals:
+            arm = re.search(
+                rf"S{state.index}: begin.*?\n        end",
+                text, flags=re.S,
+            ).group(0)
+            assert "if (last_address)" in arm
+            assert f"next_state = {controller.graph.state_bits}'d" in arm
+
+
+class TestMicrocodeRomEmitter:
+    def test_memh_row_count(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        memh = program_memh(program, rows=16)
+        words = [l for l in memh.splitlines() if not l.startswith("//")]
+        assert len(words) == 16
+
+    def test_memh_values_roundtrip(self):
+        from repro.core.microcode.instruction import MicroInstruction
+
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        memh = program_memh(program)
+        words = [
+            int(l, 16) for l in memh.splitlines() if not l.startswith("//")
+        ]
+        decoded = [MicroInstruction.decode(w) for w in words[: len(program)]]
+        assert decoded == program.instructions
+
+    def test_rom_module_structure(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        text = microcode_rom_verilog(program, rows=16, memh_file="marchc.memh")
+        assert check_verilog_structure(text) == []
+        assert '$readmemh("marchc.memh", storage);' in text
+        assert "reg [9:0] storage [0:15];" in text
+
+    def test_rom_address_width(self):
+        program = assemble(library.MARCH_C, FULL_CAPS)
+        text = microcode_rom_verilog(program, rows=32)
+        assert "input  wire [4:0] row," in text
+
+
+class TestStructuralLinter:
+    def test_clean_module_passes(self):
+        text = "module m (input wire a);\nendmodule\n"
+        assert check_verilog_structure(text) == []
+
+    def test_unbalanced_module_caught(self):
+        assert check_verilog_structure("module m ();\n") == [
+            "unbalanced module/endmodule",
+            "unbalanced parentheses",
+        ] or "unbalanced module/endmodule" in check_verilog_structure(
+            "module m ();\n"
+        )
+
+    def test_unbalanced_begin_caught(self):
+        text = "module m ();\nalways @(*) begin\nendmodule\n"
+        assert "unbalanced begin/end" in check_verilog_structure(text)
+
+    def test_undeclared_state_caught(self):
+        text = (
+            "module m ();\nlocalparam [1:0] S0 = 2'd0;\n"
+            "always @(*) begin\n  if (S3) ;\nend\nendmodule\n"
+        )
+        problems = check_verilog_structure(text)
+        assert any("S3" in p for p in problems)
+
+    def test_comments_do_not_confuse_counts(self):
+        text = "module m ();\n// begin begin begin\nendmodule\n"
+        assert check_verilog_structure(text) == []
+
+
+class TestDecoderEmitter:
+    def test_structure_clean(self):
+        from repro.rtl.verilog import microcode_decoder_verilog
+
+        text = microcode_decoder_verilog()
+        assert check_verilog_structure(text) == []
+
+    def test_all_strobes_emitted(self):
+        from repro.core.microcode.controller import DECODER_OUTPUTS
+        from repro.rtl.verilog import microcode_decoder_verilog
+
+        text = microcode_decoder_verilog()
+        for strobe in DECODER_OUTPUTS:
+            assert re.search(rf"assign {strobe} =", text) or re.search(
+                rf"output wire {strobe}", text
+            ), strobe
+
+    def test_assign_network_matches_truth_table(self):
+        """Evaluate the emitted SOP text against the Python decoder."""
+        from repro.core.microcode.controller import decoder_outputs
+        from repro.core.microcode.isa import ConditionOp
+        from repro.rtl.verilog import DECODER_INPUTS, microcode_decoder_verilog
+
+        text = microcode_decoder_verilog()
+        assigns = dict(
+            re.findall(r"assign (\w+) = (.*?);", text, flags=re.S)
+        )
+
+        def evaluate(expression, env):
+            python_expr = " ".join(expression.split())
+            python_expr = python_expr.replace("~", " not ")
+            python_expr = python_expr.replace("&", " and ")
+            python_expr = python_expr.replace("|", " or ")
+            python_expr = python_expr.replace("1'b1", "True")
+            python_expr = python_expr.replace("1'b0", "False")
+            return bool(eval(python_expr, {"__builtins__": {}}, env))
+
+        for minterm in range(256):
+            env = {
+                name: bool((minterm >> bit) & 1)
+                for bit, name in enumerate(DECODER_INPUTS)
+            }
+            expected = decoder_outputs(
+                ConditionOp(minterm & 0b111),
+                env["last_address"], env["last_data"], env["last_port"],
+                env["repeat_bit"], env["hold_done"],
+            )
+            for strobe, expression in assigns.items():
+                assert evaluate(expression, env) == expected[strobe], (
+                    strobe, minterm,
+                )
+
+
+class TestLowerFsmEmitter:
+    def test_structure_clean(self):
+        from repro.rtl.verilog import lower_fsm_verilog
+
+        assert check_verilog_structure(lower_fsm_verilog()) == []
+
+    def test_assign_network_matches_truth_table(self):
+        from repro.core.progfsm.lower_fsm import (
+            LowerFsmState,
+            lower_fsm_step,
+        )
+        from repro.rtl.verilog import LOWER_FSM_INPUTS, lower_fsm_verilog
+
+        text = lower_fsm_verilog()
+        assigns = dict(re.findall(r"assign (\w+) = (.*?);", text, flags=re.S))
+
+        def evaluate(expression, env):
+            python_expr = " ".join(expression.split())
+            python_expr = python_expr.replace("~", " not ")
+            python_expr = python_expr.replace("&", " and ")
+            python_expr = python_expr.replace("|", " or ")
+            python_expr = python_expr.replace("1'b1", "True")
+            python_expr = python_expr.replace("1'b0", "False")
+            return bool(eval(python_expr, {"__builtins__": {}}, env))
+
+        for minterm in range(512):
+            state_code = minterm & 0b111
+            if state_code > int(LowerFsmState.DONE):
+                continue  # don't-care codes: any output acceptable
+            env = {
+                name: bool((minterm >> bit) & 1)
+                for bit, name in enumerate(LOWER_FSM_INPUTS)
+            }
+            out = lower_fsm_step(
+                LowerFsmState(state_code),
+                (minterm >> 3) & 0b111,
+                env["last_address"], env["start"], env["hold"],
+            )
+            expected = {
+                "ns0": bool(int(out.next_state) & 1),
+                "ns1": bool(int(out.next_state) & 2),
+                "ns2": bool(int(out.next_state) & 4),
+                "read": out.read,
+                "write": out.write,
+                "rel_polarity": bool(out.rel_polarity),
+                "addr_start": out.addr_start,
+                "addr_inc": out.addr_inc,
+                "done": out.done,
+            }
+            for strobe, expression in assigns.items():
+                assert evaluate(expression, env) == expected[strobe], (
+                    strobe, minterm,
+                )

@@ -1,0 +1,118 @@
+"""Unit tests for the VCD trace exporter."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import MicrocodeBistController
+from repro.march import library
+from repro.rtl.vcd import (
+    microcode_trace_vcd,
+    parse_vcd_changes,
+    samples_to_vcd,
+)
+
+
+class TestSamplesToVcd:
+    def test_header_structure(self):
+        text = samples_to_vcd(
+            [{"a": 0, "b": 1}], {"a": 1, "b": 4}, module="m"
+        )
+        assert "$timescale 1ns $end" in text
+        assert "$scope module m $end" in text
+        assert "$var wire 1" in text and "$var wire 4" in text
+        assert "$enddefinitions $end" in text
+
+    def test_only_changes_emitted(self):
+        samples = [
+            {"a": 0},
+            {"a": 0},  # no change: no event
+            {"a": 1},
+        ]
+        changes = parse_vcd_changes(samples_to_vcd(samples, {"a": 1}))
+        assert changes == [(0, "a", 0), (2, "a", 1)]
+
+    def test_vector_values_binary(self):
+        samples = [{"bus": 5}]
+        text = samples_to_vcd(samples, {"bus": 4})
+        assert "b101 " in text
+
+    def test_roundtrip_reconstructs_samples(self):
+        samples = [
+            {"x": 3, "flag": 0},
+            {"x": 3, "flag": 1},
+            {"x": 0, "flag": 1},
+        ]
+        widths = {"x": 3, "flag": 1}
+        changes = parse_vcd_changes(samples_to_vcd(samples, widths))
+        state = {}
+        reconstructed = []
+        change_index = 0
+        for time in range(len(samples)):
+            while change_index < len(changes) and changes[change_index][0] == time:
+                _, name, value = changes[change_index]
+                state[name] = value
+                change_index += 1
+            reconstructed.append(dict(state))
+        assert reconstructed == samples
+
+    def test_many_signals_get_unique_ids(self):
+        widths = {f"s{i}": 1 for i in range(120)}
+        samples = [{name: 0 for name in widths}]
+        text = samples_to_vcd(samples, widths)
+        var_lines = [l for l in text.splitlines() if l.startswith("$var")]
+        ids = [line.split()[3] for line in var_lines]
+        assert len(set(ids)) == 120
+
+
+class TestMicrocodeTraceVcd:
+    @pytest.fixture(scope="class")
+    def vcd_text(self):
+        controller = MicrocodeBistController(
+            library.MARCH_C, ControllerCapabilities(n_words=4)
+        )
+        return microcode_trace_vcd(controller)
+
+    def test_declares_datapath_signals(self, vcd_text):
+        for signal in ("ic", "address", "repeat_bit", "read_en", "write_en"):
+            assert f" {signal} $end" in vcd_text, signal
+
+    def test_strobes_alternate(self, vcd_text):
+        changes = parse_vcd_changes(vcd_text)
+        read_changes = [c for c in changes if c[1] == "read_en"]
+        write_changes = [c for c in changes if c[1] == "write_en"]
+        assert read_changes and write_changes
+
+    def test_repeat_bit_toggles(self, vcd_text):
+        """March C's REPEAT sets and later clears the repeat bit."""
+        values = [v for _, name, v in parse_vcd_changes(vcd_text)
+                  if name == "repeat_bit"]
+        assert 1 in values and values[-1] in (0, 1)
+        assert values[0] == 0
+
+    def test_ends_with_test_end(self, vcd_text):
+        changes = parse_vcd_changes(vcd_text)
+        end_events = [c for c in changes if c[1] == "test_end" and c[2] == 1]
+        assert len(end_events) == 1
+
+    def test_operation_count_matches_strobe_pulses(self):
+        controller = MicrocodeBistController(
+            library.MARCH_C, ControllerCapabilities(n_words=4)
+        )
+        ops = list(controller.operations())
+        text = microcode_trace_vcd(controller)
+        changes = parse_vcd_changes(text)
+        # Reconstruct per-cycle strobe levels and count asserted cycles.
+        reads = writes = 0
+        level = {"read_en": 0, "write_en": 0}
+        last_time = max(time for time, _, _ in changes)
+        timeline = {t: [] for t in range(last_time + 1)}
+        for time, name, value in changes:
+            timeline.setdefault(time, []).append((name, value))
+        for time in range(last_time):
+            for name, value in timeline.get(time, []):
+                if name in level:
+                    level[name] = value
+            reads += level["read_en"]
+            writes += level["write_en"]
+        assert reads == sum(1 for op in ops if op.is_read)
+        assert writes == sum(1 for op in ops if op.is_write)

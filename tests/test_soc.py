@@ -1,0 +1,163 @@
+"""Unit tests for the SoC shared-BIST study."""
+
+import pytest
+
+from repro.march import library
+from repro.march.simulator import expand, operation_count
+from repro.soc import (
+    HardwiredPerTest,
+    HardwiredSuperset,
+    MemoryRequirement,
+    PerMemoryProgrammable,
+    SharedProgrammable,
+    SocBistStudy,
+)
+
+
+def portfolio():
+    return [
+        MemoryRequirement(
+            "l1_data", 1024, width=8,
+            tests=(library.MARCH_C, library.MARCH_C_PLUS,
+                   library.MARCH_C_PLUS_PLUS),
+        ),
+        MemoryRequirement(
+            "regfile", 64, width=4, ports=2,
+            tests=(library.MARCH_A, library.MARCH_A_PLUS),
+        ),
+        MemoryRequirement(
+            "fifo", 128, tests=(library.MARCH_C, library.MARCH_C_PLUS),
+        ),
+    ]
+
+
+class TestOperationCount:
+    @pytest.mark.parametrize("n,w,p", [(4, 1, 1), (3, 4, 2), (8, 8, 1)])
+    def test_matches_expanded_stream(self, n, w, p):
+        for test in (library.MARCH_C, library.MARCH_C_PLUS):
+            assert operation_count(test, n, w, p) == len(
+                list(expand(test, n, width=w, ports=p))
+            )
+
+
+class TestMemoryRequirement:
+    def test_needs_tests(self):
+        with pytest.raises(ValueError):
+            MemoryRequirement("m", 64, tests=())
+
+    def test_superset_is_longest(self):
+        memory = portfolio()[0]
+        assert memory.superset_test is library.MARCH_C_PLUS_PLUS
+
+    def test_stage_operations(self):
+        memory = MemoryRequirement("m", 8, tests=(library.MARCH_C,))
+        assert memory.stage_operations(library.MARCH_C) == 80
+
+
+class TestStudy:
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            SocBistStudy([])
+
+    def test_duplicate_names_rejected(self):
+        memory = MemoryRequirement("m", 8, tests=(library.MARCH_C,))
+        with pytest.raises(ValueError):
+            SocBistStudy([memory, memory])
+
+    def test_runs_all_four_strategies(self):
+        results = SocBistStudy(portfolio()).run()
+        assert [r.strategy for r in results] == [
+            "hardwired per test",
+            "hardwired superset",
+            "programmable per memory",
+            "shared programmable",
+        ]
+
+    def test_breakdown_sums_to_total(self):
+        for result in SocBistStudy(portfolio()).run():
+            assert result.total_ge == pytest.approx(
+                sum(ge for _, ge in result.breakdown)
+            )
+
+    def test_render(self):
+        study = SocBistStudy(portfolio())
+        text = study.render()
+        assert "shared programmable" in text and "makespan" in text
+
+
+class TestPaperClaims:
+    """The introduction's 'lower overall test logic overhead' claim."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.strategy: r for r in SocBistStudy(portfolio()).run()}
+
+    def test_shared_programmable_beats_per_test_hardwired_area(self, results):
+        assert (
+            results["shared programmable"].total_ge
+            < results["hardwired per test"].total_ge
+        )
+
+    def test_shared_programmable_beats_superset_test_time(self, results):
+        assert (
+            results["shared programmable"].total_operations
+            < results["hardwired superset"].total_operations
+        )
+
+    def test_superset_pays_in_test_time(self, results):
+        """Running the burn-in algorithm at every stage inflates work."""
+        assert (
+            results["hardwired superset"].total_operations
+            > results["hardwired per test"].total_operations
+        )
+
+    def test_equal_test_work_for_stage_exact_strategies(self, results):
+        assert (
+            results["hardwired per test"].total_operations
+            == results["programmable per memory"].total_operations
+            == results["shared programmable"].total_operations
+        )
+
+    def test_shared_serialises_testing(self, results):
+        shared = results["shared programmable"]
+        parallel = results["programmable per memory"]
+        # Serial testing plus per-stage reload latency.
+        assert shared.makespan_operations >= shared.total_operations
+        assert parallel.makespan_operations < parallel.total_operations
+
+    def test_reload_latency_small(self, results):
+        """The paper's slow scan-only cells cost little test time: all
+        program reloads together stay under 10% of the test itself even
+        for this small portfolio (the share shrinks with memory size,
+        since reload cost is fixed while test work scales with N)."""
+        shared = results["shared programmable"]
+        overhead = shared.makespan_operations - shared.total_operations
+        assert 0 < overhead < 0.10 * shared.total_operations
+
+    def test_single_controller_in_shared_breakdown(self, results):
+        labels = [label for label, _ in results["shared programmable"].breakdown]
+        controllers = [l for l in labels if "microcode controller" in l]
+        assert len(controllers) == 1
+
+    def test_per_test_has_one_controller_per_stage(self, results):
+        labels = [label for label, _ in results["hardwired per test"].breakdown]
+        hardwired = [l for l in labels if "hardwired" in l]
+        assert len(hardwired) == sum(len(m.tests) for m in portfolio())
+
+    def test_advantage_grows_with_stage_diversity(self):
+        """More stage algorithms widen the programmable advantage."""
+        def gap(stage_count):
+            tests = (library.MARCH_C, library.MARCH_C_PLUS,
+                     library.MARCH_C_PLUS_PLUS, library.MARCH_A,
+                     library.MARCH_A_PLUS)[:stage_count]
+            memories = [
+                MemoryRequirement("m0", 512, width=8, tests=tests),
+                MemoryRequirement("m1", 256, width=8, tests=tests),
+            ]
+            results = {r.strategy: r for r in SocBistStudy(memories).run()}
+            return (
+                results["hardwired per test"].total_ge
+                - results["shared programmable"].total_ge
+            )
+
+        assert gap(1) < gap(3) < gap(5)

@@ -1,0 +1,107 @@
+"""Unit tests for the transparent-BIST extension."""
+
+import pytest
+
+from repro.core.transparent import TransparentBistRun, transparent_version
+from repro.faults import StuckAtFault, TransitionFault
+from repro.march import library
+from repro.march.element import OpKind
+from repro.march.notation import parse_test
+from repro.memory import Sram
+
+
+class TestTransform:
+    def test_drops_initialising_write_element(self):
+        transparent = transparent_version(library.MARCH_C)
+        first = transparent.elements[0]
+        assert any(op.kind is OpKind.READ for op in first.ops)
+
+    def test_name(self):
+        assert transparent_version(library.MARCH_C).name == "Transparent March C"
+
+    def test_read_only_test_rejected_if_no_reads(self):
+        with pytest.raises(ValueError):
+            transparent_version(parse_test("~(w0); ~(w1)"))
+
+    def test_final_state_polarity_balanced(self):
+        """The transformed test's final write restores polarity 0."""
+        for base in (library.MARCH_C, library.MARCH_A, library.MATS_PLUS):
+            transparent = transparent_version(base)
+            last_polarity = 0
+            for element in transparent.elements:
+                for op in element.ops:
+                    if op.kind is OpKind.WRITE:
+                        last_polarity = op.polarity
+            assert last_polarity == 0, base.name
+
+    def test_pauses_kept_after_first_read(self):
+        transparent = transparent_version(library.MARCH_C_PLUS)
+        assert transparent.has_pauses
+
+
+class TestTransparentRun:
+    def _memory_with_contents(self):
+        memory = Sram(16)
+        for word in range(16):
+            memory.poke(word, (word * 7) % 2)
+        return memory
+
+    def test_fault_free_passes_and_preserves_contents(self):
+        memory = self._memory_with_contents()
+        before = memory.snapshot()
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        result = run.run()
+        assert result.passed
+        assert result.contents_preserved
+        assert memory.snapshot() == before
+
+    def test_stuck_at_detected(self):
+        memory = self._memory_with_contents()
+        memory.attach(StuckAtFault(5, 0, 0))
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        result = run.run()
+        assert not result.passed
+        assert result.mismatch_count > 0
+
+    def test_transition_fault_detected(self):
+        memory = self._memory_with_contents()
+        memory.attach(TransitionFault(3, 0, rising=True))
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        assert not run.run().passed
+
+    def test_signatures_differ_on_failure(self):
+        memory = self._memory_with_contents()
+        memory.attach(StuckAtFault(5, 0, 1))
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        result = run.run()
+        assert result.predicted_signature != result.observed_signature
+
+    def test_word_oriented_memory(self):
+        memory = Sram(8, width=8)
+        for word in range(8):
+            memory.poke(word, (word * 37) & 0xFF)
+        before = memory.snapshot()
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        result = run.run()
+        assert result.passed
+        assert memory.snapshot() == before
+
+    def test_multiport_memory(self):
+        memory = Sram(8, ports=2)
+        memory.poke(3, 1)
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        assert run.run().passed
+
+    def test_all_zero_contents(self):
+        memory = Sram(8)
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        result = run.run()
+        assert result.passed and result.contents_preserved
+
+    def test_all_one_contents(self):
+        memory = Sram(8)
+        for word in range(8):
+            memory.poke(word, 1)
+        run = TransparentBistRun(transparent_version(library.MARCH_C), memory)
+        result = run.run()
+        assert result.passed and result.contents_preserved

@@ -1,0 +1,36 @@
+"""Execute every python code block of docs/TUTORIAL.md.
+
+Keeps the tutorial honest: a snippet that stops working fails the test
+suite, not a reader.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def python_blocks():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+    assert blocks, "tutorial has no python blocks?"
+    return blocks
+
+
+@pytest.mark.parametrize(
+    "index,block",
+    list(enumerate(python_blocks())),
+    ids=lambda value: f"block{value}" if isinstance(value, int) else None,
+)
+def test_tutorial_block_runs(index, block):
+    namespace = {}
+    exec(compile(block, f"TUTORIAL.md block {index}", "exec"), namespace)
+
+
+def test_tutorial_covers_the_main_packages():
+    text = TUTORIAL.read_text()
+    for package in ("repro.memory", "repro.march", "repro.faults",
+                    "repro.diagnostics", "repro.rtl", "repro.area"):
+        assert package in text, package
