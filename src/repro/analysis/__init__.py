@@ -1,0 +1,72 @@
+"""Static verification and linting of BIST programs.
+
+The paper's point is *programmability*: microcode words and upper-buffer
+instructions are loaded at test time, so — unlike the hardwired
+baselines — a malformed program can hang the controller or silently
+lose fault coverage.  This package rejects bad programs before they run:
+
+* :mod:`~repro.analysis.cfg` — control-flow graph over microcode
+  programs, edges derived from the instruction-decoder semantics;
+* :mod:`~repro.analysis.interpreter` — abstract interpretation over the
+  collapsed controller state, *deciding* termination and computing the
+  exact cycle count without running the simulator;
+* :mod:`~repro.analysis.rules` / :mod:`~repro.analysis.march_rules` —
+  the rule catalogue (``MC…`` program rules, ``MA…`` algorithm rules;
+  see ``docs/ANALYSIS.md``);
+* :mod:`~repro.analysis.verifier` — orchestration plus
+  :class:`~repro.analysis.verifier.VerificationError`, raised by the
+  assembler, the controller's program load and ``repro lint`` on
+  error-severity findings.
+"""
+
+from repro.analysis.cfg import EXIT, ControlFlowGraph, Edge, EdgeKind, build_cfg
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+from repro.analysis.interpreter import (
+    Interpretation,
+    Verdict,
+    cycle_bound,
+    interpret,
+)
+from repro.analysis.march_rules import run_march_rules
+from repro.analysis.rules import (
+    ProgramAnalysis,
+    RuleSpec,
+    rule_catalogue,
+    run_program_rules,
+)
+from repro.analysis.verifier import (
+    VerificationError,
+    assert_verified,
+    verify_march,
+    verify_program,
+)
+
+__all__ = [
+    "ControlFlowGraph",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Edge",
+    "EdgeKind",
+    "EXIT",
+    "Interpretation",
+    "Location",
+    "ProgramAnalysis",
+    "RuleSpec",
+    "Severity",
+    "Verdict",
+    "VerificationError",
+    "assert_verified",
+    "build_cfg",
+    "cycle_bound",
+    "interpret",
+    "rule_catalogue",
+    "run_march_rules",
+    "run_program_rules",
+    "verify_march",
+    "verify_program",
+]

@@ -1,0 +1,180 @@
+"""Control-flow graph over microcode programs.
+
+Nodes are instruction indices; one virtual EXIT node (``None``) models
+test end.  Edges follow the decoder semantics of
+:func:`repro.core.microcode.controller.decoder_outputs`:
+
+=============  ============================================================
+``NOP``        fall through to ``i+1``.
+``SAVE``       fall through (the branch-register side effect is not a
+               control transfer).
+``LOOP``       two-way: back edge to the element start (the branch
+               register's value, resolved statically — see
+               :func:`loop_target`) while addresses remain, fall through
+               on *Last Address*.
+``REPEAT``     two-way: "Reset to 1" edge to instruction 1 on first
+               execution, fall through on the second.
+``NEXT_BG``    two-way: "Reset to 0" edge to instruction 0 while data
+               backgrounds remain, fall through on *Last Data*.
+``HOLD``       fall through once the pause timer expires.
+``INC_PORT``   two-way: "Reset to 0" edge while ports remain, EXIT on
+               *Last Port*.
+``TERMINATE``  EXIT.
+=============  ============================================================
+
+Falling off the last instruction is modelled as an edge to EXIT: the
+controller ends a test "by exhausting the allowed instruction addresses"
+(the walker stops once the IC passes the last program row).
+
+The branch register is runtime state, but in straight-line programs its
+value at a ``LOOP`` is statically determined: every control-transfer
+instruction re-seeds it with its own successor, so the loop target is
+one past the nearest preceding non-``NOP`` instruction (or 0 at the
+program head — the power-on branch-register value).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.microcode.assembler import MicrocodeProgram
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.microcode.isa import ConditionOp
+
+#: The virtual exit node.
+EXIT = None
+
+
+class EdgeKind(enum.Enum):
+    """Why control may flow along an edge."""
+
+    FALLTHROUGH = "fallthrough"   # sequential IC increment
+    LOOP_BACK = "loop-back"       # LOOP -> branch register (element sweep)
+    RESET1 = "reset-1"            # REPEAT first execution -> instruction 1
+    RESET0 = "reset-0"            # NEXT_BG / INC_PORT -> instruction 0
+    END = "end"                   # Terminate signal / address exhaustion
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One control-flow edge ``src -> dst`` (``dst is None`` = EXIT)."""
+
+    src: int
+    dst: Optional[int]
+    kind: EdgeKind
+
+    def __str__(self) -> str:
+        dst = "EXIT" if self.dst is EXIT else str(self.dst)
+        return f"{self.src} -> {dst} [{self.kind.value}]"
+
+
+def loop_target(instructions: Sequence[MicroInstruction], index: int) -> int:
+    """Statically resolved branch-register value at a ``LOOP`` row.
+
+    Scans backwards over the ``NOP`` rows forming the element body; the
+    first non-``NOP`` row re-seeded the branch register with its own
+    successor.  At the program head the power-on value 0 applies.
+    """
+    scan = index - 1
+    while scan >= 0 and instructions[scan].cond is ConditionOp.NOP:
+        scan -= 1
+    return scan + 1
+
+
+@dataclass(frozen=True)
+class ControlFlowGraph:
+    """CFG of one microcode program.
+
+    Attributes:
+        instructions: the program rows the graph covers.
+        edges: all edges, in instruction order.
+    """
+
+    instructions: Tuple[MicroInstruction, ...]
+    edges: Tuple[Edge, ...]
+
+    def successors(self, index: int) -> List[Edge]:
+        return [edge for edge in self.edges if edge.src == index]
+
+    def predecessors(self, index: Optional[int]) -> List[Edge]:
+        return [edge for edge in self.edges if edge.dst == index]
+
+    def reachable(self) -> Set[int]:
+        """Instruction indices reachable from the entry (row 0)."""
+        if not self.instructions:
+            return set()
+        seen: Set[int] = set()
+        frontier = [0]
+        by_src: Dict[int, List[Edge]] = {}
+        for edge in self.edges:
+            by_src.setdefault(edge.src, []).append(edge)
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for edge in by_src.get(node, ()):
+                if edge.dst is not EXIT and edge.dst not in seen:
+                    frontier.append(edge.dst)
+        return seen
+
+    def unreachable(self) -> List[int]:
+        reachable = self.reachable()
+        return [i for i in range(len(self.instructions)) if i not in reachable]
+
+    def terminating_edges(self) -> List[Edge]:
+        """All edges into EXIT."""
+        return self.predecessors(EXIT)
+
+    def exits_explicitly(self) -> bool:
+        """Whether a reachable TERMINATE / INC_PORT ends the test (as
+        opposed to running off the end of the storage)."""
+        reachable = self.reachable()
+        return any(
+            edge.src in reachable
+            and self.instructions[edge.src].cond
+            in (ConditionOp.TERMINATE, ConditionOp.INC_PORT)
+            for edge in self.terminating_edges()
+        )
+
+
+def build_cfg(
+    program: Union[MicrocodeProgram, Sequence[MicroInstruction]],
+) -> ControlFlowGraph:
+    """Build the control-flow graph of a microcode program."""
+    if isinstance(program, MicrocodeProgram):
+        instructions: Tuple[MicroInstruction, ...] = tuple(program.instructions)
+    else:
+        instructions = tuple(program)
+    n = len(instructions)
+    edges: List[Edge] = []
+
+    def fall(index: int, kind: EdgeKind = EdgeKind.FALLTHROUGH) -> Edge:
+        if index + 1 < n:
+            return Edge(index, index + 1, kind)
+        return Edge(index, EXIT, EdgeKind.END)
+
+    for index, instr in enumerate(instructions):
+        cond = instr.cond
+        if cond in (ConditionOp.NOP, ConditionOp.SAVE, ConditionOp.HOLD):
+            edges.append(fall(index))
+        elif cond is ConditionOp.LOOP:
+            edges.append(
+                Edge(index, loop_target(instructions, index), EdgeKind.LOOP_BACK)
+            )
+            edges.append(fall(index))
+        elif cond is ConditionOp.REPEAT:
+            if n > 1:
+                edges.append(Edge(index, 1, EdgeKind.RESET1))
+            edges.append(fall(index))
+        elif cond is ConditionOp.NEXT_BG:
+            edges.append(Edge(index, 0, EdgeKind.RESET0))
+            edges.append(fall(index))
+        elif cond is ConditionOp.INC_PORT:
+            edges.append(Edge(index, 0, EdgeKind.RESET0))
+            edges.append(Edge(index, EXIT, EdgeKind.END))
+        elif cond is ConditionOp.TERMINATE:
+            edges.append(Edge(index, EXIT, EdgeKind.END))
+    return ControlFlowGraph(instructions=instructions, edges=tuple(edges))

@@ -1,0 +1,279 @@
+"""Abstract interpretation of microcode programs.
+
+Proves termination and computes the **exact** cycle count of a program
+without running the simulator.  The concrete controller state is
+
+    (IC, branch register, repeat bit, reference register,
+     address generator, data generator, port sequencer)
+
+and a full run costs one cycle per executed instruction — O(N) cycles
+per march element for an N-word memory.  The abstract interpreter
+collapses the only N-dependent part, the per-address element sweep:
+
+* the address generator is abstracted away entirely — a ``LOOP`` row at
+  index *i* with branch register *b* executes the rows ``b..i`` once per
+  address, so it contributes ``(i - b + 1) × N`` cycles in one step;
+* the reference register's complement bits never influence control flow
+  or cycle count, so only the repeat *bit* is kept;
+* the data and port generators reduce to their counter values, bounded
+  by the capability-derived background count and port count.
+
+What remains is a finite deterministic transition system over
+
+    (IC, branch, repeat bit, background index, port index)
+
+with at most ``Z × (Z+1) × 2 × B × P`` states.  Executing it step by
+step therefore *decides* termination: reaching EXIT proves the program
+halts (with an exact cycle total), revisiting a state proves it never
+does.  Programs whose element bodies are not straight-line ``NOP`` runs
+(the only shape the collapsed sweep formula covers — and the only shape
+the assembler emits) are reported as UNKNOWN rather than guessed at.
+
+The collapse is exact because the simulator's trace semantics make each
+sweep cost precisely ``span × N``: the walker already counted the body
+rows once (the first address iteration), so the ``LOOP`` step adds
+``span × (N-1) + 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set, Tuple, Union
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode.assembler import MicrocodeProgram
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.microcode.isa import ConditionOp
+from repro.march.backgrounds import background_count
+
+#: Abstract-step safety valve (the state space bounds the walk anyway;
+#: this guards against pathological Z² blowups on huge programs).
+MAX_STEPS = 200_000
+
+
+class Verdict(enum.Enum):
+    """Outcome of the abstract interpretation."""
+
+    TERMINATES = "terminates"   # halts; ``cycles`` is exact
+    DIVERGES = "diverges"       # provably never halts
+    UNKNOWN = "unknown"         # control flow outside the analyzable shape
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """Collapsed controller state between abstract steps."""
+
+    ic: int
+    branch: int
+    repeat: bool
+    background: int
+    port: int
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """Result of :func:`interpret`.
+
+    Attributes:
+        verdict: termination verdict.
+        cycles: exact executed-instruction count (TERMINATES only).
+        reason: explanation for DIVERGES / UNKNOWN verdicts.
+        location: instruction index the reason points at, if any.
+        states_visited: size of the explored abstract state space.
+    """
+
+    verdict: Verdict
+    cycles: Optional[int] = None
+    reason: str = ""
+    location: Optional[int] = None
+    states_visited: int = 0
+
+    @property
+    def terminates(self) -> Optional[bool]:
+        if self.verdict is Verdict.TERMINATES:
+            return True
+        if self.verdict is Verdict.DIVERGES:
+            return False
+        return None
+
+
+def interpret(
+    program: Union[MicrocodeProgram, Sequence[MicroInstruction]],
+    capabilities: ControllerCapabilities,
+    storage_rows: Optional[int] = None,
+) -> Interpretation:
+    """Abstractly execute ``program`` against a memory geometry.
+
+    Args:
+        program: the microcode program (or raw instruction list).
+        capabilities: geometry the controller targets; supplies the
+            address-space size, background count and port count.
+        storage_rows: storage depth Z.  The controller's walker ends a
+            test when the IC passes the last *program* row (padding rows
+            never execute), so Z only matters when it is smaller than
+            the program — the faithful model of an overflowing load.
+
+    Returns:
+        An :class:`Interpretation`; when the verdict is ``TERMINATES``
+        the ``cycles`` field equals the simulator's executed-instruction
+        count exactly (the test suite checks this identity property).
+    """
+    if isinstance(program, MicrocodeProgram):
+        instructions: Tuple[MicroInstruction, ...] = tuple(program.instructions)
+    else:
+        instructions = tuple(program)
+    limit = len(instructions)
+    if storage_rows is not None:
+        limit = min(limit, storage_rows)
+    n_words = capabilities.n_words
+    n_backgrounds = background_count(capabilities.width)
+    n_ports = capabilities.ports
+
+    def fetch(ic: int) -> MicroInstruction:
+        return instructions[ic]
+
+    ic = 0
+    branch = 0
+    repeat = False
+    bg = 0
+    port = 0
+    cycles = 0
+    visited: Set[AbstractState] = set()
+
+    for _ in range(MAX_STEPS):
+        if ic >= limit:
+            return Interpretation(
+                Verdict.TERMINATES, cycles=cycles,
+                reason="instruction addresses exhausted",
+                states_visited=len(visited),
+            )
+        state = AbstractState(ic, branch, repeat, bg, port)
+        if state in visited:
+            return Interpretation(
+                Verdict.DIVERGES,
+                reason=(f"controller state (ic={ic}, branch={branch}, "
+                        f"repeat={int(repeat)}, background={bg}, "
+                        f"port={port}) recurs — the program loops forever"),
+                location=ic,
+                states_visited=len(visited),
+            )
+        visited.add(state)
+        instr = fetch(ic)
+        cond = instr.cond
+
+        if cond is ConditionOp.NOP:
+            cycles += 1
+            ic += 1
+        elif cond is ConditionOp.LOOP:
+            if branch > ic:
+                return Interpretation(
+                    Verdict.UNKNOWN,
+                    reason=(f"LOOP at {ic} reached with branch register "
+                            f"{branch} ahead of it"),
+                    location=ic, states_visited=len(visited),
+                )
+            span = ic - branch + 1
+            body = [fetch(row) for row in range(branch, ic)]
+            if any(row.cond is not ConditionOp.NOP for row in body):
+                return Interpretation(
+                    Verdict.UNKNOWN,
+                    reason=(f"LOOP at {ic} sweeps rows {branch}..{ic - 1} "
+                            "that are not a straight NOP run"),
+                    location=ic, states_visited=len(visited),
+                )
+            if any(row.addr_inc for row in body):
+                return Interpretation(
+                    Verdict.UNKNOWN,
+                    reason=(f"element body before LOOP at {ic} steps the "
+                            "address mid-sweep (ADDR_INC on a non-final "
+                            "row)"),
+                    location=ic, states_visited=len(visited),
+                )
+            advances = instr.is_memory_op and instr.addr_inc
+            if not instr.is_memory_op:
+                return Interpretation(
+                    Verdict.UNKNOWN,
+                    reason=(f"LOOP at {ic} is not a memory operation; the "
+                            "sweep never restarts the address generator"),
+                    location=ic, states_visited=len(visited),
+                )
+            if not advances and n_words > 1:
+                return Interpretation(
+                    Verdict.DIVERGES,
+                    reason=(f"LOOP at {ic} never increments the address "
+                            f"generator, so Last Address never asserts on "
+                            f"a {n_words}-word memory"),
+                    location=ic, states_visited=len(visited),
+                )
+            # Body rows were already counted once (first address); the
+            # remaining (N-1) iterations plus the LOOP row's N executions
+            # add span*(N-1) + 1.
+            cycles += span * (n_words - 1) + 1
+            branch = ic + 1
+            ic += 1
+        elif cond is ConditionOp.SAVE:
+            cycles += 1
+            branch = ic + 1
+            ic += 1
+        elif cond is ConditionOp.HOLD:
+            cycles += 1
+            branch = ic + 1
+            ic += 1
+        elif cond is ConditionOp.REPEAT:
+            cycles += 1
+            if repeat:
+                repeat = False
+                branch = ic + 1
+                ic += 1
+            else:
+                repeat = True
+                ic = 1
+                branch = 1
+        elif cond is ConditionOp.NEXT_BG:
+            cycles += 1
+            if bg >= n_backgrounds - 1:
+                bg = 0          # Last Data: reset and fall through
+                branch = ic + 1
+                ic += 1
+            else:
+                bg += 1
+                ic = 0
+                branch = 0
+        elif cond is ConditionOp.INC_PORT:
+            cycles += 1
+            if port >= n_ports - 1:
+                return Interpretation(
+                    Verdict.TERMINATES, cycles=cycles,
+                    reason="Last Port terminate",
+                    states_visited=len(visited),
+                )
+            port += 1
+            bg = 0
+            ic = 0
+            branch = 0
+        elif cond is ConditionOp.TERMINATE:
+            cycles += 1
+            return Interpretation(
+                Verdict.TERMINATES, cycles=cycles, reason="Terminate",
+                states_visited=len(visited),
+            )
+        else:  # pragma: no cover — the ISA is closed
+            return Interpretation(
+                Verdict.UNKNOWN, reason=f"unhandled condition {cond!r}",
+                location=ic, states_visited=len(visited),
+            )
+    return Interpretation(
+        Verdict.UNKNOWN,
+        reason=f"no verdict within {MAX_STEPS} abstract steps",
+        states_visited=len(visited),
+    )
+
+
+def cycle_bound(
+    program: Union[MicrocodeProgram, Sequence[MicroInstruction]],
+    capabilities: ControllerCapabilities,
+    storage_rows: Optional[int] = None,
+) -> Optional[int]:
+    """Exact cycle count when provable, else ``None``."""
+    return interpret(program, capabilities, storage_rows=storage_rows).cycles

@@ -20,6 +20,11 @@ Commands:
 ``report``
     Render a markdown datasheet for a configuration (geometry,
     program listing, measured coverage, area breakdown).
+``lint``
+    Statically verify algorithms/programs without running them: CFG +
+    abstract-interpretation termination proof + the rule catalogue of
+    ``docs/ANALYSIS.md``.  Exits 1 when any error-severity finding is
+    reported, so it can gate a program load in CI or on a tester.
 
 Fault specifications for ``run --fault`` use small colon-separated
 forms, e.g. ``saf:word:bit:value``::
@@ -37,8 +42,9 @@ forms, e.g. ``saf:word:bit:value``::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List
+from typing import List, Optional
 
 from repro.core.controller import ControllerCapabilities
 from repro.core.bist_unit import MemoryBistUnit
@@ -133,7 +139,7 @@ def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     test = library.get(args.algorithm)
     caps = ControllerCapabilities(
         n_words=args.words, width=args.width, ports=args.ports
@@ -167,7 +173,7 @@ def _cmd_run(args) -> int:
     return 0 if result.passed else 1
 
 
-def _cmd_assemble(args) -> int:
+def _cmd_assemble(args: argparse.Namespace) -> int:
     test = library.get(args.algorithm)
     caps = ControllerCapabilities(
         n_words=args.words, width=args.width, ports=args.ports
@@ -183,7 +189,7 @@ def _cmd_assemble(args) -> int:
     return 0
 
 
-def _cmd_recommend(args) -> int:
+def _cmd_recommend(args: argparse.Namespace) -> int:
     from repro.eval.recommend import recommend
 
     classes = [token.strip().upper() for token in args.classes.split(",")
@@ -199,7 +205,7 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.reporting import build_controller, datasheet
 
     test = library.get(args.algorithm)
@@ -217,11 +223,57 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_algorithms(_args) -> int:
+def _cmd_algorithms(_args: argparse.Namespace) -> int:
     width = max(len(name) for name in library.ALGORITHMS)
     for name, test in library.ALGORITHMS.items():
         print(f"{name:<{width}}  {test.complexity:>5}  {format_test(test)}")
     return 0
+
+
+def _lint_one(name: str, args: argparse.Namespace):
+    """Build the diagnostic report for one algorithm (or program file)."""
+    from repro.analysis import verify_march, verify_program
+
+    if args.target == "progfsm":
+        return verify_march(library.get(name), target="progfsm")
+    if args.target == "march":
+        return verify_march(library.get(name), target=None)
+    caps = ControllerCapabilities(
+        n_words=args.words, width=args.width, ports=args.ports
+    )
+    program = assemble_microcode(
+        library.get(name), caps, compress=not args.no_compress, verify=False
+    )
+    return verify_program(program, caps)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.rules:
+        from repro.analysis.rules import rule_catalogue
+
+        for spec in rule_catalogue():
+            print(f"{spec.rule_id}  {spec.severity.value:<7}  {spec.title}")
+        return 0
+    if args.program:
+        from repro.analysis import verify_program
+        from repro.core.programming import load_program
+
+        with open(args.program) as handle:
+            program = load_program(handle.read())
+        caps = ControllerCapabilities(
+            n_words=args.words, width=args.width, ports=args.ports
+        )
+        reports = [verify_program(program, caps)]
+    else:
+        names = list(library.ALGORITHMS) if args.all else [args.algorithm]
+        reports = [_lint_one(name, args) for name in names]
+    failed = any(report.has_errors for report in reports)
+    if args.json:
+        print(json.dumps([report.to_json() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format())
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,10 +340,41 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", help="write to a file instead of stdout")
     report.set_defaults(handler=_cmd_report)
 
+    lint = commands.add_parser(
+        "lint", help="statically verify programs without running them"
+    )
+    _add_geometry_args(lint)
+    lint.add_argument(
+        "--all", action="store_true",
+        help="lint every library algorithm instead of --algorithm",
+    )
+    lint.add_argument(
+        "--target", choices=["microcode", "progfsm", "march"],
+        default="microcode",
+        help="microcode: assemble and verify the program; progfsm: check "
+        "SM0-SM7 realisability; march: architecture-neutral checks only",
+    )
+    lint.add_argument(
+        "--no-compress", action="store_true",
+        help="assemble without REPEAT compression (microcode target)",
+    )
+    lint.add_argument(
+        "--program", metavar="FILE",
+        help="lint a tester interchange file instead of a library algorithm",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
+
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -58,16 +58,25 @@ class MicrocodeProgram:
         return len(self.instructions)
 
 
-def _pause_exponent(duration: int) -> int:
-    """Exponent k with 2**k == duration; pauses must be powers of two."""
+def _pause_exponent(duration: int, item_index: int) -> int:
+    """Exponent k with 2**k == duration; pauses must be powers of two.
+
+    Validated here, at assembly time, so a bad retention pause fails
+    with the offending element named instead of surfacing as a cryptic
+    instruction-encoding error in the controller.
+    """
     if duration <= 0 or duration & (duration - 1):
         raise AssemblyError(
-            f"pause duration {duration} is not a power of two; the HOLD "
-            "pause timer is a 2^k counter"
+            f"item {item_index} (Del({duration})): pause duration "
+            f"{duration} is not a power of two; the HOLD pause timer is "
+            "a 2^k counter"
         )
     exponent = duration.bit_length() - 1
     if exponent > MAX_HOLD_EXPONENT:
-        raise AssemblyError(f"pause duration {duration} exceeds the HOLD timer")
+        raise AssemblyError(
+            f"item {item_index} (Del({duration})): pause duration "
+            f"{duration} exceeds the HOLD timer's exponent range"
+        )
     return exponent
 
 
@@ -91,11 +100,12 @@ def _element_rows(element: MarchElement) -> List[MicroInstruction]:
     return rows
 
 
-def _item_rows(item: MarchItem) -> List[MicroInstruction]:
+def _item_rows(item: MarchItem, item_index: int) -> List[MicroInstruction]:
     if isinstance(item, Pause):
         return [
             MicroInstruction(
-                cond=ConditionOp.HOLD, hold_exponent=_pause_exponent(item.duration)
+                cond=ConditionOp.HOLD,
+                hold_exponent=_pause_exponent(item.duration, item_index),
             )
         ]
     return _element_rows(item)
@@ -125,6 +135,7 @@ def assemble(
     test: MarchTest,
     capabilities: ControllerCapabilities,
     compress: bool = True,
+    verify: bool = True,
 ) -> MicrocodeProgram:
     """Assemble a march test into a microcode program.
 
@@ -135,9 +146,15 @@ def assemble(
         compress: apply REPEAT compression when the algorithm is
             symmetric with a single-row initialisation prefix (March C,
             March A and their '+'/'++' derivatives all qualify).
+        verify: run the static verifier over the finished program and
+            raise on error-severity findings.  Disable to inspect a
+            program the verifier would reject (``repro lint`` does).
 
     Raises:
-        AssemblyError: for non-power-of-two pause durations.
+        AssemblyError: for non-power-of-two pause durations (the
+            offending item is named in the message).
+        VerificationError: when ``verify`` is set and the program fails
+            static verification (a subclass of :class:`AssemblyError`).
     """
     split = symmetric_split(test, require_single_op_prefix=True) if compress else None
     rows: List[MicroInstruction] = []
@@ -147,16 +164,22 @@ def assemble(
         for element in split.body:
             rows.extend(_element_rows(element))
         rows.append(_repeat_row(split.aux))
-        for item in split.suffix:
-            rows.extend(_item_rows(item))
+        suffix_start = len(test.items) - len(split.suffix)
+        for offset, item in enumerate(split.suffix):
+            rows.extend(_item_rows(item, suffix_start + offset))
     else:
-        for item in test.items:
-            rows.extend(_item_rows(item))
+        for item_index, item in enumerate(test.items):
+            rows.extend(_item_rows(item, item_index))
     rows.extend(_tail_rows(capabilities))
-    return MicrocodeProgram(
+    program = MicrocodeProgram(
         name=test.name,
         instructions=rows,
         source=test,
         compressed=split is not None,
         split=split,
     )
+    if verify:
+        from repro.analysis.verifier import verify_program
+
+        verify_program(program, capabilities).raise_on_errors()
+    return program

@@ -46,7 +46,7 @@ from repro.core.datapath import (
 )
 from repro.core.microcode.assembler import MicrocodeProgram, assemble
 from repro.core.microcode.instruction import MicroInstruction
-from repro.core.microcode.isa import ConditionOp
+from repro.core.microcode.isa import PAUSE_TIMER_BITS, ConditionOp
 from repro.core.microcode.storage import DEFAULT_ROWS, StorageUnit
 from repro.march.element import AddressOrder
 from repro.march.simulator import MemoryOperation
@@ -200,6 +200,12 @@ class MicrocodeBistController(BistController):
         compress: enable REPEAT compression during assembly.
         max_cycles: safety bound on executed instructions; ``None``
             derives a generous bound from the program and geometry.
+        verify: statically verify the program before loading it (and on
+            every :meth:`load`); raises
+            :class:`~repro.analysis.verifier.VerificationError` on
+            error-severity findings.  Disable only to study how the
+            hardware behaves on a malformed program — the runtime
+            cycle bound is then the last line of defence.
     """
 
     architecture = "Microcode-Based"
@@ -213,10 +219,17 @@ class MicrocodeBistController(BistController):
         storage_cell: str = "scan_dff",
         compress: bool = True,
         max_cycles: Optional[int] = None,
+        verify: bool = True,
     ) -> None:
         super().__init__(capabilities)
+        self.verify = verify
         if isinstance(test, MarchTest):
-            self.program = assemble(test, capabilities, compress=compress)
+            self.program = assemble(
+                test, capabilities, compress=compress, verify=verify
+            )
+        elif verify:
+            self._verify_program(test, storage_rows)
+            self.program = test
         else:
             self.program = test
         if storage_rows is None:
@@ -236,12 +249,28 @@ class MicrocodeBistController(BistController):
     def loaded_test(self) -> MarchTest:
         return self.program.source
 
+    def _verify_program(
+        self, program: MicrocodeProgram, storage_rows: Optional[int]
+    ) -> None:
+        """Static pre-load verification (the in-field safety gate)."""
+        from repro.analysis.verifier import verify_program
+
+        verify_program(
+            program, self.capabilities, storage_rows=storage_rows
+        ).raise_on_errors()
+
     def load(self, test: Union[MarchTest, MicrocodeProgram], compress: bool = True) -> None:
         """Load a different algorithm — no hardware change, the paper's
-        point about programmability."""
+        point about programmability.  Verifies the program against this
+        controller's capabilities and storage depth first (unless the
+        controller was built with ``verify=False``)."""
         if isinstance(test, MarchTest):
-            self.program = assemble(test, self.capabilities, compress=compress)
+            self.program = assemble(
+                test, self.capabilities, compress=compress, verify=self.verify
+            )
         else:
+            if self.verify:
+                self._verify_program(test, self.storage.rows)
             self.program = test
         self.storage.load(self.program.instructions)
 
@@ -387,7 +416,7 @@ class MicrocodeBistController(BistController):
                 decoder_truth_table().gate_equivalents(),
             )
         )
-        spec.add(Counter("controller/pause timer", 16))
+        spec.add(Counter("controller/pause timer", PAUSE_TIMER_BITS))
         spec.extend(
             shared_datapath_hardware(caps.n_words, caps.width, caps.ports)
         )

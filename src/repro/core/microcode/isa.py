@@ -70,6 +70,10 @@ COND_MASK = 0b111
 HOLD_EXPONENT_MASK = 0b0111_1111
 #: Largest representable pause: 2**MAX_HOLD_EXPONENT time units.
 MAX_HOLD_EXPONENT = HOLD_EXPONENT_MASK
+#: Width of the pause timer counter.  The 7-bit HOLD exponent field can
+#: encode pauses far beyond what the timer hardware counts; exponents
+#: above this limit are flagged by the static verifier (rule MC006).
+PAUSE_TIMER_BITS = 16
 
 
 class ConditionOp(enum.IntEnum):

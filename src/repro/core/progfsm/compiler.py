@@ -51,14 +51,27 @@ class FsmProgram:
 def compile_to_sm(
     test: MarchTest,
     capabilities: ControllerCapabilities,
+    verify: bool = True,
 ) -> FsmProgram:
     """Compile a march test for the programmable FSM controller.
+
+    The static verifier runs first (``target="progfsm"``), so every
+    flexibility-boundary violation is reported with its rule id and
+    element location before the row-by-row translation below repeats
+    the same checks as a safety net.
 
     Raises:
         CompileError: when an element matches no SM pattern, when a
             pause is not followed by an element, or when pauses disagree
             on duration.
     """
+    if verify:
+        from repro.analysis.verifier import verify_march
+
+        report = verify_march(test, target="progfsm")
+        if report.has_errors:
+            details = "; ".join(str(d) for d in report.errors)
+            raise CompileError(f"{test.name}: {details}")
     rows: List[FsmInstruction] = []
     pending_hold = False
     pause_duration: Optional[int] = None

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import List, Optional
 
 from repro.eval.coverage_study import coverage_table, render_coverage_table
 from repro.eval.test_time import render_test_time, test_time_table
@@ -37,7 +38,7 @@ def _render_flexibility() -> str:
     return "\n".join(lines)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the paper's evaluation tables.",

@@ -1,0 +1,62 @@
+"""Self-lint: every library algorithm passes the static verifier.
+
+The lint engine must accept everything the assembler legitimately
+produces — compressed and uncompressed, across geometries — with zero
+error-severity findings (warnings and advisories are allowed).  This is
+the no-false-positives contract that lets ``assemble`` and the
+controller verify by default.
+"""
+
+import pytest
+
+from repro.analysis import Verdict, verify_march, verify_program
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import assemble
+from repro.march import library
+
+GEOMETRIES = [
+    ControllerCapabilities(n_words=64),
+    ControllerCapabilities(n_words=16, width=4, ports=2),
+    ControllerCapabilities(n_words=1),
+]
+
+
+@pytest.mark.parametrize("name", sorted(library.ALGORITHMS))
+@pytest.mark.parametrize("compress", [True, False])
+def test_library_algorithm_lints_clean(name, compress):
+    test = library.get(name)
+    for caps in GEOMETRIES:
+        program = assemble(test, caps, compress=compress, verify=False)
+        report = verify_program(program, caps)
+        assert not report.has_errors, report.format()
+
+
+@pytest.mark.parametrize("name", sorted(library.ALGORITHMS))
+def test_library_algorithm_march_lint_clean(name):
+    report = verify_march(library.get(name), target="microcode")
+    assert not report.has_errors, report.format()
+
+
+@pytest.mark.parametrize("name", sorted(library.ALGORITHMS))
+def test_library_algorithm_termination_proved(name):
+    caps = ControllerCapabilities(n_words=32, width=2)
+    program = assemble(library.get(name), caps)
+    from repro.analysis import interpret
+
+    result = interpret(program, caps)
+    assert result.verdict is Verdict.TERMINATES
+    assert result.cycles is not None and result.cycles > 0
+
+
+def test_every_program_warning_is_expected():
+    """The library may trigger advisories (e.g. MC007's storage
+    auto-grow note for March C++) but never error-severity findings
+    from the hang/overflow rules."""
+    forbidden = {"MC003", "MC004", "MC005", "MC006", "MC007", "MC008",
+                 "MC010", "MC011"}
+    caps = ControllerCapabilities(n_words=8)
+    for name in library.ALGORITHMS:
+        program = assemble(library.get(name), caps, verify=False)
+        report = verify_program(program, caps)
+        fired = {d.rule for d in report.errors}
+        assert not fired & forbidden, f"{name}: {report.format()}"

@@ -154,3 +154,56 @@ class TestRecommendCommand:
     def test_recommend_unknown_class_errors(self, capsys):
         assert main(["recommend", "--classes", "saf,xyz"]) == 2
         assert "unknown fault classes" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_default_algorithm_lints_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "March C" in out
+        assert "0 error(s)" in out
+
+    def test_all_library_algorithms_exit_zero(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("March C", "March A++", "PMOVI"):
+            assert name in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["lint", "--all", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert {report["name"] for report in reports} >= {"March C", "PMOVI"}
+        assert all(report["errors"] == 0 for report in reports)
+
+    def test_progfsm_target_flags_unrealizable_algorithm(self, capsys):
+        assert main(["lint", "--algorithm", "March B",
+                     "--target", "progfsm"]) == 1
+        out = capsys.readouterr().out
+        assert "MA004" in out
+        assert "SM0-SM7" in out
+
+    def test_uncompressed_lint_advises_compression(self, capsys):
+        assert main(["lint", "--algorithm", "March C", "--no-compress"]) == 0
+        assert "MC012" in capsys.readouterr().out
+
+    def test_rules_prints_the_catalogue(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("MC001", "MC010", "MA004"):
+            assert rule_id in out
+
+    def test_program_file_lints(self, capsys, tmp_path):
+        assert main(["assemble", "--algorithm", "March C",
+                     "--format", "interchange"]) == 0
+        text = capsys.readouterr().out
+        path = tmp_path / "marchc.prog"
+        path.write_text(text)
+        assert main(["lint", "--program", str(path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_march_target_is_architecture_neutral(self, capsys):
+        assert main(["lint", "--algorithm", "March B",
+                     "--target", "march"]) == 0
+        capsys.readouterr()

@@ -167,7 +167,17 @@ class TestControllerExecution:
             ],
             source=parse_test("~(r0)"),
         )
-        controller = MicrocodeBistController(bad, CAPS, max_cycles=200)
+        # First defense layer: the static verifier rejects the program
+        # at load time (LOOP with no ADDR_INC provably diverges).
+        from repro.analysis import VerificationError
+
+        with pytest.raises(VerificationError):
+            MicrocodeBistController(bad, CAPS, max_cycles=200)
+        # Second layer: with verification bypassed, the runtime
+        # cycle-budget guard still catches the hang.
+        controller = MicrocodeBistController(
+            bad, CAPS, max_cycles=200, verify=False
+        )
         with pytest.raises(RuntimeError):
             list(controller.operations())
 
