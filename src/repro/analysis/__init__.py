@@ -10,12 +10,19 @@ lose fault coverage.  This package rejects bad programs before they run:
 * :mod:`~repro.analysis.interpreter` — abstract interpretation over the
   collapsed controller state, *deciding* termination and computing the
   exact cycle count without running the simulator;
-* :mod:`~repro.analysis.rules` / :mod:`~repro.analysis.march_rules` —
-  the rule catalogue (``MC…`` program rules, ``MA…`` algorithm rules;
+* :mod:`~repro.analysis.progfsm_cfg` — the same two layers for the
+  programmable FSM's circular upper buffer (loop rows, buffer wrap);
+* :mod:`~repro.analysis.rules` / :mod:`~repro.analysis.march_rules` /
+  :mod:`~repro.analysis.progfsm_rules` — the rule catalogue (``MC…``
+  program rules, ``MA…`` algorithm rules, ``PF…`` upper-buffer rules;
   see ``docs/ANALYSIS.md``);
+* :mod:`~repro.analysis.fixes` — mechanical autofixes behind
+  ``repro lint --fix``;
+* :mod:`~repro.analysis.fuzz` — the verifier-vs-simulator fuzz harness
+  behind ``repro fuzz``;
 * :mod:`~repro.analysis.verifier` — orchestration plus
   :class:`~repro.analysis.verifier.VerificationError`, raised by the
-  assembler, the controller's program load and ``repro lint`` on
+  assemblers, the controllers' program loads and ``repro lint`` on
   error-severity findings.
 """
 
@@ -26,6 +33,15 @@ from repro.analysis.diagnostics import (
     Location,
     Severity,
 )
+from repro.analysis.fixes import FixResult, apply_fixes
+from repro.analysis.fuzz import (
+    FuzzReport,
+    SampleResult,
+    check_sample,
+    random_geometry,
+    random_march,
+    run_fuzz,
+)
 from repro.analysis.interpreter import (
     Interpretation,
     Verdict,
@@ -33,6 +49,15 @@ from repro.analysis.interpreter import (
     interpret,
 )
 from repro.analysis.march_rules import run_march_rules
+from repro.analysis.progfsm_cfg import (
+    FsmControlFlowGraph,
+    FsmEdge,
+    FsmEdgeKind,
+    build_fsm_cfg,
+    fsm_cycle_bound,
+    interpret_fsm,
+)
+from repro.analysis.progfsm_rules import FsmProgramAnalysis, run_fsm_rules
 from repro.analysis.rules import (
     ProgramAnalysis,
     RuleSpec,
@@ -42,6 +67,7 @@ from repro.analysis.rules import (
 from repro.analysis.verifier import (
     VerificationError,
     assert_verified,
+    verify_fsm_program,
     verify_march,
     verify_program,
 )
@@ -53,20 +79,37 @@ __all__ = [
     "Edge",
     "EdgeKind",
     "EXIT",
+    "FixResult",
+    "FsmControlFlowGraph",
+    "FsmEdge",
+    "FsmEdgeKind",
+    "FsmProgramAnalysis",
+    "FuzzReport",
     "Interpretation",
     "Location",
     "ProgramAnalysis",
     "RuleSpec",
+    "SampleResult",
     "Severity",
     "Verdict",
     "VerificationError",
+    "apply_fixes",
     "assert_verified",
     "build_cfg",
+    "build_fsm_cfg",
+    "check_sample",
     "cycle_bound",
+    "fsm_cycle_bound",
     "interpret",
+    "interpret_fsm",
+    "random_geometry",
+    "random_march",
     "rule_catalogue",
+    "run_fsm_rules",
+    "run_fuzz",
     "run_march_rules",
     "run_program_rules",
+    "verify_fsm_program",
     "verify_march",
     "verify_program",
 ]

@@ -1,0 +1,360 @@
+"""Verifier-vs-simulator fuzzing: the analyses proved at corpus scale.
+
+The static verifier is only worth trusting if it agrees with the
+executable semantics on more than the ~10 library algorithms.  This
+module generates random **well-formed** march algorithms (element
+count, operations, address orders, retention pauses) over random small
+geometries and, for every sample, checks three identities:
+
+(a) the microcode abstract interpreter proves termination and its cycle
+    count equals the microcode controller's trace length, exactly;
+(b) samples the SM0–SM7 compiler accepts get the *same verdict* from
+    both architectures' analyses, and the progfsm interpreter's cycle
+    count equals the FSM controller's trace length, exactly;
+(c) any program the verifier passes runs to termination in the
+    controller (the controller's runtime cycle bound is never hit).
+
+Any violation — including the verifier *rejecting* a well-formed
+algorithm, the false-positive direction — is a mismatch.  The
+``repro fuzz`` CLI subcommand batch-parallelises the corpus over a
+:mod:`concurrent.futures` worker pool; per-sample seeds are derived
+from ``(seed, index)`` so reports are deterministic and independent of
+``--jobs``.
+
+The same generator is exposed as a :mod:`hypothesis` strategy
+(:func:`march_test_strategy`) so the property-based test suite shrinks
+any counterexample the corpus run surfaces.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode.assembler import assemble
+from repro.core.microcode.controller import MicrocodeBistController
+from repro.core.progfsm.compiler import CompileError, compile_to_sm
+from repro.core.progfsm.controller import ProgrammableFsmBistController
+from repro.core.progfsm.march_elements import SM_PATTERNS, sm_element
+from repro.core.progfsm.upper_buffer import DEFAULT_ROWS as FSM_BUFFER_ROWS
+from repro.march.element import (
+    AddressOrder,
+    MarchElement,
+    OpKind,
+    Operation,
+    Pause,
+)
+from repro.march.notation import format_test
+from repro.march.test import MarchItem, MarchTest
+
+#: Pause durations the generator draws from: powers of two (microcode
+#: HOLD timer constraint), one shared duration per algorithm (progfsm
+#: hold-register constraint).
+PAUSE_DURATIONS = (128, 256, 512, 1024)
+
+#: Geometry bounds: small memories keep the O(N) simulation cheap while
+#: still exercising every loop level (addresses, backgrounds, ports).
+MAX_WORDS = 9
+WIDTHS = (1, 2, 4)
+MAX_PORTS = 3
+
+_ORDERS = (AddressOrder.UP, AddressOrder.DOWN, AddressOrder.ANY)
+
+
+def random_march(rng: random.Random) -> MarchTest:
+    """One random well-formed march algorithm.
+
+    Half the elements are drawn straight from the SM0–SM7 library (so
+    the progfsm branch of the harness sees real traffic), half are
+    arbitrary 1–4-operation sequences that usually fall outside it.
+    Pauses are non-consecutive and share one power-of-two duration.
+    """
+    items: List[MarchItem] = []
+    duration = rng.choice(PAUSE_DURATIONS)
+    n_elements = rng.randint(1, 6)
+    for position in range(n_elements):
+        if position > 0 and rng.random() < 0.25:
+            items.append(Pause(duration))
+        items.append(_random_element(rng))
+    if rng.random() < 0.15:
+        items.append(Pause(duration))  # trailing pause: microcode-only
+    return MarchTest("fuzz", items)
+
+
+def _random_element(rng: random.Random) -> MarchElement:
+    order = rng.choice(_ORDERS)
+    if rng.random() < 0.5:
+        sm = rng.randrange(len(SM_PATTERNS))
+        return sm_element(sm, order, rng.randint(0, 1), rng.randint(0, 1))
+    ops = [
+        Operation(
+            rng.choice((OpKind.READ, OpKind.WRITE)), rng.randint(0, 1)
+        )
+        for _ in range(rng.randint(1, 4))
+    ]
+    return MarchElement(order, ops)
+
+
+def random_geometry(rng: random.Random) -> ControllerCapabilities:
+    """One random small memory geometry."""
+    return ControllerCapabilities(
+        n_words=rng.randint(1, MAX_WORDS),
+        width=rng.choice(WIDTHS),
+        ports=rng.randint(1, MAX_PORTS),
+    )
+
+
+def march_test_strategy():
+    """The generator as a :mod:`hypothesis` strategy (for the property
+    tests, which shrink counterexamples the corpus run cannot)."""
+    import hypothesis.strategies as st
+
+    return st.builds(
+        lambda seed: random_march(random.Random(seed)),
+        st.integers(min_value=0, max_value=2**48),
+    )
+
+
+@dataclass
+class SampleResult:
+    """Verdict for one fuzzed sample.
+
+    Attributes:
+        index: sample index within the corpus.
+        notation: the generated algorithm in march notation.
+        geometry: ``(n_words, width, ports)``.
+        compress: whether REPEAT compression was enabled.
+        microcode_cycles: proved microcode cycle count.
+        fsm_compiled: whether the SM0–SM7 compiler accepted the sample.
+        fsm_cycles: proved progfsm trace-cycle count (compiled samples).
+        mismatches: human-readable description of every violated
+            identity — empty means the sample agrees everywhere.
+    """
+
+    index: int
+    notation: str
+    geometry: Tuple[int, int, int]
+    compress: bool
+    microcode_cycles: Optional[int] = None
+    fsm_compiled: bool = False
+    fsm_cycles: Optional[int] = None
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "notation": self.notation,
+            "geometry": list(self.geometry),
+            "compress": self.compress,
+            "microcode_cycles": self.microcode_cycles,
+            "fsm_compiled": self.fsm_compiled,
+            "fsm_cycles": self.fsm_cycles,
+            "mismatches": self.mismatches,
+        }
+
+
+def check_sample(seed: int, index: int) -> SampleResult:
+    """Generate sample ``index`` of corpus ``seed`` and check all three
+    verifier-vs-simulator identities on it."""
+    from repro.analysis.interpreter import Verdict, interpret
+    from repro.analysis.progfsm_cfg import interpret_fsm
+    from repro.analysis.verifier import verify_fsm_program, verify_program
+
+    rng = random.Random(f"{seed}:{index}")
+    test = random_march(rng)
+    caps = random_geometry(rng)
+    compress = rng.random() < 0.5
+    result = SampleResult(
+        index=index,
+        notation=format_test(test),
+        geometry=(caps.n_words, caps.width, caps.ports),
+        compress=compress,
+    )
+
+    # -- (a)+(c), microcode ------------------------------------------------
+    program = assemble(test, caps, compress=compress, verify=False)
+    report = verify_program(program, caps)
+    interp = interpret(program, caps)
+    if report.has_errors:
+        # The generator only emits well-formed algorithms, so an error
+        # here is a verifier false positive.
+        result.mismatches.append(
+            "microcode verifier rejected a well-formed algorithm: "
+            + "; ".join(str(d) for d in report.errors)
+        )
+    elif interp.verdict is not Verdict.TERMINATES:
+        result.mismatches.append(
+            f"microcode interpreter verdict {interp.verdict.value} "
+            f"({interp.reason}) on a verifier-passed program"
+        )
+    else:
+        result.microcode_cycles = interp.cycles
+        controller = MicrocodeBistController(
+            program, caps, verify=False
+        )
+        try:
+            traced = sum(1 for _ in controller.trace())
+        except RuntimeError as error:  # runtime cycle bound hit
+            result.mismatches.append(
+                f"verifier-passed program did not terminate: {error}"
+            )
+        else:
+            if traced != interp.cycles:
+                result.mismatches.append(
+                    f"microcode cycle mismatch: proved {interp.cycles}, "
+                    f"simulated {traced}"
+                )
+
+    # -- (b)+(c), progfsm --------------------------------------------------
+    try:
+        fsm_program = compile_to_sm(test, caps, verify=False)
+    except CompileError:
+        return result  # outside the SM0-SM7 flexibility boundary
+    result.fsm_compiled = True
+    fsm_report = verify_fsm_program(fsm_program, caps)
+    fsm_interp = interpret_fsm(fsm_program, caps)
+    if fsm_interp.verdict is not interp.verdict:
+        result.mismatches.append(
+            f"verdict disagreement: microcode {interp.verdict.value}, "
+            f"progfsm {fsm_interp.verdict.value}"
+        )
+    if fsm_report.has_errors:
+        result.mismatches.append(
+            "progfsm verifier rejected a compiler-produced program: "
+            + "; ".join(str(d) for d in fsm_report.errors)
+        )
+    elif fsm_interp.verdict is Verdict.TERMINATES:
+        result.fsm_cycles = fsm_interp.cycles
+        controller = ProgrammableFsmBistController(
+            fsm_program,
+            caps,
+            buffer_rows=max(FSM_BUFFER_ROWS, len(fsm_program)),
+            verify=False,
+        )
+        try:
+            traced = sum(1 for _ in controller.trace())
+        except RuntimeError as error:
+            result.mismatches.append(
+                f"verifier-passed FSM program did not terminate: {error}"
+            )
+        else:
+            if traced != fsm_interp.cycles:
+                result.mismatches.append(
+                    f"progfsm cycle mismatch: proved {fsm_interp.cycles}, "
+                    f"simulated {traced}"
+                )
+    return result
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated outcome of one corpus run."""
+
+    samples: int
+    seed: int
+    checked: int = 0
+    fsm_compiled: int = 0
+    mismatch_count: int = 0
+    mismatches: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatch_count == 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "samples": self.samples,
+            "seed": self.seed,
+            "checked": self.checked,
+            "fsm_compiled": self.fsm_compiled,
+            "fsm_compiled_fraction": (
+                round(self.fsm_compiled / self.checked, 4)
+                if self.checked
+                else 0.0
+            ),
+            "mismatch_count": self.mismatch_count,
+            "mismatches": self.mismatches,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: {self.checked}/{self.samples} samples checked "
+            f"(seed {self.seed}), {self.fsm_compiled} SM-compilable, "
+            f"{self.mismatch_count} mismatch(es)"
+        ]
+        for entry in self.mismatches:
+            lines.append(
+                f"  sample {entry['index']} "
+                f"{tuple(entry['geometry'])}: {entry['notation']}"
+            )
+            for mismatch in entry["mismatches"]:
+                lines.append(f"    {mismatch}")
+        return "\n".join(lines)
+
+
+def _check_batch(args: Tuple[int, int, int]) -> List[Dict[str, Any]]:
+    """Worker entry point: check samples ``start..start+count-1``.
+
+    Returns compact per-sample dicts (full detail only for mismatches)
+    to keep the inter-process payload small.
+    """
+    seed, start, count = args
+    out: List[Dict[str, Any]] = []
+    for index in range(start, start + count):
+        result = check_sample(seed, index)
+        if result.ok:
+            out.append({"index": index, "ok": True,
+                        "fsm_compiled": result.fsm_compiled})
+        else:
+            payload = result.to_dict()
+            payload["ok"] = False
+            out.append(payload)
+    return out
+
+
+def run_fuzz(
+    samples: int, seed: int = 0, jobs: int = 1
+) -> FuzzReport:
+    """Run the corpus and aggregate a :class:`FuzzReport`.
+
+    Args:
+        samples: corpus size.
+        seed: master seed; sample ``i`` derives its RNG from
+            ``(seed, i)``, so the report is independent of ``jobs``.
+        jobs: worker-process count; 1 runs inline (no pool).
+    """
+    if samples <= 0:
+        raise ValueError(f"need at least one sample, got {samples}")
+    if jobs <= 0:
+        raise ValueError(f"need at least one job, got {jobs}")
+    report = FuzzReport(samples=samples, seed=seed)
+    jobs = min(jobs, samples)
+    if jobs == 1:
+        batches = [_check_batch((seed, 0, samples))]
+    else:
+        chunk = (samples + jobs - 1) // jobs
+        work = [
+            (seed, start, min(chunk, samples - start))
+            for start in range(0, samples, chunk)
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            batches = list(pool.map(_check_batch, work))
+    for batch in batches:
+        for entry in batch:
+            report.checked += 1
+            if entry.get("fsm_compiled"):
+                report.fsm_compiled += 1
+            if not entry["ok"]:
+                report.mismatch_count += 1
+                report.mismatches.append(
+                    {k: v for k, v in entry.items() if k != "ok"}
+                )
+    report.mismatches.sort(key=lambda entry: entry["index"])
+    return report

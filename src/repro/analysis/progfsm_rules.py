@@ -1,0 +1,194 @@
+"""Upper-buffer-program lint rules (``PF…``).
+
+These run on compiled :class:`~repro.core.progfsm.compiler.FsmProgram`
+rows, mirroring the microcode ``MC…`` catalogue where the architectures
+share a failure mode:
+
+* ``PF003`` is the buffer-overflow analogue of ``MC007`` — with the
+  difference that the circular buffer never auto-grows, so overflowing
+  an explicitly-sized buffer is fatal while overflowing the *default*
+  depth is a warning (a deeper buffer could still be built);
+* ``PF002``/``PF007`` mirror ``MC010``/``MC011`` (termination verdicts
+  from the abstract interpreter);
+* ``PF004``/``PF005`` mirror ``MC009``/``MC008`` (capability/loop-row
+  agreement) — with progfsm-specific severities, because a stray loop
+  row degrades gracefully here instead of needing absent hardware.
+
+``docs/ANALYSIS.md`` documents the catalogue; the test suite seeds one
+defect per rule to prove each fires with the right id and location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.interpreter import Interpretation, Verdict
+from repro.analysis.progfsm_cfg import FsmControlFlowGraph
+from repro.analysis.rules import REGISTRY, rule
+from repro.core.controller import ControllerCapabilities
+from repro.core.progfsm.compiler import FsmProgram
+from repro.core.progfsm.instruction import DataControl
+from repro.core.progfsm.upper_buffer import DEFAULT_ROWS
+
+
+@dataclass
+class FsmProgramAnalysis:
+    """Everything an upper-buffer-level rule may inspect."""
+
+    program: FsmProgram
+    cfg: FsmControlFlowGraph
+    interpretation: Optional[Interpretation]
+    capabilities: Optional[ControllerCapabilities] = None
+    buffer_rows: Optional[int] = None
+
+
+def run_fsm_rules(analysis: FsmProgramAnalysis) -> List[Diagnostic]:
+    """Run every upper-buffer-level rule over one analysed program."""
+    diagnostics: List[Diagnostic] = []
+    for spec in sorted(REGISTRY.values(), key=lambda s: s.rule_id):
+        if spec.scope != "fsm":
+            continue
+        diagnostics.extend(spec.build(f) for f in spec.check(analysis))
+    return diagnostics
+
+
+@rule("PF001", Severity.WARNING, "unreachable buffer row", scope="fsm")
+def _unreachable_row(analysis: FsmProgramAnalysis) -> Iterator[Tuple]:
+    """Rows the pointer can never reach — e.g. anything after a
+    ``LOOP_PORT`` row, which either wraps to row 0 or ends the test."""
+    for index in analysis.cfg.unreachable():
+        yield (
+            Location(instruction=index),
+            f"buffer row {index} "
+            f"({analysis.program.instructions[index]}) can never execute",
+            "remove the dead row or fix the loop rows before it",
+        )
+
+
+@rule("PF002", Severity.ERROR, "program provably never terminates",
+      scope="fsm")
+def _nonterminating(analysis: FsmProgramAnalysis) -> Iterator[Tuple]:
+    interp = analysis.interpretation
+    if interp is not None and interp.verdict is Verdict.DIVERGES:
+        yield (
+            Location(instruction=interp.location),
+            f"abstract interpretation proves divergence: {interp.reason}",
+            "keep at most one LOOP_BG row, placed after the element rows",
+        )
+
+
+@rule("PF003", Severity.ERROR, "program exceeds the circular buffer",
+      scope="fsm")
+def _buffer_overflow(analysis: FsmProgramAnalysis) -> Iterator:
+    """The MC007 analogue.  Unlike the microcode storage unit the
+    circular buffer never auto-grows — ``CircularBuffer.load`` rejects
+    an oversized program outright — so an explicit buffer depth makes
+    this fatal, while the default depth only warns (a controller with a
+    deeper buffer could still run the program)."""
+    rows = len(analysis.program.instructions)
+    if analysis.buffer_rows is not None:
+        if rows > analysis.buffer_rows:
+            yield (
+                Location(instruction=analysis.buffer_rows),
+                f"program needs {rows} rows but the circular buffer holds "
+                f"{analysis.buffer_rows}",
+                "enlarge the buffer or shorten the algorithm",
+            )
+    elif rows > DEFAULT_ROWS:
+        yield Diagnostic(
+            rule="PF003",
+            severity=Severity.WARNING,
+            message=(f"program needs {rows} rows, beyond the default "
+                     f"{DEFAULT_ROWS}-row buffer — the default controller "
+                     "build cannot load it"),
+            location=Location(instruction=DEFAULT_ROWS),
+            hint=f"construct the controller with buffer_rows >= {rows}",
+        )
+
+
+@rule("PF004", Severity.WARNING, "capability loop row missing from the tail",
+      scope="fsm")
+def _missing_capability_loop(analysis: FsmProgramAnalysis) -> Iterator[Tuple]:
+    caps = analysis.capabilities
+    if caps is None:
+        return
+    ctrls = {instr.data_ctrl for instr in analysis.program.instructions}
+    tail = Location(
+        instruction=max(0, len(analysis.program.instructions) - 1)
+    )
+    if caps.word_oriented and DataControl.LOOP_BG not in ctrls:
+        yield (
+            tail,
+            f"width={caps.width} memory but no LOOP_BG row: only the first "
+            "data background is ever tested",
+            "append a LOOP_BG (path A) row after the element rows",
+        )
+    if caps.multiport and DataControl.LOOP_PORT not in ctrls:
+        yield (
+            tail,
+            f"ports={caps.ports} memory but no LOOP_PORT row: only port 0 "
+            "is ever tested",
+            "append a LOOP_PORT (path B) row as the last buffer row",
+        )
+
+
+@rule("PF005", Severity.WARNING, "loop row without matching capability",
+      scope="fsm")
+def _pointless_loop_row(analysis: FsmProgramAnalysis) -> Iterator:
+    """The MC008 analogue, softened: the shared datapath always exists,
+    so a mismatched loop row degrades instead of failing.  A ``LOOP_BG``
+    on a bit-oriented target never takes path A (one background, *Last
+    Data* is always asserted) — a dead loop worth a warning; a
+    ``LOOP_PORT`` on a single-port target ends the test at first reach,
+    i.e. it acts as a plain terminator — merely advisory."""
+    caps = analysis.capabilities
+    if caps is None:
+        return
+    for index, instr in enumerate(analysis.program.instructions):
+        if instr.data_ctrl is DataControl.LOOP_BG and not caps.word_oriented:
+            yield (
+                Location(instruction=index),
+                f"LOOP_BG row {index} on a width={caps.width} target: one "
+                "data background, path A is never taken",
+                "drop the LOOP_BG row or target a word-oriented memory",
+            )
+        if instr.data_ctrl is DataControl.LOOP_PORT and not caps.multiport:
+            yield Diagnostic(
+                rule="PF005",
+                severity=Severity.INFO,
+                message=(f"LOOP_PORT row {index} on a single-port target "
+                         "ends the test at first reach (a plain "
+                         "terminator)"),
+                location=Location(instruction=index),
+                hint="drop the LOOP_PORT row or target a multiport memory",
+            )
+
+
+@rule("PF006", Severity.INFO, "hold bit on a loop row is ignored",
+      scope="fsm")
+def _hold_on_loop_row(analysis: FsmProgramAnalysis) -> Iterator[Tuple]:
+    """Loop rows are handled by the upper controller directly; the lower
+    FSM — and with it the hold-in-DONE pause — never runs for them."""
+    for index, instr in enumerate(analysis.program.instructions):
+        if not instr.is_element and instr.hold:
+            yield (
+                Location(instruction=index),
+                f"row {index} ({instr}) sets the hold bit, but loop rows "
+                "never enter the lower FSM's Done state — no pause happens",
+                "move the hold bit onto the following element row",
+            )
+
+
+@rule("PF007", Severity.WARNING, "control flow defeats static analysis",
+      scope="fsm")
+def _unanalyzable(analysis: FsmProgramAnalysis) -> Iterator[Tuple]:
+    interp = analysis.interpretation
+    if interp is not None and interp.verdict is Verdict.UNKNOWN:
+        yield (
+            Location(instruction=interp.location),
+            f"cannot bound the cycle count: {interp.reason}",
+            "shorten the program so the row x background x port state "
+            "space fits the abstract-step budget",
+        )

@@ -2,7 +2,9 @@
 
 Every rule has a stable identifier (``MC…`` for microcode-program rules,
 ``MA…`` for march-algorithm rules — those live in
-:mod:`repro.analysis.march_rules`), a default severity and a one-line
+:mod:`repro.analysis.march_rules` — and ``PF…`` for the programmable
+FSM architecture's upper-buffer programs, in
+:mod:`repro.analysis.progfsm_rules`), a default severity and a one-line
 title; ``docs/ANALYSIS.md`` documents the catalogue and the test suite
 seeds one defect per rule to prove each fires with the right id and
 location.
@@ -53,7 +55,7 @@ class RuleSpec:
     rule_id: str
     severity: Severity
     title: str
-    scope: str                       # "program" or "march"
+    scope: str                       # "program", "march" or "fsm"
     check: Callable[..., Iterable]
 
     def build(self, finding) -> Diagnostic:
@@ -88,6 +90,7 @@ def rule(rule_id: str, severity: Severity, title: str, scope: str = "program"):
 def rule_catalogue() -> List[RuleSpec]:
     """All rules, ordered by id (for docs and the test suite)."""
     import repro.analysis.march_rules  # noqa: F401 — ensure registration
+    import repro.analysis.progfsm_rules  # noqa: F401 — ensure registration
 
     return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
 

@@ -26,9 +26,12 @@ from repro.analysis.cfg import build_cfg
 from repro.analysis.diagnostics import DiagnosticReport
 from repro.analysis.interpreter import interpret
 from repro.analysis.march_rules import run_march_rules
+from repro.analysis.progfsm_cfg import build_fsm_cfg, interpret_fsm
+from repro.analysis.progfsm_rules import FsmProgramAnalysis, run_fsm_rules
 from repro.analysis.rules import ProgramAnalysis, run_program_rules
 from repro.core.controller import ControllerCapabilities
 from repro.core.microcode.assembler import AssemblyError, MicrocodeProgram
+from repro.core.progfsm.compiler import FsmProgram
 from repro.march.test import MarchTest
 
 
@@ -90,6 +93,47 @@ def verify_program(
     return report
 
 
+def verify_fsm_program(
+    program: FsmProgram,
+    capabilities: Optional[ControllerCapabilities] = None,
+    buffer_rows: Optional[int] = None,
+) -> DiagnosticReport:
+    """Statically verify an upper-buffer (programmable FSM) program.
+
+    The progfsm mirror of :func:`verify_program`: builds the row-level
+    control-flow graph, abstractly interprets the upper controller
+    (termination + exact trace-cycle proof), and applies the ``PF``
+    rule catalogue plus the march-level rules on the program's source
+    algorithm.
+
+    Args:
+        program: the compiled upper-buffer program.
+        capabilities: target controller geometry; enables the
+            capability/loop-row rules and the termination proof.
+        buffer_rows: explicit circular-buffer depth to check the program
+            against; ``None`` checks the default depth advisorily (the
+            buffer never auto-grows, but a deeper one can be built).
+    """
+    cfg = build_fsm_cfg(program)
+    interpretation = (
+        interpret_fsm(program, capabilities)
+        if capabilities is not None
+        else None
+    )
+    analysis = FsmProgramAnalysis(
+        program=program,
+        cfg=cfg,
+        interpretation=interpretation,
+        capabilities=capabilities,
+        buffer_rows=buffer_rows,
+    )
+    report = DiagnosticReport(name=program.name)
+    report.extend(run_fsm_rules(analysis))
+    if program.source is not None:
+        report.extend(run_march_rules(program.source, target="progfsm"))
+    return report
+
+
 def verify_march(
     test: MarchTest, target: Optional[str] = "microcode"
 ) -> DiagnosticReport:
@@ -107,13 +151,17 @@ def verify_march(
 
 
 def assert_verified(
-    program_or_test: Union[MicrocodeProgram, MarchTest],
+    program_or_test: Union[MicrocodeProgram, FsmProgram, MarchTest],
     capabilities: Optional[ControllerCapabilities] = None,
     storage_rows: Optional[int] = None,
 ) -> DiagnosticReport:
     """Verify and raise :class:`VerificationError` on errors."""
     if isinstance(program_or_test, MarchTest):
         report = verify_march(program_or_test)
+    elif isinstance(program_or_test, FsmProgram):
+        report = verify_fsm_program(
+            program_or_test, capabilities, buffer_rows=storage_rows
+        )
     else:
         report = verify_program(
             program_or_test, capabilities, storage_rows=storage_rows

@@ -117,12 +117,21 @@ def compile_to_sm(
         rows.append(FsmInstruction(data_ctrl=DataControl.LOOP_BG))
     if capabilities.multiport:
         rows.append(FsmInstruction(data_ctrl=DataControl.LOOP_PORT))
-    return FsmProgram(
+    program = FsmProgram(
         name=test.name,
         instructions=rows,
         source=test,
         pause_duration=pause_duration if pause_duration is not None else RETENTION_PAUSE,
     )
+    if verify:
+        # Post-compile gate, mirroring the microcode assembler: the rows
+        # just emitted are proved terminating against the target
+        # geometry (PF rules + abstract interpretation) before anyone
+        # can load them.
+        from repro.analysis.verifier import verify_fsm_program
+
+        verify_fsm_program(program, capabilities).raise_on_errors()
+    return program
 
 
 def is_realizable(test: MarchTest) -> bool:

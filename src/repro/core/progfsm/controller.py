@@ -68,9 +68,13 @@ class ProgrammableFsmBistController(BistController):
         capabilities: memory geometry the hardware targets.
         buffer_rows: circular-buffer depth.
         max_cycles: safety bound; ``None`` derives one from geometry.
+        verify: statically verify programs before load (the in-field
+            safety gate, mirroring the microcode controller).
 
     Raises:
         CompileError: when the algorithm is outside the SM0–SM7 library.
+        VerificationError: when a pre-compiled program fails the static
+            PF checks against this controller's geometry and buffer.
     """
 
     architecture = "Prog. FSM-Based"
@@ -82,11 +86,15 @@ class ProgrammableFsmBistController(BistController):
         capabilities: ControllerCapabilities,
         buffer_rows: int = DEFAULT_ROWS,
         max_cycles: Optional[int] = None,
+        verify: bool = True,
     ) -> None:
         super().__init__(capabilities)
+        self.verify = verify
         if isinstance(test, MarchTest):
-            self.program = compile_to_sm(test, capabilities)
+            self.program = compile_to_sm(test, capabilities, verify=verify)
         else:
+            if verify:
+                self._verify_program(test, buffer_rows)
             self.program = test
         self.buffer = CircularBuffer(
             rows=buffer_rows, default_program=self.program.instructions
@@ -96,11 +104,32 @@ class ProgrammableFsmBistController(BistController):
     def loaded_test(self) -> MarchTest:
         return self.program.source
 
+    def _verify_program(
+        self, program: FsmProgram, buffer_rows: int
+    ) -> None:
+        """Static pre-load verification (the in-field safety gate).
+
+        Knows this controller's actual buffer depth, so the advisory
+        PF003 default-depth warning becomes a hard error here.
+        """
+        from repro.analysis.verifier import verify_fsm_program
+
+        verify_fsm_program(
+            program, self.capabilities, buffer_rows=buffer_rows
+        ).raise_on_errors()
+
     def load(self, test: Union[MarchTest, FsmProgram]) -> None:
-        """Load a different SM-composed algorithm; no hardware change."""
+        """Load a different SM-composed algorithm; no hardware change.
+
+        Verifies the program against this controller's capabilities and
+        buffer depth first (unless built with ``verify=False``)."""
         if isinstance(test, MarchTest):
-            self.program = compile_to_sm(test, self.capabilities)
+            self.program = compile_to_sm(
+                test, self.capabilities, verify=self.verify
+            )
         else:
+            if self.verify:
+                self._verify_program(test, self.buffer.rows)
             self.program = test
         self.buffer.load(self.program.instructions)
 

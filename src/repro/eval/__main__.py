@@ -16,7 +16,12 @@ import sys
 from typing import List, Optional
 
 from repro.eval.coverage_study import coverage_table, render_coverage_table
-from repro.eval.test_time import render_test_time, test_time_table
+from repro.eval.test_time import (
+    controller_cycle_table,
+    render_controller_cycles,
+    render_test_time,
+    test_time_table,
+)
 from repro.eval.experiments import table1, table2, table3
 from repro.eval.flexibility import flexibility_matrix, summarize
 from repro.eval.tables import render_table1, render_table2, render_table3
@@ -52,6 +57,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--words", type=int, default=1024, help="memory depth (default 1024)"
     )
+    parser.add_argument(
+        "--analytic", action="store_true",
+        help="testtime: controller cycles from the static analysis' "
+        "proved bounds (O(program rows)) instead of simulation (O(N))",
+    )
     args = parser.parse_args(argv)
 
     outputs = []
@@ -68,6 +78,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment in ("testtime", "all"):
         outputs.append(
             render_test_time(test_time_table(args.words), args.words)
+        )
+        outputs.append(
+            render_controller_cycles(
+                controller_cycle_table(args.words, analytic=args.analytic),
+                args.words,
+                analytic=args.analytic,
+            )
         )
     print("\n\n".join(outputs))
     return 0

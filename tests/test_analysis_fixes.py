@@ -1,0 +1,96 @@
+"""``lint --fix`` mechanics: each fix fires, composes, and never lies.
+
+Every fix must leave a program the verifier accepts with the original
+finding gone — and ``apply_fixes`` on a clean program must be an exact
+no-op.
+"""
+
+from repro.analysis import apply_fixes, verify_program
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode import assemble
+from repro.core.microcode.assembler import MicrocodeProgram
+from repro.core.microcode.instruction import MicroInstruction
+from repro.core.microcode.isa import ConditionOp
+from repro.march import library
+
+CAPS = ControllerCapabilities(n_words=8)
+
+
+def program_of(*instructions, name="handwritten", source=None):
+    return MicrocodeProgram(
+        name=name, instructions=list(instructions), source=source
+    )
+
+
+def op_row(**kwargs):
+    return MicroInstruction(**kwargs)
+
+
+class TestAppendTerminator:
+    def test_fall_off_termination_is_made_explicit(self):
+        program = program_of(op_row(), op_row())
+        result = apply_fixes(program, CAPS)
+        assert result.changed
+        assert any("MC001" in fix for fix in result.applied)
+        assert result.program.instructions[-1].cond is ConditionOp.TERMINATE
+        report = verify_program(result.program, CAPS)
+        assert not report.by_rule("MC001")
+
+    def test_input_is_never_mutated(self):
+        program = program_of(op_row())
+        rows_before = list(program.instructions)
+        apply_fixes(program, CAPS)
+        assert program.instructions == rows_before
+
+
+class TestDropDeadRows:
+    def test_rows_behind_terminate_are_dropped(self):
+        program = program_of(
+            op_row(),
+            op_row(cond=ConditionOp.TERMINATE),
+            op_row(),
+            op_row(),
+        )
+        result = apply_fixes(program, CAPS)
+        assert any("MC002" in fix for fix in result.applied)
+        assert len(result.program.instructions) == 2
+        assert not verify_program(result.program, CAPS).by_rule("MC002")
+
+
+class TestRecompression:
+    def test_symmetric_uncompressed_program_is_recompressed(self):
+        program = assemble(
+            library.MARCH_C, CAPS, compress=False, verify=False
+        )
+        result = apply_fixes(program, CAPS)
+        assert any("MC012" in fix for fix in result.applied)
+        assert any(
+            row.cond is ConditionOp.REPEAT
+            for row in result.program.instructions
+        )
+        assert result.program.name == program.name
+        assert result.program.source is program.source
+        assert not verify_program(result.program, CAPS).by_rule("MC012")
+
+    def test_without_capabilities_recompression_is_skipped(self):
+        program = assemble(
+            library.MARCH_C, CAPS, compress=False, verify=False
+        )
+        result = apply_fixes(program, capabilities=None)
+        assert not any("MC012" in fix for fix in result.applied)
+
+
+class TestNoOp:
+    def test_clean_program_is_returned_unchanged(self):
+        program = assemble(library.MARCH_C, CAPS, verify=False)
+        result = apply_fixes(program, CAPS)
+        assert not result.changed
+        assert result.program is program
+
+    def test_fixed_programs_still_run(self):
+        from repro.core.microcode import MicrocodeBistController
+
+        program = program_of(op_row(), op_row())
+        fixed = apply_fixes(program, CAPS).program
+        controller = MicrocodeBistController(fixed, CAPS)
+        assert sum(1 for _ in controller.trace()) > 0

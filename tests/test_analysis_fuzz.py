@@ -1,0 +1,126 @@
+"""Fuzz harness: generator well-formedness, determinism, zero mismatches.
+
+A small corpus runs inside the suite (the 500-sample acceptance corpus
+and the 10k nightly corpus run in CI); a hypothesis property re-checks
+the core cycle-exactness identity with shrinking.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fuzz import (
+    FuzzReport,
+    check_sample,
+    march_test_strategy,
+    random_geometry,
+    random_march,
+    run_fuzz,
+)
+from repro.march.element import MarchElement, Pause
+from repro.march.test import MarchTest
+
+
+class TestGenerator:
+    def test_generates_well_formed_tests(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            test = random_march(rng)
+            assert isinstance(test, MarchTest)
+            assert any(
+                isinstance(item, MarchElement) for item in test.items
+            )
+            durations = {
+                item.duration for item in test.items
+                if isinstance(item, Pause)
+            }
+            assert len(durations) <= 1  # single shared hold duration
+
+    def test_geometries_stay_small(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            caps = random_geometry(rng)
+            assert 1 <= caps.n_words <= 9
+            assert caps.width in (1, 2, 4)
+            assert 1 <= caps.ports <= 3
+
+    def test_generator_is_deterministic_per_seed(self):
+        one = random_march(random.Random("x"))
+        two = random_march(random.Random("x"))
+        assert one.items == two.items
+
+
+class TestCheckSample:
+    def test_sample_zero_agrees_everywhere(self):
+        result = check_sample(0, 0)
+        assert result.ok, result.mismatches
+        assert result.microcode_cycles is not None
+
+    def test_sample_result_serializes(self):
+        payload = check_sample(0, 1).to_dict()
+        assert payload["index"] == 1
+        assert payload["mismatches"] == []
+
+
+class TestRunFuzz:
+    def test_small_corpus_has_zero_mismatches(self):
+        report = run_fuzz(40, seed=0, jobs=1)
+        assert report.ok
+        assert report.checked == 40
+        assert report.fsm_compiled > 0  # the SM bias pays off
+
+    def test_report_is_independent_of_jobs(self):
+        serial = run_fuzz(24, seed=3, jobs=1)
+        parallel = run_fuzz(24, seed=3, jobs=4)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_report_format_mentions_the_verdict(self):
+        report = run_fuzz(5, seed=0, jobs=1)
+        assert "0 mismatch(es)" in report.format()
+
+    def test_json_report_shape(self):
+        payload = run_fuzz(5, seed=0, jobs=1).to_json()
+        assert payload["samples"] == 5
+        assert payload["checked"] == 5
+        assert 0.0 <= payload["fsm_compiled_fraction"] <= 1.0
+        assert payload["mismatches"] == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_fuzz(0)
+        with pytest.raises(ValueError):
+            run_fuzz(10, jobs=0)
+
+    def test_mismatches_would_be_reported(self):
+        report = FuzzReport(samples=1, seed=0, checked=1,
+                            mismatch_count=1,
+                            mismatches=[{"index": 0, "notation": "x",
+                                         "geometry": [1, 1, 1],
+                                         "mismatches": ["boom"]}])
+        assert not report.ok
+        assert "boom" in report.format()
+
+
+class TestProperty:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(test=march_test_strategy(), data=st.data())
+    def test_microcode_cycle_identity(self, test, data):
+        """interpret().cycles == len(trace()) for every generated
+        algorithm — the identity (a) of the harness, with shrinking."""
+        from repro.analysis import Verdict, interpret
+        from repro.core.controller import ControllerCapabilities
+        from repro.core.microcode import MicrocodeBistController, assemble
+
+        caps = ControllerCapabilities(
+            n_words=data.draw(st.integers(1, 9)),
+            width=data.draw(st.sampled_from([1, 2, 4])),
+            ports=data.draw(st.integers(1, 3)),
+        )
+        program = assemble(test, caps, verify=False)
+        result = interpret(program, caps)
+        assert result.verdict is Verdict.TERMINATES
+        controller = MicrocodeBistController(program, caps, verify=False)
+        assert result.cycles == sum(1 for _ in controller.trace())

@@ -282,8 +282,9 @@ class TestWiring:
         ids = [spec.rule_id for spec in catalogue]
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
-        assert {"MC001", "MC003", "MC010", "MA004", "MA007"} <= set(ids)
+        assert {"MC001", "MC003", "MC010", "MA004", "MA007",
+                "PF002", "PF003"} <= set(ids)
         assert len(ids) >= 8
         for spec in catalogue:
             assert spec.title
-            assert spec.scope in ("program", "march")
+            assert spec.scope in ("program", "march", "fsm")

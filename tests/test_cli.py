@@ -207,3 +207,90 @@ class TestLintCommand:
         assert main(["lint", "--algorithm", "March B",
                      "--target", "march"]) == 0
         capsys.readouterr()
+
+    def test_progfsm_target_lints_the_whole_library_clean(self, capsys):
+        """Acceptance: the whole-library progfsm lint exits 0 —
+        realizable algorithms verify error-free, the rest are skipped
+        as the architecture's designed flexibility boundary."""
+        assert main(["lint", "--all", "--target", "progfsm"]) == 0
+        out = capsys.readouterr().out
+        assert "March C" in out
+        assert "skipped" in out  # March B et al.
+
+    def test_progfsm_target_runs_the_pf_rules(self, capsys):
+        assert main(["lint", "--all", "--target", "progfsm",
+                     "--json"]) == 0
+        import json as json_module
+
+        reports = json_module.loads(capsys.readouterr().out)
+        assert all(report["errors"] == 0 for report in reports)
+
+    def test_rules_catalogue_includes_pf_series(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        assert "PF002" in capsys.readouterr().out
+
+
+class TestLintFixCommand:
+    def _write_broken_program(self, capsys, tmp_path):
+        from repro.core.microcode.assembler import MicrocodeProgram
+        from repro.core.microcode.isa import ConditionOp
+        from repro.core.programming import dump_program, load_program
+
+        assert main(["assemble", "--algorithm", "March C", "--words", "8",
+                     "--format", "interchange"]) == 0
+        program = load_program(capsys.readouterr().out)
+        rows = [row for row in program.instructions
+                if row.cond is not ConditionOp.TERMINATE]
+        path = tmp_path / "broken.prog"
+        path.write_text(dump_program(MicrocodeProgram(
+            name=program.name, instructions=rows, source=program.source,
+        )))
+        return path
+
+    def test_fix_rewrites_the_file_and_exits_zero(self, capsys, tmp_path):
+        path = self._write_broken_program(capsys, tmp_path)
+        assert main(["lint", "--fix", "--program", str(path),
+                     "--words", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed:" in out
+        assert f"rewrote {path}" in out
+        # The rewritten file now lints clean.
+        assert main(["lint", "--program", str(path), "--words", "8"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_fix_on_a_clean_file_is_a_noop(self, capsys, tmp_path):
+        assert main(["assemble", "--algorithm", "March C", "--words", "8",
+                     "--format", "interchange"]) == 0
+        path = tmp_path / "clean.prog"
+        path.write_text(capsys.readouterr().out)
+        before = path.read_text()
+        assert main(["lint", "--fix", "--program", str(path),
+                     "--words", "8"]) == 0
+        assert "nothing to fix" in capsys.readouterr().out
+        assert path.read_text() == before
+
+    def test_fix_requires_a_program_file(self, capsys):
+        assert main(["lint", "--fix"]) == 2
+        assert "--fix requires --program" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_small_corpus_exits_zero(self, capsys):
+        assert main(["fuzz", "--samples", "12", "--seed", "0",
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 samples checked" in out
+        assert "0 mismatch(es)" in out
+
+    def test_json_report(self, capsys):
+        import json as json_module
+
+        assert main(["fuzz", "--samples", "8", "--seed", "1",
+                     "--jobs", "1", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["checked"] == 8
+        assert payload["mismatch_count"] == 0
+
+    def test_bad_arguments_exit_two(self, capsys):
+        assert main(["fuzz", "--samples", "0", "--jobs", "1"]) == 2
+        assert "at least one sample" in capsys.readouterr().err

@@ -62,3 +62,55 @@ class TestTable:
 
         assert main(["testtime", "--words", "256"]) == 0
         assert "Test time" in capsys.readouterr().out
+
+
+class TestControllerCycles:
+    """The analytic (proved) path must equal the simulated path."""
+
+    def test_analytic_equals_simulated_both_architectures(self):
+        from repro.eval.test_time import controller_cycle_table
+
+        analytic = controller_cycle_table(17, width=2, ports=2,
+                                          analytic=True)
+        simulated = controller_cycle_table(17, width=2, ports=2,
+                                           analytic=False)
+        assert [(r.algorithm, r.architecture, r.cycles)
+                for r in analytic] == \
+               [(r.algorithm, r.architecture, r.cycles)
+                for r in simulated]
+
+    def test_unrealizable_algorithms_have_no_progfsm_row(self):
+        from repro.eval.test_time import controller_cycle_table
+
+        rows = controller_cycle_table(8, algorithms=["March B"])
+        assert [r.architecture for r in rows] == ["microcode"]
+
+    def test_analytic_path_scales_to_huge_memories(self):
+        from repro.eval.test_time import controller_cycles
+        from repro.march import library
+
+        # 2^24 words would take minutes to simulate; the analytic path
+        # answers instantly and linearly in N.
+        big = controller_cycles(library.MARCH_C, 1 << 24, analytic=True)
+        small = controller_cycles(library.MARCH_C, 1 << 12, analytic=True)
+        assert big > 4000 * small / 2
+
+    def test_render_controller_cycles(self):
+        from repro.eval.test_time import (
+            controller_cycle_table,
+            render_controller_cycles,
+        )
+
+        text = render_controller_cycles(
+            controller_cycle_table(16), 16, analytic=True
+        )
+        assert "proved analytically" in text
+        assert "progfsm" in text
+
+    def test_cli_testtime_analytic(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["testtime", "--words", "64", "--analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "Controller cycles" in out
+        assert "proved analytically" in out
