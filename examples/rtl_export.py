@@ -25,6 +25,8 @@ from repro.rtl import (
     hardwired_controller_verilog,
     microcode_rom_verilog,
     program_memh,
+    rom_readback,
+    verify_rom_image,
 )
 from repro.rtl.verilog import lower_fsm_verilog, microcode_decoder_verilog
 
@@ -48,11 +50,22 @@ def main() -> None:
     program = assemble(library.MARCH_C, caps)
     memh_path = out / "march_c.memh"
     memh_path.write_text(program_memh(program, rows=20))
+    # Close the export loop: the written image must decode back to the
+    # exact program (bit-exact rows + decompilable to the same march).
+    readback_report = verify_rom_image(
+        program, memh_path.read_text(), rows=20
+    )
+    assert not readback_report.has_errors, readback_report.format()
+    recovered = rom_readback(memh_path.read_text(), name=program.name)
+    assert recovered.instructions == program.instructions
     rom = microcode_rom_verilog(program, rows=20, memh_file=memh_path.name)
     assert not check_verilog_structure(rom)
     rom_path = out / "bist_storage_march_c.v"
     rom_path.write_text(rom)
-    written.append((memh_path, f"{len(program)} instruction words"))
+    written.append(
+        (memh_path,
+         f"{len(program)} instruction words, readback-verified")
+    )
     written.append((rom_path, "ROM wrapper"))
 
     decoder = microcode_decoder_verilog()

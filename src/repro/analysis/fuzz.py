@@ -12,7 +12,15 @@ geometries and, for every sample, checks three identities:
     both architectures' analyses, and the progfsm interpreter's cycle
     count equals the FSM controller's trace length, exactly;
 (c) any program the verifier passes runs to termination in the
-    controller (the controller's runtime cycle bound is never hit).
+    controller (the controller's runtime cycle bound is never hit);
+(d) behavioural equivalence: every architecture that can realise the
+    sample (microcode with and without REPEAT compression, progfsm
+    inside the SM0–SM7 boundary, hardwired) emits the golden operation
+    stream op-for-op (:func:`repro.conformance.check_conformance`).
+    Failing samples are delta-debugged to a minimal reproducer
+    (:func:`repro.conformance.shrink_sample`) that is embedded in the
+    report, so a nightly failure is reproducible — and promotable into
+    ``tests/corpus/regressions/`` — from the JSON artifact alone.
 
 Any violation — including the verifier *rejecting* a well-formed
 algorithm, the false-positive direction — is a mismatch.  The
@@ -124,6 +132,8 @@ class SampleResult:
 
     Attributes:
         index: sample index within the corpus.
+        sample_seed: the derived per-sample RNG seed string
+            (``"{seed}:{index}"``) — regenerates this exact sample.
         notation: the generated algorithm in march notation.
         geometry: ``(n_words, width, ports)``.
         compress: whether REPEAT compression was enabled.
@@ -132,16 +142,20 @@ class SampleResult:
         fsm_cycles: proved progfsm trace-cycle count (compiled samples).
         mismatches: human-readable description of every violated
             identity — empty means the sample agrees everywhere.
+        shrunk: minimal reproducer of a behavioural divergence
+            (notation/geometry/checks), or None when identity (d) held.
     """
 
     index: int
     notation: str
     geometry: Tuple[int, int, int]
     compress: bool
+    sample_seed: str = ""
     microcode_cycles: Optional[int] = None
     fsm_compiled: bool = False
     fsm_cycles: Optional[int] = None
     mismatches: List[str] = field(default_factory=list)
+    shrunk: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -150,6 +164,7 @@ class SampleResult:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "index": self.index,
+            "sample_seed": self.sample_seed,
             "notation": self.notation,
             "geometry": list(self.geometry),
             "compress": self.compress,
@@ -157,22 +172,28 @@ class SampleResult:
             "fsm_compiled": self.fsm_compiled,
             "fsm_cycles": self.fsm_cycles,
             "mismatches": self.mismatches,
+            "shrunk": self.shrunk,
         }
 
 
-def check_sample(seed: int, index: int) -> SampleResult:
-    """Generate sample ``index`` of corpus ``seed`` and check all three
-    verifier-vs-simulator identities on it."""
+def check_sample(
+    seed: int, index: int, conformance: bool = True
+) -> SampleResult:
+    """Generate sample ``index`` of corpus ``seed`` and check all four
+    verifier-vs-simulator identities on it (``conformance=False`` skips
+    the behavioural-equivalence identity (d))."""
     from repro.analysis.interpreter import Verdict, interpret
     from repro.analysis.progfsm_cfg import interpret_fsm
     from repro.analysis.verifier import verify_fsm_program, verify_program
 
-    rng = random.Random(f"{seed}:{index}")
+    sample_seed = f"{seed}:{index}"
+    rng = random.Random(sample_seed)
     test = random_march(rng)
     caps = random_geometry(rng)
     compress = rng.random() < 0.5
     result = SampleResult(
         index=index,
+        sample_seed=sample_seed,
         notation=format_test(test),
         geometry=(caps.n_words, caps.width, caps.ports),
         compress=compress,
@@ -216,41 +237,79 @@ def check_sample(seed: int, index: int) -> SampleResult:
     try:
         fsm_program = compile_to_sm(test, caps, verify=False)
     except CompileError:
-        return result  # outside the SM0-SM7 flexibility boundary
-    result.fsm_compiled = True
-    fsm_report = verify_fsm_program(fsm_program, caps)
-    fsm_interp = interpret_fsm(fsm_program, caps)
-    if fsm_interp.verdict is not interp.verdict:
-        result.mismatches.append(
-            f"verdict disagreement: microcode {interp.verdict.value}, "
-            f"progfsm {fsm_interp.verdict.value}"
-        )
-    if fsm_report.has_errors:
-        result.mismatches.append(
-            "progfsm verifier rejected a compiler-produced program: "
-            + "; ".join(str(d) for d in fsm_report.errors)
-        )
-    elif fsm_interp.verdict is Verdict.TERMINATES:
-        result.fsm_cycles = fsm_interp.cycles
-        controller = ProgrammableFsmBistController(
-            fsm_program,
-            caps,
-            buffer_rows=max(FSM_BUFFER_ROWS, len(fsm_program)),
-            verify=False,
-        )
-        try:
-            traced = sum(1 for _ in controller.trace())
-        except RuntimeError as error:
+        fsm_program = None  # outside the SM0-SM7 flexibility boundary
+    if fsm_program is not None:
+        result.fsm_compiled = True
+        fsm_report = verify_fsm_program(fsm_program, caps)
+        fsm_interp = interpret_fsm(fsm_program, caps)
+        if fsm_interp.verdict is not interp.verdict:
             result.mismatches.append(
-                f"verifier-passed FSM program did not terminate: {error}"
+                f"verdict disagreement: microcode {interp.verdict.value}, "
+                f"progfsm {fsm_interp.verdict.value}"
             )
-        else:
-            if traced != fsm_interp.cycles:
+        if fsm_report.has_errors:
+            result.mismatches.append(
+                "progfsm verifier rejected a compiler-produced program: "
+                + "; ".join(str(d) for d in fsm_report.errors)
+            )
+        elif fsm_interp.verdict is Verdict.TERMINATES:
+            result.fsm_cycles = fsm_interp.cycles
+            controller = ProgrammableFsmBistController(
+                fsm_program,
+                caps,
+                buffer_rows=max(FSM_BUFFER_ROWS, len(fsm_program)),
+                verify=False,
+            )
+            try:
+                traced = sum(1 for _ in controller.trace())
+            except RuntimeError as error:
                 result.mismatches.append(
-                    f"progfsm cycle mismatch: proved {fsm_interp.cycles}, "
-                    f"simulated {traced}"
+                    f"verifier-passed FSM program did not terminate: {error}"
                 )
+            else:
+                if traced != fsm_interp.cycles:
+                    result.mismatches.append(
+                        f"progfsm cycle mismatch: proved "
+                        f"{fsm_interp.cycles}, simulated {traced}"
+                    )
+
+    # -- (d), op-for-op behavioural equivalence ----------------------------
+    if conformance:
+        _check_conformance_identity(result, test, caps, compress)
     return result
+
+
+def _check_conformance_identity(
+    result: SampleResult,
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    compress: bool,
+) -> None:
+    """Identity (d): all realising architectures emit the golden stream.
+
+    On divergence the sample is delta-debugged immediately (in the
+    worker, where the failing input is already in hand) and the minimal
+    reproducer is attached to the result.
+    """
+    from repro.conformance import (
+        check_conformance,
+        conformance_predicate,
+        shrink_sample,
+    )
+
+    conf = check_conformance(test, caps, compress=compress)
+    if conf.ok:
+        return
+    result.mismatches.append(
+        "behavioural divergence: " + conf.describe_failures()
+    )
+    shrunk = shrink_sample(
+        test,
+        caps,
+        conformance_predicate(compress=compress),
+        max_checks=500,
+    )
+    result.shrunk = shrunk.to_dict()
 
 
 @dataclass
@@ -292,23 +351,30 @@ class FuzzReport:
         for entry in self.mismatches:
             lines.append(
                 f"  sample {entry['index']} "
+                f"(seed {entry.get('sample_seed', '?')}) "
                 f"{tuple(entry['geometry'])}: {entry['notation']}"
             )
             for mismatch in entry["mismatches"]:
                 lines.append(f"    {mismatch}")
+            shrunk = entry.get("shrunk")
+            if shrunk:
+                lines.append(
+                    f"    shrunk reproducer: {shrunk['notation']} on "
+                    f"{tuple(shrunk['geometry'])}"
+                )
         return "\n".join(lines)
 
 
-def _check_batch(args: Tuple[int, int, int]) -> List[Dict[str, Any]]:
+def _check_batch(args: Tuple[int, int, int, bool]) -> List[Dict[str, Any]]:
     """Worker entry point: check samples ``start..start+count-1``.
 
     Returns compact per-sample dicts (full detail only for mismatches)
     to keep the inter-process payload small.
     """
-    seed, start, count = args
+    seed, start, count, conformance = args
     out: List[Dict[str, Any]] = []
     for index in range(start, start + count):
-        result = check_sample(seed, index)
+        result = check_sample(seed, index, conformance=conformance)
         if result.ok:
             out.append({"index": index, "ok": True,
                         "fsm_compiled": result.fsm_compiled})
@@ -320,7 +386,7 @@ def _check_batch(args: Tuple[int, int, int]) -> List[Dict[str, Any]]:
 
 
 def run_fuzz(
-    samples: int, seed: int = 0, jobs: int = 1
+    samples: int, seed: int = 0, jobs: int = 1, conformance: bool = True
 ) -> FuzzReport:
     """Run the corpus and aggregate a :class:`FuzzReport`.
 
@@ -329,6 +395,8 @@ def run_fuzz(
         seed: master seed; sample ``i`` derives its RNG from
             ``(seed, i)``, so the report is independent of ``jobs``.
         jobs: worker-process count; 1 runs inline (no pool).
+        conformance: check identity (d), op-for-op behavioural
+            equivalence across all architectures (on by default).
     """
     if samples <= 0:
         raise ValueError(f"need at least one sample, got {samples}")
@@ -337,11 +405,11 @@ def run_fuzz(
     report = FuzzReport(samples=samples, seed=seed)
     jobs = min(jobs, samples)
     if jobs == 1:
-        batches = [_check_batch((seed, 0, samples))]
+        batches = [_check_batch((seed, 0, samples, conformance))]
     else:
         chunk = (samples + jobs - 1) // jobs
         work = [
-            (seed, start, min(chunk, samples - start))
+            (seed, start, min(chunk, samples - start), conformance)
             for start in range(0, samples, chunk)
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -91,6 +91,7 @@ def rule_catalogue() -> List[RuleSpec]:
     """All rules, ordered by id (for docs and the test suite)."""
     import repro.analysis.march_rules  # noqa: F401 — ensure registration
     import repro.analysis.progfsm_rules  # noqa: F401 — ensure registration
+    import repro.rtl.readback  # noqa: F401 — RT family registration
 
     return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
 

@@ -32,8 +32,20 @@ Commands:
     Run the verifier-vs-simulator fuzz harness: random well-formed
     march algorithms over random geometries, each checked for exact
     agreement between the static analyses and the cycle-accurate
-    controllers of both programmable architectures.  Exits 1 on any
-    mismatch, so CI can gate on it.
+    controllers of both programmable architectures, plus op-for-op
+    behavioural equivalence of all three architectures against the
+    golden march expansion (``--no-conformance`` to skip).  Exits 1 on
+    any mismatch, so CI can gate on it; ``--report FILE`` writes the
+    JSON artifact (failing samples carry minimised reproducers).
+``conformance``
+    Differential conformance tooling: ``run`` checks one algorithm (or
+    ``--all``) op-for-op across the architectures with a structured
+    first-divergence report; ``shrink`` delta-debugs a failing sample
+    (``--sample SEED:INDEX`` from a fuzz report, or ``--notation``) to
+    a minimal reproducer; ``record`` (re)writes the golden-trace corpus
+    under ``tests/corpus/`` or promotes fuzz-report mismatches into
+    ``tests/corpus/regressions/`` (``--from-report``); ``corpus-check``
+    validates every checked-in trace (used by CI).
 
 Fault specifications for ``run --fault`` use small colon-separated
 forms, e.g. ``saf:word:bit:value``::
@@ -279,6 +291,14 @@ def _lint_one(name: str, args: argparse.Namespace):
         return verify_march(test, target="progfsm")
     if args.target == "march":
         return verify_march(library.get(name), target=None)
+    if args.target == "rtl":
+        from repro.rtl.readback import verify_rom_image
+
+        program = assemble_microcode(
+            library.get(name), caps, compress=not args.no_compress,
+            verify=False,
+        )
+        return verify_rom_image(program)
     program = assemble_microcode(
         library.get(name), caps, compress=not args.no_compress, verify=False
     )
@@ -356,9 +376,122 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.analysis.fuzz import run_fuzz
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
-    report = run_fuzz(args.samples, seed=args.seed, jobs=jobs)
+    report = run_fuzz(
+        args.samples, seed=args.seed, jobs=jobs,
+        conformance=not args.no_conformance,
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+def _conformance_caps(args: argparse.Namespace) -> ControllerCapabilities:
+    return ControllerCapabilities(
+        n_words=args.words, width=args.width, ports=args.ports
+    )
+
+
+def _cmd_conformance_run(args: argparse.Namespace) -> int:
+    from repro.conformance import check_conformance
+
+    names = list(library.ALGORITHMS) if args.all else [args.algorithm]
+    caps = _conformance_caps(args)
+    results = [
+        check_conformance(
+            library.get(name), caps, compress=not args.no_compress
+        )
+        for name in names
+    ]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        for result in results:
+            print(result.format())
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_conformance_record(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.conformance import promote_from_report, record_golden
+
+    root = pathlib.Path(args.corpus_dir)
+    if args.from_report:
+        with open(args.from_report) as handle:
+            report = json.load(handle)
+        written = promote_from_report(root, report)
+        if not written:
+            print(f"no mismatches to promote in {args.from_report}")
+            return 0
+    else:
+        written = record_golden(root)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_conformance_shrink(args: argparse.Namespace) -> int:
+    from repro.conformance import (
+        check_conformance,
+        conformance_predicate,
+        shrink_sample,
+    )
+
+    if args.sample:
+        import random as random_module
+
+        from repro.analysis.fuzz import random_geometry, random_march
+
+        rng = random_module.Random(args.sample)
+        test = random_march(rng)
+        caps = random_geometry(rng)
+        compress = rng.random() < 0.5
+    else:
+        if not args.notation:
+            print("error: shrink needs --sample SEED:INDEX or "
+                  "--notation 'MARCH'", file=sys.stderr)
+            return 2
+        from repro.march.notation import parse_test
+
+        test = parse_test(args.notation, name="sample")
+        caps = _conformance_caps(args)
+        compress = not args.no_compress
+    initial = check_conformance(test, caps, compress=compress)
+    if initial.ok:
+        print(f"sample conforms on {initial.geometry} — nothing to shrink")
+        return 1
+    shrunk = shrink_sample(
+        test, caps, conformance_predicate(compress=compress)
+    )
+    if args.json:
+        payload = shrunk.to_dict()
+        payload["original"] = initial.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"original  {initial.geometry}: {format_test(test)}")
+        print(f"shrunk    {shrunk.geometry}: {shrunk.notation} "
+              f"({shrunk.checks} predicate checks)")
+        final = check_conformance(
+            shrunk.test, shrunk.capabilities, compress=compress
+        )
+        print(final.format())
+    return 0
+
+
+def _cmd_conformance_corpus_check(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.conformance import check_corpus
+
+    report = check_corpus(pathlib.Path(args.corpus_dir))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.format())
     return 0 if report.ok else 1
@@ -437,10 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint every library algorithm instead of --algorithm",
     )
     lint.add_argument(
-        "--target", choices=["microcode", "progfsm", "march"],
+        "--target", choices=["microcode", "progfsm", "march", "rtl"],
         default="microcode",
         help="microcode: assemble and verify the program; progfsm: check "
-        "SM0-SM7 realisability; march: architecture-neutral checks only",
+        "SM0-SM7 realisability; march: architecture-neutral checks only; "
+        "rtl: check the exported ROM image decodes back bit-exactly",
     )
     lint.add_argument(
         "--no-compress", action="store_true",
@@ -483,7 +617,96 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--json", action="store_true", help="machine-readable report"
     )
+    fuzz.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON report to FILE (CI artifact; failing "
+        "samples carry their shrunk reproducers)",
+    )
+    fuzz.add_argument(
+        "--no-conformance", action="store_true",
+        help="skip identity (d), op-for-op behavioural equivalence",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    conformance = commands.add_parser(
+        "conformance",
+        help="differential op-for-op conformance of the three "
+        "architectures against the golden march expansion",
+    )
+    conf_commands = conformance.add_subparsers(
+        dest="conformance_command", required=True
+    )
+
+    conf_run = conf_commands.add_parser(
+        "run", help="check one algorithm (or the whole library) now"
+    )
+    _add_geometry_args(conf_run)
+    conf_run.add_argument(
+        "--all", action="store_true",
+        help="check every library algorithm instead of --algorithm",
+    )
+    conf_run.add_argument(
+        "--no-compress", action="store_true",
+        help="assemble the microcode without REPEAT compression",
+    )
+    conf_run.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    conf_run.set_defaults(handler=_cmd_conformance_run)
+
+    conf_record = conf_commands.add_parser(
+        "record",
+        help="(re)write the golden corpus, or promote fuzz-report "
+        "mismatches into tests/corpus/regressions/",
+    )
+    conf_record.add_argument(
+        "--corpus-dir", default="tests/corpus",
+        help="corpus root (default: tests/corpus)",
+    )
+    conf_record.add_argument(
+        "--from-report", metavar="FILE",
+        help="promote the mismatches of a fuzz JSON report "
+        "(their shrunk reproducers) instead of re-recording the "
+        "golden corpus",
+    )
+    conf_record.set_defaults(handler=_cmd_conformance_record)
+
+    conf_shrink = conf_commands.add_parser(
+        "shrink", help="delta-debug a failing sample to a minimal "
+        "reproducer",
+    )
+    _add_geometry_args(conf_shrink)
+    conf_shrink.add_argument(
+        "--sample", metavar="SEED:INDEX",
+        help="regenerate a fuzz sample from its per-sample seed string",
+    )
+    conf_shrink.add_argument(
+        "--notation", metavar="MARCH",
+        help="shrink an explicit march algorithm (with the geometry "
+        "flags) instead of a fuzz sample",
+    )
+    conf_shrink.add_argument(
+        "--no-compress", action="store_true",
+        help="assemble the microcode without REPEAT compression "
+        "(--notation mode)",
+    )
+    conf_shrink.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    conf_shrink.set_defaults(handler=_cmd_conformance_shrink)
+
+    conf_check = conf_commands.add_parser(
+        "corpus-check",
+        help="validate every checked-in golden/regression trace",
+    )
+    conf_check.add_argument(
+        "--corpus-dir", default="tests/corpus",
+        help="corpus root (default: tests/corpus)",
+    )
+    conf_check.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    conf_check.set_defaults(handler=_cmd_conformance_corpus_check)
 
     return parser
 

@@ -1,0 +1,70 @@
+"""Differential conformance of the three BIST controller architectures.
+
+Public surface:
+
+* :func:`check_conformance` — op-for-op equivalence of the microcode,
+  programmable-FSM and hardwired simulations against the golden
+  :func:`repro.march.simulator.expand` stream, with structured
+  first-divergence reports.
+* :func:`shrink_sample` / :func:`conformance_predicate` — delta-debug a
+  failing (march, geometry) sample to a minimal reproducer.
+* :mod:`repro.conformance.corpus` — the checked-in golden-trace
+  regression corpus under ``tests/corpus/`` and its checker.
+"""
+
+from repro.conformance.check import (
+    ARCHITECTURES,
+    ArchitectureResult,
+    ConformanceResult,
+    check_conformance,
+)
+from repro.conformance.corpus import (
+    DEFAULT_CORPUS_DIR,
+    GOLDEN_GEOMETRIES,
+    CorpusReport,
+    check_corpus,
+    promote_from_report,
+    record_golden,
+    record_regression,
+)
+from repro.conformance.divergence import Divergence, first_divergence
+from repro.conformance.shrink import (
+    ShrinkResult,
+    conformance_predicate,
+    shrink_sample,
+)
+from repro.conformance.trace import (
+    AttributedOp,
+    format_normalized,
+    fsm_trace,
+    golden_trace,
+    hardwired_trace,
+    microcode_trace,
+    normalize,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureResult",
+    "AttributedOp",
+    "ConformanceResult",
+    "CorpusReport",
+    "DEFAULT_CORPUS_DIR",
+    "Divergence",
+    "GOLDEN_GEOMETRIES",
+    "ShrinkResult",
+    "check_conformance",
+    "check_corpus",
+    "conformance_predicate",
+    "first_divergence",
+    "format_normalized",
+    "fsm_trace",
+    "golden_trace",
+    "hardwired_trace",
+    "microcode_trace",
+    "normalize",
+    "promote_from_report",
+    "record_golden",
+    "record_regression",
+    "shrink_sample",
+]

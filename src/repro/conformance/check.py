@@ -1,0 +1,245 @@
+"""Op-for-op conformance of the three controller architectures.
+
+The paper's central claim (its R1) is that the microcode-based, the
+programmable FSM-based and the hardwired controllers realise the *same*
+march semantics at different flexibility/area points.
+:func:`check_conformance` makes that claim checkable for any algorithm
+and geometry: it extracts the normalised operation stream from every
+architecture's cycle-accurate simulation and asserts op-for-op equality
+against the golden :func:`repro.march.simulator.expand` reference, with
+a structured first-divergence report (op index, both operations, the
+owning march item on the golden side and the owning microcode row /
+buffer row / FSM state on the candidate side).
+
+Architectures outside their flexibility boundary are *skipped*, not
+failed: the programmable FSM unit legitimately cannot run March B, and
+that boundary is measured elsewhere (:mod:`repro.eval.flexibility`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.divergence import Divergence, first_divergence
+from repro.conformance.trace import (
+    AttributedOp,
+    fsm_trace,
+    golden_trace,
+    hardwired_trace,
+    microcode_trace,
+)
+from repro.core.controller import ControllerCapabilities
+from repro.march.notation import format_test
+from repro.march.test import MarchTest
+
+#: All differentially-tested architectures, in report order.
+ARCHITECTURES: Tuple[str, ...] = ("microcode", "progfsm", "hardwired")
+
+
+@dataclass
+class ArchitectureResult:
+    """One architecture's verdict against the golden stream.
+
+    Attributes:
+        architecture: architecture name (see :data:`ARCHITECTURES`).
+        op_count: operations the architecture's simulation emitted.
+        divergence: first op-for-op disagreement, or None.
+        skipped: reason the architecture was not compared (flexibility
+            boundary), or None when it ran.
+        error: runtime failure of the simulation itself (a controller
+            hang is a conformance failure too), or None.
+    """
+
+    architecture: str
+    op_count: int = 0
+    divergence: Optional[Divergence] = None
+    skipped: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and self.error is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "architecture": self.architecture,
+            "op_count": self.op_count,
+            "ok": self.ok,
+            "skipped": self.skipped,
+            "error": self.error,
+            "divergence": (
+                self.divergence.to_dict() if self.divergence else None
+            ),
+        }
+
+
+@dataclass
+class ConformanceResult:
+    """Outcome of one differential conformance check.
+
+    ``ok`` is True when every *compared* architecture reproduced the
+    golden stream exactly; skipped architectures (flexibility boundary)
+    do not fail the check.
+    """
+
+    notation: str
+    geometry: Tuple[int, int, int]
+    compress: bool
+    golden_ops: int
+    results: List[ArchitectureResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> List[ArchitectureResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def compared(self) -> List[str]:
+        return [r.architecture for r in self.results if r.skipped is None]
+
+    def describe_failures(self) -> str:
+        """One-paragraph failure summary (used by the fuzz harness)."""
+        parts = []
+        for result in self.failures:
+            if result.error is not None:
+                parts.append(f"{result.architecture}: {result.error}")
+            elif result.divergence is not None:
+                parts.append(result.divergence.describe())
+        return "; ".join(parts)
+
+    def format(self) -> str:
+        lines = [
+            f"conformance {self.geometry}: {self.notation}",
+            f"  golden stream: {self.golden_ops} operation(s)",
+        ]
+        for result in self.results:
+            if result.skipped is not None:
+                lines.append(
+                    f"  {result.architecture:<10} skipped ({result.skipped})"
+                )
+            elif result.error is not None:
+                lines.append(
+                    f"  {result.architecture:<10} ERROR: {result.error}"
+                )
+            elif result.divergence is not None:
+                lines.append(f"  {result.architecture:<10} DIVERGES")
+                lines.extend(
+                    "    " + line
+                    for line in result.divergence.describe().splitlines()
+                )
+            else:
+                lines.append(
+                    f"  {result.architecture:<10} ok "
+                    f"({result.op_count} ops, op-for-op equal)"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "notation": self.notation,
+            "geometry": list(self.geometry),
+            "compress": self.compress,
+            "golden_ops": self.golden_ops,
+            "ok": self.ok,
+            "architectures": [result.to_dict() for result in self.results],
+        }
+
+
+def _microcode_stream(
+    test: MarchTest, caps: ControllerCapabilities, compress: bool
+) -> List[AttributedOp]:
+    from repro.core.microcode.assembler import assemble
+    from repro.core.microcode.controller import MicrocodeBistController
+
+    program = assemble(test, caps, compress=compress, verify=False)
+    controller = MicrocodeBistController(program, caps, verify=False)
+    return microcode_trace(controller)
+
+
+def _fsm_stream(
+    test: MarchTest, caps: ControllerCapabilities
+) -> List[AttributedOp]:
+    from repro.core.progfsm.compiler import compile_to_sm
+    from repro.core.progfsm.controller import ProgrammableFsmBistController
+    from repro.core.progfsm.upper_buffer import DEFAULT_ROWS
+
+    program = compile_to_sm(test, caps, verify=False)
+    controller = ProgrammableFsmBistController(
+        program,
+        caps,
+        buffer_rows=max(DEFAULT_ROWS, len(program)),
+        verify=False,
+    )
+    return fsm_trace(controller)
+
+
+def _hardwired_stream(
+    test: MarchTest, caps: ControllerCapabilities
+) -> List[AttributedOp]:
+    from repro.core.hardwired.controller import HardwiredBistController
+
+    controller = HardwiredBistController(test, caps)
+    return hardwired_trace(controller)
+
+
+def check_conformance(
+    test: MarchTest,
+    capabilities: ControllerCapabilities,
+    architectures: Sequence[str] = ARCHITECTURES,
+    compress: bool = True,
+) -> ConformanceResult:
+    """Differentially test ``test`` across the controller architectures.
+
+    Args:
+        test: the march algorithm.
+        capabilities: memory geometry all controllers target.
+        architectures: subset of :data:`ARCHITECTURES` to compare.
+        compress: microcode REPEAT compression (both settings must
+            conform — the fuzz harness draws it randomly).
+
+    Returns:
+        A :class:`ConformanceResult`; ``.ok`` is the op-for-op verdict.
+    """
+    from repro.core.progfsm.compiler import CompileError
+
+    caps = capabilities
+    unknown = set(architectures) - set(ARCHITECTURES)
+    if unknown:
+        raise ValueError(
+            f"unknown architecture(s) {sorted(unknown)}; "
+            f"known: {list(ARCHITECTURES)}"
+        )
+    reference = golden_trace(test, caps)
+    result = ConformanceResult(
+        notation=format_test(test),
+        geometry=(caps.n_words, caps.width, caps.ports),
+        compress=compress,
+        golden_ops=len(reference),
+    )
+    for architecture in ARCHITECTURES:
+        if architecture not in architectures:
+            continue
+        arch_result = ArchitectureResult(architecture=architecture)
+        result.results.append(arch_result)
+        try:
+            if architecture == "microcode":
+                stream = _microcode_stream(test, caps, compress)
+            elif architecture == "progfsm":
+                stream = _fsm_stream(test, caps)
+            else:
+                stream = _hardwired_stream(test, caps)
+        except CompileError as error:
+            arch_result.skipped = f"outside the SM0-SM7 boundary: {error}"
+            continue
+        except RuntimeError as error:
+            arch_result.error = f"simulation did not terminate: {error}"
+            continue
+        arch_result.op_count = len(stream)
+        arch_result.divergence = first_divergence(
+            reference, stream, architecture
+        )
+    return result

@@ -1,0 +1,393 @@
+"""The checked-in golden-trace regression corpus.
+
+``tests/corpus/golden/`` holds one JSON file per (library algorithm,
+geometry) pair: the algorithm in march notation, the geometry, the
+architectures the pair is differentially tested on, and the full golden
+operation stream in a compact one-op-per-line text encoding, protected
+by a SHA-256 content hash.  ``tests/corpus/regressions/`` holds
+minimised reproducers promoted from nightly fuzz failures in the same
+format (see ``docs/TESTING.md`` for the promotion workflow).
+
+``repro conformance corpus-check`` re-derives everything: the stored
+hash must match the stored ops (file integrity), the stored ops must
+match a fresh golden expansion (the reference semantics didn't drift),
+and every listed architecture must still reproduce the stream op-for-op
+(the controllers didn't drift).  Any edit to march semantics, the
+assembler, a controller or the expander that changes behaviour
+therefore fails CI with a first-divergence report instead of silently
+shipping.
+
+Op encoding (stable, documented in ``docs/TESTING.md``)::
+
+    w <port> <address> <value>      write
+    r <port> <address> <expected>   read
+    d <port> <delay>                retention pause
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.conformance.check import ARCHITECTURES, check_conformance
+from repro.conformance.trace import golden_trace
+from repro.core.controller import ControllerCapabilities
+from repro.march.notation import format_test, parse_test
+from repro.march.simulator import MemoryOperation
+from repro.march.test import MarchTest
+
+#: Corpus file schema version (bump on incompatible format changes).
+SCHEMA = 1
+
+#: Default geometry grid of the golden corpus: bit-oriented single-port,
+#: word-oriented multiport and wide single-port — every loop level
+#: (addresses, backgrounds, ports) is exercised by at least one entry.
+GOLDEN_GEOMETRIES: Tuple[Tuple[int, int, int], ...] = (
+    (4, 1, 1),
+    (3, 2, 2),
+    (2, 4, 1),
+)
+
+#: Default corpus root, relative to the repository checkout.
+DEFAULT_CORPUS_DIR = "tests/corpus"
+
+
+class CorpusError(ValueError):
+    """Raised for malformed corpus files."""
+
+
+def encode_op(op: MemoryOperation) -> str:
+    """One-line text encoding of an operation (see module docstring)."""
+    if op.is_delay:
+        return f"d {op.port} {op.delay}"
+    if op.is_write:
+        return f"w {op.port} {op.address} {op.value}"
+    return f"r {op.port} {op.address} {op.expected}"
+
+
+def decode_op(text: str) -> MemoryOperation:
+    """Inverse of :func:`encode_op`."""
+    parts = text.split()
+    try:
+        kind = parts[0]
+        if kind == "d":
+            port, delay = int(parts[1]), int(parts[2])
+            return MemoryOperation(port, 0, False, delay=delay)
+        if kind == "w":
+            port, address, value = (int(p) for p in parts[1:4])
+            return MemoryOperation(port, address, True, value=value)
+        if kind == "r":
+            port, address, expected = (int(p) for p in parts[1:4])
+            return MemoryOperation(port, address, False, expected=expected)
+    except (IndexError, ValueError) as error:
+        raise CorpusError(f"bad op line {text!r}: {error}") from None
+    raise CorpusError(f"bad op line {text!r}: unknown kind {kind!r}")
+
+
+def trace_digest(ops: Sequence[str]) -> str:
+    """SHA-256 content hash over the encoded operation lines."""
+    return hashlib.sha256("\n".join(ops).encode("utf-8")).hexdigest()
+
+
+def _slug(name: str) -> str:
+    cleaned = name.lower().replace("+", "p")
+    return "".join(c if c.isalnum() else "-" for c in cleaned).strip("-")
+
+
+def _entry_path(
+    root: pathlib.Path, kind: str, name: str, geometry: Tuple[int, int, int]
+) -> pathlib.Path:
+    words, width, ports = geometry
+    sub = "golden" if kind == "golden" else "regressions"
+    return root / sub / f"{_slug(name)}__w{words}x{width}p{ports}.json"
+
+
+def applicable_architectures(test: MarchTest) -> List[str]:
+    """Architectures that can realise ``test`` (progfsm is bounded)."""
+    from repro.core.progfsm.compiler import is_realizable
+
+    architectures = list(ARCHITECTURES)
+    if not is_realizable(test):
+        architectures.remove("progfsm")
+    return architectures
+
+
+def build_entry(
+    test: MarchTest,
+    geometry: Tuple[int, int, int],
+    kind: str = "golden",
+    provenance: Optional[Dict[str, Any]] = None,
+    compress: bool = True,
+) -> Dict[str, Any]:
+    """One corpus entry: notation + geometry + golden trace + hash."""
+    words, width, ports = geometry
+    caps = ControllerCapabilities(n_words=words, width=width, ports=ports)
+    ops = [entry.op for entry in golden_trace(test, caps)]
+    encoded = [encode_op(op) for op in ops]
+    entry: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "kind": kind,
+        "name": test.name,
+        "notation": format_test(test),
+        "geometry": list(geometry),
+        "compress": compress,
+        "architectures": applicable_architectures(test),
+        "ops": encoded,
+        "sha256": trace_digest(encoded),
+    }
+    if provenance:
+        entry["provenance"] = provenance
+    return entry
+
+
+def write_entry(path: pathlib.Path, entry: Dict[str, Any]) -> pathlib.Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: pathlib.Path) -> Dict[str, Any]:
+    with open(path) as handle:
+        entry = json.load(handle)
+    for key in ("kind", "notation", "geometry", "ops", "sha256"):
+        if key not in entry:
+            raise CorpusError(f"{path}: missing corpus key {key!r}")
+    if entry.get("schema") != SCHEMA:
+        raise CorpusError(
+            f"{path}: unsupported corpus schema {entry.get('schema')!r} "
+            f"(this tool reads schema {SCHEMA})"
+        )
+    return entry
+
+
+def record_golden(
+    root: pathlib.Path,
+    geometries: Sequence[Tuple[int, int, int]] = GOLDEN_GEOMETRIES,
+    algorithms: Optional[Iterable[str]] = None,
+) -> List[pathlib.Path]:
+    """(Re)write the golden corpus: library algorithms × geometry grid."""
+    from repro.march import library
+
+    names = list(algorithms) if algorithms is not None else list(
+        library.ALGORITHMS
+    )
+    written: List[pathlib.Path] = []
+    for name in names:
+        test = library.get(name)
+        for geometry in geometries:
+            entry = build_entry(test, tuple(geometry), kind="golden")
+            path = _entry_path(root, "golden", name, tuple(geometry))
+            written.append(write_entry(path, entry))
+    return written
+
+
+def record_regression(
+    root: pathlib.Path,
+    notation: str,
+    geometry: Tuple[int, int, int],
+    name: str,
+    compress: bool = True,
+    provenance: Optional[Dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Check in one minimised reproducer as a regression entry."""
+    test = parse_test(notation, name=name)
+    entry = build_entry(
+        test,
+        tuple(geometry),
+        kind="regression",
+        provenance=provenance,
+        compress=compress,
+    )
+    path = _entry_path(root, "regression", name, tuple(geometry))
+    return write_entry(path, entry)
+
+
+def promote_from_report(
+    root: pathlib.Path, report: Dict[str, Any]
+) -> List[pathlib.Path]:
+    """Promote every mismatch of a fuzz-report JSON into the corpus.
+
+    Prefers the shrunk reproducer the harness minimised automatically;
+    falls back to the full sample when shrinking was unavailable.  The
+    fuzz seed and sample index are kept as provenance, so a checked-in
+    regression is traceable to the nightly run that found it.
+    """
+    written: List[pathlib.Path] = []
+    seed = report.get("seed", 0)
+    for entry in report.get("mismatches", []):
+        shrunk = entry.get("shrunk") or {}
+        notation = shrunk.get("notation") or entry.get("notation")
+        geometry = shrunk.get("geometry") or entry.get("geometry")
+        if not notation or not geometry:
+            continue
+        name = f"fuzz-seed{seed}-sample{entry.get('index', 0)}"
+        provenance = {
+            "seed": seed,
+            "index": entry.get("index"),
+            "sample_seed": entry.get("sample_seed"),
+            "original_notation": entry.get("notation"),
+            "original_geometry": entry.get("geometry"),
+            "mismatches": entry.get("mismatches"),
+        }
+        written.append(
+            record_regression(
+                root,
+                notation,
+                tuple(geometry),
+                name=name,
+                compress=bool(entry.get("compress", True)),
+                provenance=provenance,
+            )
+        )
+    return written
+
+
+@dataclass
+class EntryResult:
+    """Verdict for one corpus file."""
+
+    path: str
+    name: str
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "name": self.name,
+            "ok": self.ok,
+            "problems": self.problems,
+        }
+
+
+@dataclass
+class CorpusReport:
+    """Aggregated outcome of a corpus check."""
+
+    root: str
+    entries: List[EntryResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.entries) and all(e.ok for e in self.entries)
+
+    @property
+    def checked(self) -> int:
+        return len(self.entries)
+
+    @property
+    def failed(self) -> List[EntryResult]:
+        return [e for e in self.entries if not e.ok]
+
+    def format(self) -> str:
+        lines = [
+            f"corpus {self.root}: {self.checked} entr"
+            f"{'y' if self.checked == 1 else 'ies'} checked, "
+            f"{len(self.failed)} problem(s)"
+        ]
+        if not self.entries:
+            lines.append("  (no corpus files found — run "
+                         "'repro conformance record' first)")
+        for entry in self.entries:
+            if entry.ok:
+                continue
+            lines.append(f"  FAIL {entry.path} ({entry.name})")
+            for problem in entry.problems:
+                lines.extend(f"    {line}"
+                             for line in problem.splitlines())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "checked": self.checked,
+            "ok": self.ok,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+
+def check_entry(path: pathlib.Path) -> EntryResult:
+    """Validate one corpus file (integrity + golden + architectures)."""
+    result = EntryResult(path=str(path), name=path.stem, ok=True)
+
+    def problem(text: str) -> None:
+        result.ok = False
+        result.problems.append(text)
+
+    try:
+        entry = load_entry(path)
+    except (CorpusError, json.JSONDecodeError, OSError) as error:
+        problem(f"unreadable corpus entry: {error}")
+        return result
+    result.name = entry.get("name", path.stem)
+
+    # 1. File integrity: the stored hash covers the stored ops.
+    stored_ops = entry["ops"]
+    digest = trace_digest(stored_ops)
+    if digest != entry["sha256"]:
+        problem(
+            f"content hash mismatch: stored {entry['sha256'][:12]}…, "
+            f"ops hash to {digest[:12]}… (corpus file edited by hand?)"
+        )
+
+    # 2. Reference stability: a fresh golden expansion reproduces the ops.
+    try:
+        test = parse_test(entry["notation"], name=result.name)
+    except Exception as error:
+        problem(f"unparseable notation: {error}")
+        return result
+    words, width, ports = entry["geometry"]
+    caps = ControllerCapabilities(n_words=words, width=width, ports=ports)
+    fresh = [encode_op(e.op) for e in golden_trace(test, caps)]
+    if fresh != stored_ops:
+        index = next(
+            (i for i, (a, b) in enumerate(zip(fresh, stored_ops)) if a != b),
+            min(len(fresh), len(stored_ops)),
+        )
+        got = fresh[index] if index < len(fresh) else "<end of stream>"
+        want = (
+            stored_ops[index] if index < len(stored_ops)
+            else "<end of stream>"
+        )
+        problem(
+            f"golden trace drifted at op {index}: corpus has {want!r}, "
+            f"expander now yields {got!r} "
+            f"({len(stored_ops)} stored vs {len(fresh)} fresh ops)"
+        )
+
+    # 3. Architecture conformance: every listed controller reproduces it.
+    architectures = [
+        a for a in entry.get("architectures", list(ARCHITECTURES))
+        if a in ARCHITECTURES
+    ]
+    conformance = check_conformance(
+        test,
+        caps,
+        architectures=architectures,
+        compress=bool(entry.get("compress", True)),
+    )
+    if not conformance.ok:
+        problem(conformance.describe_failures())
+    for arch_result in conformance.results:
+        if arch_result.skipped is not None:
+            problem(
+                f"{arch_result.architecture} listed in the corpus entry "
+                f"but skipped at check time: {arch_result.skipped}"
+            )
+    return result
+
+
+def check_corpus(root: pathlib.Path) -> CorpusReport:
+    """Validate every golden and regression entry under ``root``."""
+    report = CorpusReport(root=str(root))
+    paths = sorted(root.glob("golden/*.json")) + sorted(
+        root.glob("regressions/*.json")
+    )
+    for path in paths:
+        report.entries.append(check_entry(path))
+    return report

@@ -1,0 +1,93 @@
+"""First-divergence location between two attributed operation streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.conformance.trace import AttributedOp, format_normalized
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where a candidate stream departs from the golden.
+
+    Attributes:
+        architecture: name of the diverging candidate.
+        index: operation index of the first disagreement (the op-stream
+            "cycle" — delays count as one op, like everywhere else).
+        reference_op / reference_owner: the golden op and its owning
+            march item at that index (None/"" past the golden end).
+        candidate_op / candidate_owner: the candidate op and its owning
+            program row/state (None/"" when the candidate ended early).
+    """
+
+    architecture: str
+    index: int
+    reference_op: Optional[tuple]
+    reference_owner: str
+    candidate_op: Optional[tuple]
+    candidate_owner: str
+
+    @property
+    def kind(self) -> str:
+        """``mismatch`` | ``missing`` (short stream) | ``extra`` ops."""
+        if self.candidate_op is None:
+            return "missing"
+        if self.reference_op is None:
+            return "extra"
+        return "mismatch"
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.architecture} diverges from the golden stream at "
+            f"op {self.index} ({self.kind}):"
+        ]
+        lines.append(
+            f"  expected {format_normalized(self.reference_op)}"
+            + (f"  <- {self.reference_owner}" if self.reference_owner else "")
+        )
+        lines.append(
+            f"  got      {format_normalized(self.candidate_op)}"
+            + (f"  <- {self.candidate_owner}" if self.candidate_owner else "")
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "architecture": self.architecture,
+            "index": self.index,
+            "kind": self.kind,
+            "expected": format_normalized(self.reference_op),
+            "expected_owner": self.reference_owner,
+            "got": format_normalized(self.candidate_op),
+            "got_owner": self.candidate_owner,
+        }
+
+
+def first_divergence(
+    reference: List[AttributedOp],
+    candidate: List[AttributedOp],
+    architecture: str,
+) -> Optional[Divergence]:
+    """Compare two attributed streams op-for-op.
+
+    Returns ``None`` when the candidate reproduces the reference
+    exactly (under the normalisation rules of
+    :mod:`repro.conformance.trace`), else the first disagreement.
+    """
+    for index in range(max(len(reference), len(candidate))):
+        ref = reference[index] if index < len(reference) else None
+        cand = candidate[index] if index < len(candidate) else None
+        ref_key = ref.key if ref is not None else None
+        cand_key = cand.key if cand is not None else None
+        if ref_key != cand_key:
+            return Divergence(
+                architecture=architecture,
+                index=index,
+                reference_op=ref_key,
+                reference_owner=ref.owner if ref is not None else "",
+                candidate_op=cand_key,
+                candidate_owner=cand.owner if cand is not None else "",
+            )
+    return None

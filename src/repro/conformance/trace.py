@@ -1,0 +1,170 @@
+"""Normalised, provenance-attributed operation traces.
+
+Every controller in :mod:`repro.core` and the golden expander in
+:mod:`repro.march.simulator` emit the same
+:class:`~repro.march.simulator.MemoryOperation` type; this module turns
+each of those streams into a list of :class:`AttributedOp` — the
+operation in canonical (normalised) form plus a human-readable *owner*
+naming the program location that issued it:
+
+* golden stream — the owning march item and operation index;
+* microcode controller — the storage row and its disassembly;
+* programmable FSM controller — the upper-buffer row and its decoded
+  instruction;
+* hardwired controller — the FSM state index and kind.
+
+Normalisation rules (see ``docs/TESTING.md``):
+
+* a write is ``("w", port, address, value)``;
+* a read is ``("r", port, address, expected)``;
+* a pause is ``("d", port, delay)`` — the placeholder address and the
+  unused value/expected fields of delay operations are *not* compared;
+* nothing else (cycle timing, controller state) participates: op-for-op
+  equivalence is about the memory-facing behaviour only.  Temporal
+  equivalence is the fuzz harness's separate assertion (a)/(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.controller import ControllerCapabilities
+from repro.march.backgrounds import data_backgrounds
+from repro.march.element import MarchElement, Pause
+from repro.march.simulator import MemoryOperation, expand
+from repro.march.test import MarchTest
+
+#: Canonical comparison key of one operation.
+NormalizedOp = Union[
+    Tuple[str, int, int, int],  # ("w"/"r", port, address, value/expected)
+    Tuple[str, int, int],       # ("d", port, delay)
+]
+
+
+def normalize(op: MemoryOperation) -> NormalizedOp:
+    """Canonical comparison key of ``op`` (see module docstring)."""
+    if op.is_delay:
+        return ("d", op.port, op.delay)
+    if op.is_write:
+        return ("w", op.port, op.address, op.value)
+    return ("r", op.port, op.address, op.expected)
+
+
+def format_normalized(key: Optional[NormalizedOp]) -> str:
+    """Render a normalised op for divergence reports (None = stream end)."""
+    if key is None:
+        return "<end of stream>"
+    if key[0] == "d":
+        return f"p{key[1]} delay({key[2]})"
+    if key[0] == "w":
+        return f"p{key[1]} w@{key[2]}={key[3]:x}"
+    return f"p{key[1]} r@{key[2]}?{key[3]:x}"
+
+
+@dataclass(frozen=True)
+class AttributedOp:
+    """One traced operation plus the program location that issued it.
+
+    Attributes:
+        op: the raw operation, exactly as the source emitted it.
+        owner: human-readable owning location — march item, microcode
+            row, upper-buffer row or hardwired state.
+    """
+
+    op: MemoryOperation
+    owner: str
+
+    @property
+    def key(self) -> NormalizedOp:
+        return normalize(self.op)
+
+
+def golden_trace(
+    test: MarchTest, capabilities: ControllerCapabilities
+) -> List[AttributedOp]:
+    """The golden reference stream, attributed to march items.
+
+    Owners are generated from the march structure in the exact loop
+    order of :func:`repro.march.simulator.expand` (ports outermost,
+    backgrounds, items, addresses); the pairing is asserted against the
+    expander's actual output length so the attribution can never drift
+    silently from the executable semantics.
+    """
+    caps = capabilities
+    ops = list(expand(test, caps.n_words, width=caps.width, ports=caps.ports))
+    owners: List[str] = []
+    backgrounds = len(data_backgrounds(caps.width))
+    for _port in range(caps.ports):
+        for _background in range(backgrounds):
+            for item_index, item in enumerate(test.items):
+                if isinstance(item, Pause):
+                    owners.append(f"item {item_index} {item}")
+                    continue
+                for _address in range(caps.n_words):
+                    for op_index in range(item.op_count):
+                        owners.append(
+                            f"item {item_index} {item} op {op_index}"
+                        )
+    if len(owners) != len(ops):  # pragma: no cover - structural invariant
+        raise AssertionError(
+            f"golden attribution out of sync: {len(owners)} owners for "
+            f"{len(ops)} operations"
+        )
+    return [AttributedOp(op, owner) for op, owner in zip(ops, owners)]
+
+
+def microcode_trace(controller) -> List[AttributedOp]:
+    """Attributed stream of a :class:`MicrocodeBistController`.
+
+    The owner names the storage row (the microcode instruction counter
+    value) and its one-line disassembly, so a divergence report points
+    straight at the offending program word.
+    """
+    from repro.core.microcode.disassembler import disassemble_instruction
+
+    out: List[AttributedOp] = []
+    for entry in controller.trace():
+        if entry.operation is None:
+            continue
+        owner = (
+            f"microcode row {entry.ic}: "
+            f"{disassemble_instruction(entry.instruction)}"
+        )
+        out.append(AttributedOp(entry.operation, owner))
+    return out
+
+
+def fsm_trace(controller) -> List[AttributedOp]:
+    """Attributed stream of a :class:`ProgrammableFsmBistController`.
+
+    The owner names the circular-buffer row and its decoded instruction
+    (SM mode, order, base polarities).
+    """
+    out: List[AttributedOp] = []
+    for entry in controller.trace():
+        if entry.operation is None:
+            continue
+        owner = f"fsm row {entry.row}: {entry.instruction}"
+        out.append(AttributedOp(entry.operation, owner))
+    return out
+
+
+def hardwired_trace(controller) -> List[AttributedOp]:
+    """Attributed stream of a :class:`HardwiredBistController`.
+
+    The owner names the synthesised FSM state (index, kind, operation).
+    """
+    out: List[AttributedOp] = []
+    for entry in controller.trace():
+        if entry.operation is None:
+            continue
+        state = entry.state
+        detail = state.kind
+        if state.kind == "op" and state.op_kind is not None:
+            detail = f"op {state.op_kind.value}{state.polarity}"
+        elif state.kind == "pause":
+            detail = f"pause({state.pause_duration})"
+        owner = f"hardwired state {state.index} ({detail})"
+        out.append(AttributedOp(entry.operation, owner))
+    return out

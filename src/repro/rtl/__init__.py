@@ -14,9 +14,15 @@ Verilog-2001 so a downstream user can drop them into a DFT flow:
   linter (balanced constructs, declared identifiers) used by the test
   suite; no external simulator is assumed in this environment, so
   behavioural equivalence is carried by construction (the emitter walks
-  ``step_signals`` output rows) plus the structural checks.
+  ``step_signals`` output rows) plus the structural checks;
+* :func:`~repro.rtl.readback.rom_readback` /
+  :func:`~repro.rtl.readback.verify_rom_image` — decode an exported
+  ``$readmemh`` image back to a
+  :class:`~repro.core.microcode.assembler.MicrocodeProgram` and check
+  the round trip is bit-exact (``repro lint --target rtl``).
 """
 
+from repro.rtl.readback import ReadbackError, rom_readback, verify_rom_image
 from repro.rtl.verilog import (
     check_verilog_structure,
     hardwired_controller_verilog,
@@ -29,6 +35,7 @@ from repro.rtl.verilog import (
 from repro.rtl.vcd import microcode_trace_vcd, samples_to_vcd
 
 __all__ = [
+    "ReadbackError",
     "check_verilog_structure",
     "hardwired_controller_verilog",
     "lower_fsm_verilog",
@@ -36,6 +43,8 @@ __all__ = [
     "microcode_rom_verilog",
     "microcode_trace_vcd",
     "program_memh",
+    "rom_readback",
     "samples_to_vcd",
     "sop_module_verilog",
+    "verify_rom_image",
 ]

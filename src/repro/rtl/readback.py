@@ -1,0 +1,203 @@
+"""ROM-image readback: decode a ``$readmemh`` export back to microcode.
+
+The export path (:func:`repro.rtl.verilog.program_memh`) is the last
+step before a program leaves the Python models and enters a silicon
+flow, so a bug there would survive every other check in the repo.  This
+module closes the loop: :func:`rom_readback` parses a memh image back
+into a :class:`~repro.core.microcode.assembler.MicrocodeProgram` through
+the same 10-bit :meth:`~repro.core.microcode.instruction.MicroInstruction
+.decode` the hardware decoder models, and :func:`verify_rom_image`
+asserts the round trip is *bit-exact* against the program that was
+exported — plus, via the decompiler, that the decoded image still
+realises the source march algorithm.
+
+Findings use the ``RT`` rule family (the catalogue lives in
+``docs/ANALYSIS.md``):
+
+* ``RT001`` — unparseable image line (not a 3-hex-digit word);
+* ``RT002`` — image holds a different instruction count than the
+  program (padding rows excluded);
+* ``RT003`` — a row decodes to a different instruction than the program
+  word it should hold (the bit-exactness check);
+* ``RT004`` — the decoded image does not decompile to a march test;
+* ``RT005`` — the decompiled test's operation stream differs from the
+  source algorithm's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+from repro.core.microcode.assembler import MicrocodeProgram
+from repro.core.microcode.decompiler import DecompileError, decompile
+from repro.core.microcode.instruction import MicroInstruction
+from repro.rtl.verilog import program_memh
+
+
+class ReadbackError(ValueError):
+    """Raised for memh images that cannot be decoded at all."""
+
+
+def _register_rules() -> None:
+    """List the RT family in the shared rule catalogue.
+
+    Readback checks run against a (program, image) pair rather than a
+    single analysed artifact, so :func:`verify_rom_image` emits the
+    diagnostics directly; these registry entries carry the ids,
+    severities and titles for ``repro lint --rules`` and the docs.
+    """
+    from repro.analysis.rules import rule
+
+    for rule_id, title in (
+        ("RT001", "unparseable ROM image row"),
+        ("RT002", "image/program instruction count mismatch"),
+        ("RT003", "row decodes to a different instruction (bit-exactness)"),
+        ("RT004", "decoded image does not decompile"),
+        ("RT005", "decompiled test diverges from the source algorithm"),
+    ):
+        rule(rule_id, Severity.ERROR, title, scope="rtl")(lambda _: iter(()))
+
+
+_register_rules()
+
+
+def _parse_words(memh_text: str) -> List[int]:
+    """The instruction words of a memh image, in row order."""
+    words: List[int] = []
+    for line_number, raw in enumerate(memh_text.splitlines(), start=1):
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        try:
+            word = int(line, 16)
+        except ValueError:
+            raise ReadbackError(
+                f"memh line {line_number}: {raw.strip()!r} is not a "
+                f"hexadecimal instruction word"
+            ) from None
+        words.append(word)
+    return words
+
+
+def rom_readback(memh_text: str, name: str = "readback") -> MicrocodeProgram:
+    """Decode a ``$readmemh`` ROM image back into a microcode program.
+
+    Trailing all-zero rows are treated as storage padding (the assembler
+    never ends a program with an all-zero word — every program ends in a
+    capability-tail row with a condition opcode set), decoded rows pass
+    through :meth:`MicroInstruction.decode`, and the source march test
+    is recovered with the decompiler.
+
+    Raises:
+        ReadbackError: for images with non-hexadecimal rows.
+        DecompileError: when the decoded rows are not a program the
+            assembler could have produced.
+    """
+    words = _parse_words(memh_text)
+    while words and words[-1] == 0:
+        words.pop()
+    instructions = [MicroInstruction.decode(word) for word in words]
+    source = decompile(instructions, name=name)
+    return MicrocodeProgram(name=name, instructions=instructions,
+                            source=source)
+
+
+def verify_rom_image(
+    program: MicrocodeProgram,
+    memh_text: Optional[str] = None,
+    rows: int = 0,
+) -> DiagnosticReport:
+    """Check that a ROM image decodes back to ``program`` bit-exactly.
+
+    Args:
+        program: the verified program that was (or is about to be)
+            exported.
+        memh_text: the image to check; generated fresh from ``program``
+            when omitted (self-check of the export path).
+        rows: storage rows used when generating the image.
+
+    Returns:
+        A :class:`DiagnosticReport`; empty when the round trip is
+        bit-exact and the decoded image still realises the source
+        algorithm's operation stream.
+    """
+    if memh_text is None:
+        memh_text = program_memh(program, rows=rows)
+    report = DiagnosticReport(name=program.name)
+
+    try:
+        words = _parse_words(memh_text)
+    except ReadbackError as error:
+        report.add(Diagnostic(
+            rule="RT001",
+            severity=Severity.ERROR,
+            message=str(error),
+            hint="regenerate the image with program_memh()",
+        ))
+        return report
+    while words and words[-1] == 0:
+        words.pop()
+
+    expected = program.instructions
+    if len(words) != len(expected):
+        report.add(Diagnostic(
+            rule="RT002",
+            severity=Severity.ERROR,
+            message=(
+                f"image holds {len(words)} instruction row(s), program "
+                f"has {len(expected)}"
+            ),
+        ))
+    for index in range(min(len(words), len(expected))):
+        decoded = MicroInstruction.decode(words[index])
+        if decoded != expected[index]:
+            report.add(Diagnostic(
+                rule="RT003",
+                severity=Severity.ERROR,
+                message=(
+                    f"row {index} decodes to {decoded}, program holds "
+                    f"{expected[index]} (word {words[index]:#05x} vs "
+                    f"{expected[index].encode():#05x})"
+                ),
+                location=Location(instruction=index),
+            ))
+    if report.has_errors:
+        return report
+
+    try:
+        recovered = decompile(
+            [MicroInstruction.decode(word) for word in words],
+            name=program.name,
+        )
+    except DecompileError as error:
+        report.add(Diagnostic(
+            rule="RT004",
+            severity=Severity.ERROR,
+            message=f"decoded image does not decompile: {error}",
+        ))
+        return report
+
+    from repro.march.simulator import expand
+
+    n_words, width, ports = 2, 1, 1
+    source_stream = list(expand(program.source, n_words, width=width,
+                                ports=ports))
+    recovered_stream = list(expand(recovered, n_words, width=width,
+                                   ports=ports))
+    if source_stream != recovered_stream:
+        report.add(Diagnostic(
+            rule="RT005",
+            severity=Severity.ERROR,
+            message=(
+                f"decompiled test diverges from the source algorithm "
+                f"({len(recovered_stream)} vs {len(source_stream)} "
+                f"operations on a 2x1 single-port check geometry)"
+            ),
+        ))
+    return report

@@ -1,0 +1,194 @@
+"""Operation-stream and fault-detection tests for the classic patterns.
+
+Mirrors ``test_march_simulator.py``: exact expected streams for tiny
+memories (so any generator change is visible op-for-op in a diff) plus
+per-pattern detection assertions that tie a specific injected fault to
+the specific operation that catches it.
+"""
+
+from repro.classic import (
+    checkerboard,
+    galpat,
+    galpat_op_count,
+    pseudorandom_test,
+    walking_ones,
+    walking_op_count,
+    walking_zeros,
+)
+from repro.faults import DataRetentionFault, StuckAtFault, TransitionFault
+from repro.faults.coupling import InversionCouplingFault
+from repro.march.simulator import run_on_memory
+from repro.memory import Sram
+
+
+def _stream(ops):
+    """Compact comparable encoding, one tuple per operation."""
+    out = []
+    for op in ops:
+        if op.is_delay:
+            out.append(("d", op.port, op.delay))
+        elif op.is_write:
+            out.append(("w", op.port, op.address, op.value))
+        else:
+            out.append(("r", op.port, op.address, op.expected))
+    return out
+
+
+class TestWalkingStream:
+    def test_walking_ones_exact_stream_two_words(self):
+        assert _stream(walking_ones(2)) == [
+            ("w", 0, 0, 0), ("w", 0, 1, 0),        # clear
+            ("r", 0, 0, 0), ("w", 0, 0, 1),        # tenure of cell 0
+            ("r", 0, 1, 0), ("r", 0, 0, 1),
+            ("w", 0, 0, 0),
+            ("r", 0, 1, 0), ("w", 0, 1, 1),        # tenure of cell 1
+            ("r", 0, 0, 0), ("r", 0, 1, 1),
+            ("w", 0, 1, 0),
+            ("r", 0, 0, 0), ("r", 0, 1, 0),        # final sweep
+        ]
+
+    def test_walking_zeros_is_polarity_mirror(self):
+        ones = _stream(walking_ones(3))
+        zeros = _stream(walking_zeros(3))
+        assert len(ones) == len(zeros)
+        for one, zero in zip(ones, zeros):
+            assert one[:3] == zero[:3]      # same kind/port/address order
+            assert one[3] == 1 - zero[3]    # complementary data
+
+    def test_op_count_formula(self):
+        for n in (2, 3, 5, 8):
+            assert len(list(walking_ones(n))) == walking_op_count(n)
+            assert walking_op_count(n) == n * n + 5 * n
+
+    def test_each_tenure_reads_every_other_cell(self):
+        n = 5
+        ops = list(walking_ones(n))
+        reads_of_others = [
+            op for op in ops
+            if op.is_read and op.expected == 0
+        ]
+        # background reads: n(n-1) during tenures + n final sweep... the
+        # invariant that matters: every cell is read while every other
+        # cell holds the walking 1.
+        assert len(reads_of_others) >= n * (n - 1)
+
+    def test_detects_stuck_at_zero_at_tenure_read(self):
+        memory = Sram(4)
+        memory.attach(StuckAtFault(2, 0, 0))
+        result = run_on_memory(walking_ones(4), memory)
+        assert not result.passed
+        first = result.failures[0]
+        assert first.address == 2
+        assert first.expected == 1  # the walked-1 read-back
+
+    def test_detects_coupling_between_any_pair(self):
+        memory = Sram(4)
+        memory.attach(InversionCouplingFault(1, 0, 3, 0, True))
+        assert not run_on_memory(walking_ones(4), memory).passed
+
+
+class TestGalpatStream:
+    def test_exact_stream_two_words_first_pass(self):
+        ops = _stream(galpat(2))
+        assert len(ops) == galpat_op_count(2)
+        # Pass 1 (background 0) is exactly the walking-ones tenure
+        # structure with the ping-pong re-read of the marked cell.
+        assert ops[:14] == _stream(walking_ones(2))
+
+    def test_second_pass_is_complement(self):
+        ops = _stream(galpat(2))
+        half = len(ops) // 2
+        for first, second in zip(ops[:half], ops[half:]):
+            assert first[:3] == second[:3]
+            assert first[3] == 1 - second[3]
+
+    def test_op_count_formula(self):
+        for n in (2, 3, 4):
+            assert galpat_op_count(n) == 2 * (2 * n * n + 3 * n)
+
+    def test_detects_transition_fault_named_cell(self):
+        memory = Sram(4)
+        memory.attach(TransitionFault(1, 0, True))  # can't rise
+        result = run_on_memory(galpat(4), memory)
+        assert not result.passed
+        assert result.failures[0].address == 1
+
+    def test_detects_stuck_at_on_both_polarities(self):
+        for value in (0, 1):
+            memory = Sram(3)
+            memory.attach(StuckAtFault(0, 0, value))
+            assert not run_on_memory(galpat(3), memory).passed
+
+
+class TestCheckerboardStream:
+    def test_exact_stream_four_words(self):
+        # Physical checkerboard on the 2x2 cell grid: words 1,2 carry
+        # the complement of words 0,3 (not address parity).
+        assert _stream(checkerboard(4)) == [
+            ("w", 0, 0, 0), ("w", 0, 1, 1), ("w", 0, 2, 1), ("w", 0, 3, 0),
+            ("r", 0, 0, 0), ("r", 0, 1, 1), ("r", 0, 2, 1), ("r", 0, 3, 0),
+            ("w", 0, 0, 1), ("w", 0, 1, 0), ("w", 0, 2, 0), ("w", 0, 3, 1),
+            ("r", 0, 0, 1), ("r", 0, 1, 0), ("r", 0, 2, 0), ("r", 0, 3, 1),
+        ]
+
+    def test_bake_delays_sit_between_write_and_read_phases(self):
+        ops = list(checkerboard(4, bake=256))
+        kinds = [
+            "d" if op.is_delay else ("w" if op.is_write else "r")
+            for op in ops
+        ]
+        assert kinds == ["w"] * 4 + ["d"] + ["r"] * 4 + \
+            ["w"] * 4 + ["d"] + ["r"] * 4
+
+    def test_detects_retention_fault_only_with_bake(self):
+        def faulty():
+            memory = Sram(16)
+            memory.attach(
+                DataRetentionFault(6, 0, from_value=1, decay_time=400)
+            )
+            return memory
+
+        assert run_on_memory(checkerboard(16), faulty()).passed
+        assert not run_on_memory(checkerboard(16, bake=1024), faulty()).passed
+
+    def test_detects_stuck_at_in_read_phase(self):
+        memory = Sram(4)
+        memory.attach(StuckAtFault(3, 0, 1))
+        result = run_on_memory(checkerboard(4), memory)
+        assert not result.passed
+        first = result.failures[0]
+        assert first.address == 3 and first.expected == 0
+
+
+class TestPseudorandomStream:
+    def test_deterministic_per_seed(self):
+        a = _stream(pseudorandom_test(8, length=64))
+        b = _stream(pseudorandom_test(8, length=64))
+        assert a == b
+
+    def test_reads_always_expect_shadow_value(self):
+        """Every read's expectation equals the last value written to
+        that address — the shadow-memory invariant that makes the
+        pseudorandom stream self-checking."""
+        shadow = {}
+        checked = 0
+        for op in pseudorandom_test(8, length=500):
+            if op.is_write:
+                shadow[op.address] = op.value
+            elif op.is_read:
+                assert op.expected == shadow.get(op.address, 0)
+                checked += 1
+        assert checked > 0
+
+    def test_addresses_stay_in_range(self):
+        assert all(
+            0 <= op.address < 8
+            for op in pseudorandom_test(8, length=300)
+        )
+
+    def test_detects_stuck_at_with_sufficient_budget(self):
+        memory = Sram(8)
+        memory.attach(StuckAtFault(3, 0, 1))
+        result = run_on_memory(pseudorandom_test(8, length=2000), memory)
+        assert not result.passed
+        assert result.failures[0].address == 3

@@ -1,0 +1,107 @@
+"""Unit tests for the delta-debugging shrinker (predicate-driven)."""
+
+from repro.conformance import shrink_sample
+from repro.core.controller import ControllerCapabilities
+from repro.march.element import MarchElement, Pause
+from repro.march.notation import format_test, parse_test
+from repro.march.test import MarchTest
+
+CAPS = ControllerCapabilities(n_words=6, width=2, ports=2)
+
+
+def _count_checks(predicate):
+    """Wrap a predicate, counting invocations."""
+    calls = []
+
+    def wrapped(test, caps):
+        calls.append(1)
+        return predicate(test, caps)
+
+    return wrapped, calls
+
+
+class TestShrinkItems:
+    def test_removes_irrelevant_elements(self):
+        # Failure depends only on the presence of a w1 write.
+        test = parse_test("~(w0); ^(r0,w1); v(r1,w0); ~(r0)")
+
+        def has_w1(candidate, _caps):
+            return any(
+                isinstance(item, MarchElement)
+                and any(op.is_write and op.polarity == 1
+                        for op in item.ops)
+                for item in candidate.items
+            )
+
+        result = shrink_sample(test, CAPS, has_w1)
+        assert result.reduced
+        assert len(result.test.items) == 1
+        assert result.notation == "^(w1)"  # ops shrunk too
+
+    def test_keeps_at_least_one_item(self):
+        result = shrink_sample(
+            parse_test("~(w0)"), CAPS, lambda _t, _c: True
+        )
+        assert len(result.test.items) >= 1
+
+    def test_non_reproducing_input_returned_unchanged(self):
+        test = parse_test("~(w0); ^(r0)")
+        result = shrink_sample(test, CAPS, lambda _t, _c: False)
+        assert not result.reduced
+        assert format_test(result.test) == format_test(test)
+        assert result.checks == 1  # one probe, then bail
+
+    def test_pause_removed_when_irrelevant(self):
+        test = parse_test("~(w0); Del(512); ~(r0)")
+        result = shrink_sample(
+            test, CAPS, lambda t, _c: len(t.items) >= 1
+        )
+        assert not any(
+            isinstance(item, Pause) for item in result.test.items
+        )
+
+
+class TestShrinkGeometry:
+    def test_geometry_lowered_to_minimum(self):
+        result = shrink_sample(
+            parse_test("~(w0)"), CAPS, lambda _t, _c: True
+        )
+        assert result.geometry == (1, 1, 1)
+
+    def test_geometry_respects_predicate(self):
+        # Reproduces only on >= 4 words and >= 2 ports.
+        def needs_size(_test, caps):
+            return caps.n_words >= 4 and caps.ports >= 2
+
+        result = shrink_sample(parse_test("~(w0)"), CAPS, needs_size)
+        assert result.geometry == (4, 1, 2)
+
+
+class TestBudget:
+    def test_max_checks_respected(self):
+        predicate, calls = _count_checks(lambda _t, _c: True)
+        shrink_sample(
+            parse_test("~(w0); ^(r0,w1); v(r1,w0)"), CAPS, predicate,
+            max_checks=5,
+        )
+        assert len(calls) <= 5
+
+    def test_renamed_only_when_reduced(self):
+        test = MarchTest("original", [parse_test("~(w0)").items[0]])
+        kept = shrink_sample(test, CAPS, lambda _t, _c: False)
+        assert kept.test.name == "original"
+        small_caps = ControllerCapabilities(n_words=1, width=1, ports=1)
+        unreducible = shrink_sample(
+            test, small_caps, lambda _t, _c: True
+        )
+        assert unreducible.test.name == "original"
+
+    def test_to_dict_round_trip_fields(self):
+        result = shrink_sample(
+            parse_test("~(w0); ^(r0)"), CAPS, lambda _t, _c: True
+        )
+        payload = result.to_dict()
+        assert set(payload) == {
+            "notation", "geometry", "checks", "reduced"
+        }
+        assert parse_test(payload["notation"])  # stays parseable

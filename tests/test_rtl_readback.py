@@ -1,0 +1,98 @@
+"""ROM-image readback: the export path must round-trip bit-exactly."""
+
+import pytest
+
+from repro.core.controller import ControllerCapabilities
+from repro.core.microcode.assembler import assemble
+from repro.march import library
+from repro.march.simulator import expand
+from repro.rtl import (
+    ReadbackError,
+    program_memh,
+    rom_readback,
+    verify_rom_image,
+)
+
+CAPS = ControllerCapabilities(n_words=8, width=1, ports=1)
+
+
+class TestRomReadback:
+    @pytest.mark.parametrize(
+        "name", list(library.ALGORITHMS), ids=lambda n: n
+    )
+    @pytest.mark.parametrize("compress", [True, False],
+                             ids=["compressed", "uncompressed"])
+    def test_library_round_trips_bit_exactly(self, name, compress):
+        program = assemble(library.get(name), CAPS, compress=compress)
+        recovered = rom_readback(
+            program_memh(program, rows=64), name=name
+        )
+        assert recovered.instructions == program.instructions
+
+    def test_recovered_source_is_stream_equivalent(self):
+        program = assemble(library.get("March C"), CAPS)
+        recovered = rom_readback(program_memh(program))
+        assert list(expand(recovered.source, 4)) == list(
+            expand(program.source, 4)
+        )
+
+    def test_padding_rows_stripped(self):
+        program = assemble(library.get("MATS+"), CAPS)
+        padded = program_memh(program, rows=128)
+        assert len(rom_readback(padded).instructions) == len(
+            program.instructions
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(library.get("MATS+"), CAPS)
+        text = program_memh(program)
+        noisy = "// banner\n\n" + text.replace(
+            "\n", "  // trailing comment\n", 1
+        )
+        recovered = rom_readback(noisy)
+        assert recovered.instructions == program.instructions
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ReadbackError):
+            rom_readback("zzz\n")
+
+
+class TestVerifyRomImage:
+    def _program(self):
+        return assemble(library.get("March C"), CAPS)
+
+    def test_self_check_clean(self):
+        report = verify_rom_image(self._program(), rows=20)
+        assert not report.has_errors
+
+    def test_corrupted_word_flagged_with_row(self):
+        program = self._program()
+        lines = program_memh(program, rows=20).splitlines()
+        lines[3] = f"{int(lines[3], 16) ^ 0x8:03x}"  # flip one bit, row 2
+        report = verify_rom_image(program, "\n".join(lines))
+        assert report.has_errors
+        findings = report.by_rule("RT003")
+        assert len(findings) == 1
+        assert findings[0].location.instruction == 2
+
+    def test_truncated_image_flagged(self):
+        program = self._program()
+        lines = program_memh(program).splitlines()
+        report = verify_rom_image(program, "\n".join(lines[:-2]))
+        assert report.by_rule("RT002")
+
+    def test_unparseable_image_flagged(self):
+        report = verify_rom_image(self._program(), "not hex\n")
+        assert report.by_rule("RT001")
+
+    def test_undecompilable_image_flagged(self):
+        """An image of dangling element rows (never LOOPs) decodes as
+        instructions but is not a program the assembler emits."""
+        program = self._program()
+        # A single read row with no terminator: 3 identical rows.
+        row = program.instructions[0].encode()
+        report = verify_rom_image(program, f"{row:03x}\n" * len(
+            program.instructions
+        ))
+        # Rows differ from the program -> RT003 fires first.
+        assert report.has_errors
