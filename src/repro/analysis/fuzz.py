@@ -21,6 +21,15 @@ geometries and, for every sample, checks three identities:
     (:func:`repro.conformance.shrink_sample`) that is embedded in the
     report, so a nightly failure is reproducible — and promotable into
     ``tests/corpus/regressions/`` — from the JSON artifact alone.
+(e) fault-response equivalence: the same sample is additionally run
+    against a *faulty* memory — one spec-expressible fault drawn from
+    the sample's own RNG (:func:`repro.conformance.faulty.sampling.
+    random_fault`) — and every realising architecture must produce the
+    golden fail events, fail-log aggregations and diagnosis
+    (:func:`repro.conformance.check_fault_conformance`).  Failures are
+    delta-debugged over all three axes
+    (:func:`repro.conformance.shrink_faulty_sample`) to a minimal
+    (march, geometry, fault) triple embedded in the report.
 
 Any violation — including the verifier *rejecting* a well-formed
 algorithm, the false-positive direction — is a mismatch.  The
@@ -144,6 +153,11 @@ class SampleResult:
             identity — empty means the sample agrees everywhere.
         shrunk: minimal reproducer of a behavioural divergence
             (notation/geometry/checks), or None when identity (d) held.
+        fault_spec: the fault injected for identity (e), as a
+            :mod:`repro.faults.spec` string (None when (e) was off).
+        fault_detected: whether the golden response saw the fault.
+        shrunk_faulty: minimal (march, geometry, fault) reproducer of a
+            response divergence, or None when identity (e) held.
     """
 
     index: int
@@ -156,6 +170,9 @@ class SampleResult:
     fsm_cycles: Optional[int] = None
     mismatches: List[str] = field(default_factory=list)
     shrunk: Optional[Dict[str, Any]] = None
+    fault_spec: Optional[str] = None
+    fault_detected: bool = False
+    shrunk_faulty: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -173,15 +190,22 @@ class SampleResult:
             "fsm_cycles": self.fsm_cycles,
             "mismatches": self.mismatches,
             "shrunk": self.shrunk,
+            "fault_spec": self.fault_spec,
+            "fault_detected": self.fault_detected,
+            "shrunk_faulty": self.shrunk_faulty,
         }
 
 
 def check_sample(
-    seed: int, index: int, conformance: bool = True
+    seed: int,
+    index: int,
+    conformance: bool = True,
+    fault_conformance: bool = True,
 ) -> SampleResult:
-    """Generate sample ``index`` of corpus ``seed`` and check all four
+    """Generate sample ``index`` of corpus ``seed`` and check all five
     verifier-vs-simulator identities on it (``conformance=False`` skips
-    the behavioural-equivalence identity (d))."""
+    the behavioural-equivalence identity (d); ``fault_conformance=False``
+    skips the faulty-memory response identity (e))."""
     from repro.analysis.interpreter import Verdict, interpret
     from repro.analysis.progfsm_cfg import interpret_fsm
     from repro.analysis.verifier import verify_fsm_program, verify_program
@@ -276,6 +300,12 @@ def check_sample(
     # -- (d), op-for-op behavioural equivalence ----------------------------
     if conformance:
         _check_conformance_identity(result, test, caps, compress)
+
+    # -- (e), fault-response equivalence -----------------------------------
+    # The fault is drawn from the sample's own RNG *after* the structural
+    # draws above, so "{seed}:{index}" alone regenerates the whole triple.
+    if fault_conformance:
+        _check_fault_identity(result, test, caps, compress, rng)
     return result
 
 
@@ -312,6 +342,50 @@ def _check_conformance_identity(
     result.shrunk = shrunk.to_dict()
 
 
+def _check_fault_identity(
+    result: SampleResult,
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    compress: bool,
+    rng: random.Random,
+) -> None:
+    """Identity (e): identical responses to one injected fault.
+
+    Draws a single spec-expressible fault from the sample RNG, runs all
+    realising architectures' BIST sessions against it and compares fail
+    events, fail logs and diagnosis against the golden response.  A
+    divergence (or a wedged/crashed session) is delta-debugged over
+    march items, operations, the fault and the geometry; the minimal
+    triple rides in the report.
+    """
+    from repro.conformance import (
+        check_fault_conformance,
+        fault_response_predicate,
+        random_fault,
+        shrink_faulty_sample,
+    )
+    from repro.faults.spec import format_fault
+
+    fault = random_fault(rng, caps)
+    result.fault_spec = format_fault(fault)
+    response = check_fault_conformance(test, caps, fault, compress=compress)
+    result.fault_detected = response.detected
+    if response.ok:
+        return
+    result.mismatches.append(
+        "fault-response divergence under "
+        f"{result.fault_spec}: {response.describe_failures()}"
+    )
+    shrunk = shrink_faulty_sample(
+        test,
+        caps,
+        result.fault_spec,
+        fault_response_predicate(compress=compress),
+        max_checks=500,
+    )
+    result.shrunk_faulty = shrunk.to_dict()
+
+
 @dataclass
 class FuzzReport:
     """Aggregated outcome of one corpus run."""
@@ -320,6 +394,7 @@ class FuzzReport:
     seed: int
     checked: int = 0
     fsm_compiled: int = 0
+    fault_detected: int = 0
     mismatch_count: int = 0
     mismatches: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -338,6 +413,7 @@ class FuzzReport:
                 if self.checked
                 else 0.0
             ),
+            "fault_detected": self.fault_detected,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
         }
@@ -346,6 +422,7 @@ class FuzzReport:
         lines = [
             f"fuzz: {self.checked}/{self.samples} samples checked "
             f"(seed {self.seed}), {self.fsm_compiled} SM-compilable, "
+            f"{self.fault_detected} fault-detecting, "
             f"{self.mismatch_count} mismatch(es)"
         ]
         for entry in self.mismatches:
@@ -354,6 +431,8 @@ class FuzzReport:
                 f"(seed {entry.get('sample_seed', '?')}) "
                 f"{tuple(entry['geometry'])}: {entry['notation']}"
             )
+            if entry.get("fault_spec"):
+                lines.append(f"    fault: {entry['fault_spec']}")
             for mismatch in entry["mismatches"]:
                 lines.append(f"    {mismatch}")
             shrunk = entry.get("shrunk")
@@ -362,22 +441,38 @@ class FuzzReport:
                     f"    shrunk reproducer: {shrunk['notation']} on "
                     f"{tuple(shrunk['geometry'])}"
                 )
+            shrunk_faulty = entry.get("shrunk_faulty")
+            if shrunk_faulty:
+                lines.append(
+                    f"    shrunk faulty reproducer: "
+                    f"{shrunk_faulty['notation']} on "
+                    f"{tuple(shrunk_faulty['geometry'])} under "
+                    f"{shrunk_faulty['fault']}"
+                )
         return "\n".join(lines)
 
 
-def _check_batch(args: Tuple[int, int, int, bool]) -> List[Dict[str, Any]]:
+def _check_batch(
+    args: Tuple[int, int, int, bool, bool]
+) -> List[Dict[str, Any]]:
     """Worker entry point: check samples ``start..start+count-1``.
 
     Returns compact per-sample dicts (full detail only for mismatches)
     to keep the inter-process payload small.
     """
-    seed, start, count, conformance = args
+    seed, start, count, conformance, fault_conformance = args
     out: List[Dict[str, Any]] = []
     for index in range(start, start + count):
-        result = check_sample(seed, index, conformance=conformance)
+        result = check_sample(
+            seed,
+            index,
+            conformance=conformance,
+            fault_conformance=fault_conformance,
+        )
         if result.ok:
             out.append({"index": index, "ok": True,
-                        "fsm_compiled": result.fsm_compiled})
+                        "fsm_compiled": result.fsm_compiled,
+                        "fault_detected": result.fault_detected})
         else:
             payload = result.to_dict()
             payload["ok"] = False
@@ -386,7 +481,11 @@ def _check_batch(args: Tuple[int, int, int, bool]) -> List[Dict[str, Any]]:
 
 
 def run_fuzz(
-    samples: int, seed: int = 0, jobs: int = 1, conformance: bool = True
+    samples: int,
+    seed: int = 0,
+    jobs: int = 1,
+    conformance: bool = True,
+    fault_conformance: bool = True,
 ) -> FuzzReport:
     """Run the corpus and aggregate a :class:`FuzzReport`.
 
@@ -397,6 +496,8 @@ def run_fuzz(
         jobs: worker-process count; 1 runs inline (no pool).
         conformance: check identity (d), op-for-op behavioural
             equivalence across all architectures (on by default).
+        fault_conformance: check identity (e), response equivalence on
+            a faulty memory (on by default).
     """
     if samples <= 0:
         raise ValueError(f"need at least one sample, got {samples}")
@@ -405,11 +506,14 @@ def run_fuzz(
     report = FuzzReport(samples=samples, seed=seed)
     jobs = min(jobs, samples)
     if jobs == 1:
-        batches = [_check_batch((seed, 0, samples, conformance))]
+        batches = [
+            _check_batch((seed, 0, samples, conformance, fault_conformance))
+        ]
     else:
         chunk = (samples + jobs - 1) // jobs
         work = [
-            (seed, start, min(chunk, samples - start), conformance)
+            (seed, start, min(chunk, samples - start), conformance,
+             fault_conformance)
             for start in range(0, samples, chunk)
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -419,6 +523,8 @@ def run_fuzz(
             report.checked += 1
             if entry.get("fsm_compiled"):
                 report.fsm_compiled += 1
+            if entry.get("fault_detected"):
+                report.fault_detected += 1
             if not entry["ok"]:
                 report.mismatch_count += 1
                 report.mismatches.append(

@@ -34,18 +34,26 @@ Commands:
     agreement between the static analyses and the cycle-accurate
     controllers of both programmable architectures, plus op-for-op
     behavioural equivalence of all three architectures against the
-    golden march expansion (``--no-conformance`` to skip).  Exits 1 on
-    any mismatch, so CI can gate on it; ``--report FILE`` writes the
-    JSON artifact (failing samples carry minimised reproducers).
+    golden march expansion (``--no-conformance`` to skip) and response
+    equivalence on a randomly faulted memory (``--no-faults`` to skip).
+    Exits 1 on any mismatch, so CI can gate on it; ``--report FILE``
+    writes the JSON artifact (failing samples carry minimised
+    reproducers).
 ``conformance``
     Differential conformance tooling: ``run`` checks one algorithm (or
     ``--all``) op-for-op across the architectures with a structured
-    first-divergence report; ``shrink`` delta-debugs a failing sample
-    (``--sample SEED:INDEX`` from a fuzz report, or ``--notation``) to
-    a minimal reproducer; ``record`` (re)writes the golden-trace corpus
-    under ``tests/corpus/`` or promotes fuzz-report mismatches into
-    ``tests/corpus/regressions/`` (``--from-report``); ``corpus-check``
-    validates every checked-in trace (used by CI).
+    first-divergence report; ``run-faulty`` runs every architecture's
+    BIST session against the *same injected fault* and compares fail
+    events, fail-log aggregations and diagnosis (``--fault SPEC``, or a
+    stratified/``--full-universe`` sweep of the standard fault
+    universe); ``shrink`` delta-debugs a failing sample (``--sample
+    SEED:INDEX`` from a fuzz report, or ``--notation``) to a minimal
+    reproducer — with ``--fault SPEC`` the shrink runs over all three
+    axes (march, geometry, fault); ``record`` (re)writes the
+    golden-trace corpus under ``tests/corpus/`` (``--streams`` for the
+    classical/transparent stream corpus) or promotes fuzz-report
+    mismatches into ``tests/corpus/regressions/`` (``--from-report``);
+    ``corpus-check`` validates every checked-in trace (used by CI).
 
 Fault specifications for ``run --fault`` use small colon-separated
 forms, e.g. ``saf:word:bit:value``::
@@ -74,19 +82,7 @@ from repro.core.microcode import MicrocodeBistController, assemble as assemble_m
 from repro.core.microcode.disassembler import disassemble
 from repro.core.programming import dump_program
 from repro.core.progfsm import ProgrammableFsmBistController, compile_to_sm
-from repro.faults.address_decoder import (
-    AddressMapsNowhere,
-    AddressMapsToMultiple,
-    AddressMapsToWrongCell,
-    TwoAddressesOneCell,
-)
-from repro.faults.base import CellFault
-from repro.faults.coupling import InversionCouplingFault
-from repro.faults.port import PortStuckOpenAccess
-from repro.faults.retention import DataRetentionFault
-from repro.faults.stuck_at import StuckAtFault
-from repro.faults.stuck_open import StuckOpenFault
-from repro.faults.transition import TransitionFault
+from repro.faults.spec import FaultSpecError, parse_fault
 from repro.march import library
 from repro.march.notation import format_test
 from repro.memory import Sram
@@ -96,58 +92,6 @@ ARCHITECTURES = {
     "progfsm": ProgrammableFsmBistController,
     "hardwired": HardwiredBistController,
 }
-
-
-class FaultSpecError(ValueError):
-    """Raised for malformed ``--fault`` specifications."""
-
-
-def _direction(token: str) -> bool:
-    if token in ("up", "rising", "1"):
-        return True
-    if token in ("down", "falling", "0"):
-        return False
-    raise FaultSpecError(f"bad transition direction {token!r} (up/down)")
-
-
-def parse_fault(spec: str) -> CellFault:
-    """Parse one ``--fault`` specification (see module docstring)."""
-    parts = spec.lower().split(":")
-    kind, args = parts[0], parts[1:]
-    try:
-        if kind == "saf":
-            word, bit, value = map(int, args)
-            return StuckAtFault(word, bit, value)
-        if kind == "tf":
-            word, bit = int(args[0]), int(args[1])
-            return TransitionFault(word, bit, _direction(args[2]))
-        if kind == "drf":
-            word, bit, from_value = map(int, args)
-            return DataRetentionFault(word, bit, from_value)
-        if kind == "sof":
-            word, bit, weak = map(int, args)
-            return StuckOpenFault(word, bit, weak)
-        if kind == "cfin":
-            aw, ab, vw, vb = map(int, args[:4])
-            return InversionCouplingFault(aw, ab, vw, vb, _direction(args[4]))
-        if kind == "af1":
-            return AddressMapsNowhere(int(args[0]))
-        if kind == "af2":
-            return AddressMapsToWrongCell(int(args[0]), int(args[1]))
-        if kind == "af3":
-            return TwoAddressesOneCell(int(args[0]), int(args[1]))
-        if kind == "af4":
-            return AddressMapsToMultiple(int(args[0]), int(args[1]))
-        if kind == "paf":
-            port, word, bit = map(int, args)
-            return PortStuckOpenAccess(port, word, bit)
-    except FaultSpecError:
-        raise
-    except (ValueError, IndexError) as error:
-        raise FaultSpecError(f"bad fault spec {spec!r}: {error}") from None
-    raise FaultSpecError(
-        f"unknown fault kind {kind!r} (saf/tf/drf/sof/cfin/af1-af4/paf)"
-    )
 
 
 def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
@@ -379,6 +323,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     report = run_fuzz(
         args.samples, seed=args.seed, jobs=jobs,
         conformance=not args.no_conformance,
+        fault_conformance=not args.no_faults,
     )
     if args.report:
         with open(args.report, "w") as handle:
@@ -416,10 +361,55 @@ def _cmd_conformance_run(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
+    from repro.conformance import (
+        check_fault_conformance,
+        run_fault_sweep,
+        sweep_faults,
+    )
+
+    names = list(library.ALGORITHMS) if args.all else [args.algorithm]
+    tests = [library.get(name) for name in names]
+    caps = _conformance_caps(args)
+    if args.fault:
+        faults = [parse_fault(spec) for spec in args.fault]
+    else:
+        faults = sweep_faults(
+            caps,
+            per_kind=args.per_kind,
+            seed=args.seed,
+            full=args.full_universe,
+        )
+    compress = not args.no_compress
+    if len(tests) == 1 and len(faults) == 1:
+        result = check_fault_conformance(
+            tests[0], caps, faults[0], compress=compress,
+            max_ops=args.max_ops,
+        )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.format())
+        return 0 if result.ok else 1
+    report = run_fault_sweep(
+        tests, caps, faults, compress=compress, max_ops=args.max_ops
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_conformance_record(args: argparse.Namespace) -> int:
     import pathlib
 
     from repro.conformance import promote_from_report, record_golden
+    from repro.conformance.corpus import record_streams
 
     root = pathlib.Path(args.corpus_dir)
     if args.from_report:
@@ -429,6 +419,8 @@ def _cmd_conformance_record(args: argparse.Namespace) -> int:
         if not written:
             print(f"no mismatches to promote in {args.from_report}")
             return 0
+    elif args.streams:
+        written = record_streams(root)
     else:
         written = record_golden(root)
     for path in written:
@@ -462,6 +454,8 @@ def _cmd_conformance_shrink(args: argparse.Namespace) -> int:
         test = parse_test(args.notation, name="sample")
         caps = _conformance_caps(args)
         compress = not args.no_compress
+    if args.fault:
+        return _shrink_faulty(args, test, caps, compress)
     initial = check_conformance(test, caps, compress=compress)
     if initial.ok:
         print(f"sample conforms on {initial.geometry} — nothing to shrink")
@@ -479,6 +473,55 @@ def _cmd_conformance_shrink(args: argparse.Namespace) -> int:
               f"({shrunk.checks} predicate checks)")
         final = check_conformance(
             shrunk.test, shrunk.capabilities, compress=compress
+        )
+        print(final.format())
+    return 0
+
+
+def _shrink_faulty(
+    args: argparse.Namespace,
+    test,
+    caps: ControllerCapabilities,
+    compress: bool,
+) -> int:
+    """``conformance shrink --fault``: three-axis faulty-sample shrink."""
+    from repro.conformance import (
+        check_fault_conformance,
+        fault_response_predicate,
+        shrink_faulty_sample,
+    )
+
+    fault_spec = args.fault
+    initial = check_fault_conformance(
+        test, caps, parse_fault(fault_spec), compress=compress
+    )
+    if initial.ok:
+        print(
+            f"sample's fault response conforms on {initial.geometry} "
+            f"under {fault_spec} — nothing to shrink"
+        )
+        return 1
+    shrunk = shrink_faulty_sample(
+        test,
+        caps,
+        fault_spec,
+        fault_response_predicate(compress=compress),
+    )
+    if args.json:
+        payload = shrunk.to_dict()
+        payload["original"] = initial.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"original  {initial.geometry}: {format_test(test)} "
+              f"under {fault_spec}")
+        print(f"shrunk    {shrunk.geometry}: {shrunk.notation} "
+              f"under {shrunk.fault_spec} "
+              f"({shrunk.checks} predicate checks)")
+        final = check_fault_conformance(
+            shrunk.test,
+            shrunk.capabilities,
+            parse_fault(shrunk.fault_spec),
+            compress=compress,
         )
         print(final.format())
     return 0
@@ -626,6 +669,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-conformance", action="store_true",
         help="skip identity (d), op-for-op behavioural equivalence",
     )
+    fuzz.add_argument(
+        "--no-faults", action="store_true",
+        help="skip identity (e), fault-response equivalence on a "
+        "randomly faulted memory",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     conformance = commands.add_parser(
@@ -654,10 +702,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf_run.set_defaults(handler=_cmd_conformance_run)
 
+    conf_faulty = conf_commands.add_parser(
+        "run-faulty",
+        help="differential fault-response conformance: run every "
+        "architecture's BIST session against the same injected fault "
+        "and compare fail events, fail logs and diagnosis",
+    )
+    _add_geometry_args(conf_faulty)
+    conf_faulty.add_argument(
+        "--all", action="store_true",
+        help="sweep every library algorithm instead of --algorithm",
+    )
+    conf_faulty.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="fault spec(s) to inject (e.g. saf:3:0:1; repeatable); "
+        "default: a stratified sample of the standard universe",
+    )
+    conf_faulty.add_argument(
+        "--per-kind", type=int, default=3,
+        help="stratified-sample size per fault kind (default: 3)",
+    )
+    conf_faulty.add_argument(
+        "--full-universe", action="store_true",
+        help="sweep the whole spec-expressible standard universe "
+        "(nightly mode) instead of a stratified sample",
+    )
+    conf_faulty.add_argument(
+        "--seed", type=int, default=0,
+        help="stratified-sample seed (default: 0)",
+    )
+    conf_faulty.add_argument(
+        "--max-ops", type=int, default=None,
+        help="per-run op budget (default: 4x the golden stream length)",
+    )
+    conf_faulty.add_argument(
+        "--no-compress", action="store_true",
+        help="assemble the microcode without REPEAT compression",
+    )
+    conf_faulty.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    conf_faulty.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON sweep report to FILE (CI artifact)",
+    )
+    conf_faulty.set_defaults(handler=_cmd_conformance_run_faulty)
+
     conf_record = conf_commands.add_parser(
         "record",
-        help="(re)write the golden corpus, or promote fuzz-report "
-        "mismatches into tests/corpus/regressions/",
+        help="(re)write the golden or stream corpus, or promote "
+        "fuzz-report mismatches into tests/corpus/regressions/",
     )
     conf_record.add_argument(
         "--corpus-dir", default="tests/corpus",
@@ -668,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="promote the mismatches of a fuzz JSON report "
         "(their shrunk reproducers) instead of re-recording the "
         "golden corpus",
+    )
+    conf_record.add_argument(
+        "--streams", action="store_true",
+        help="(re)write the stream corpus (classical tests and "
+        "transparent transforms) instead of the golden march corpus",
     )
     conf_record.set_defaults(handler=_cmd_conformance_record)
 
@@ -689,6 +788,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compress", action="store_true",
         help="assemble the microcode without REPEAT compression "
         "(--notation mode)",
+    )
+    conf_shrink.add_argument(
+        "--fault", metavar="SPEC",
+        help="shrink a fault-response failure instead: delta-debug "
+        "(march, geometry, fault spec) over all three axes",
     )
     conf_shrink.add_argument(
         "--json", action="store_true", help="machine-readable output"

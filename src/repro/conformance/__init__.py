@@ -10,13 +10,33 @@ Public surface:
   failing (march, geometry) sample to a minimal reproducer.
 * :mod:`repro.conformance.corpus` — the checked-in golden-trace
   regression corpus under ``tests/corpus/`` and its checker.
+* :mod:`repro.conformance.faulty` — differential *fault-response*
+  conformance (same fault, three BIST sessions, layered comparison of
+  fail events / fail logs / diagnosis) plus the three-axis shrinker.
 """
 
 from repro.conformance.check import (
     ARCHITECTURES,
     ArchitectureResult,
     ConformanceResult,
+    GOLDEN_CACHE,
+    GoldenTraceCache,
+    STREAM_BUILDERS,
     check_conformance,
+)
+from repro.conformance.faulty import (
+    FailEvent,
+    FaultResponseResult,
+    FaultSweepReport,
+    FaultyShrinkResult,
+    ResponseBudgetExceeded,
+    capture_response,
+    check_fault_conformance,
+    fault_response_predicate,
+    random_fault,
+    run_fault_sweep,
+    shrink_faulty_sample,
+    sweep_faults,
 )
 from repro.conformance.corpus import (
     DEFAULT_CORPUS_DIR,
@@ -51,11 +71,22 @@ __all__ = [
     "CorpusReport",
     "DEFAULT_CORPUS_DIR",
     "Divergence",
+    "FailEvent",
+    "FaultResponseResult",
+    "FaultSweepReport",
+    "FaultyShrinkResult",
+    "GOLDEN_CACHE",
     "GOLDEN_GEOMETRIES",
+    "GoldenTraceCache",
+    "ResponseBudgetExceeded",
+    "STREAM_BUILDERS",
     "ShrinkResult",
+    "capture_response",
     "check_conformance",
     "check_corpus",
+    "check_fault_conformance",
     "conformance_predicate",
+    "fault_response_predicate",
     "first_divergence",
     "format_normalized",
     "fsm_trace",
@@ -64,7 +95,11 @@ __all__ = [
     "microcode_trace",
     "normalize",
     "promote_from_report",
+    "random_fault",
     "record_golden",
     "record_regression",
+    "run_fault_sweep",
+    "shrink_faulty_sample",
     "shrink_sample",
+    "sweep_faults",
 ]

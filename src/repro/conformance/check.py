@@ -18,6 +18,7 @@ that boundary is measured elsewhere (:mod:`repro.eval.flexibility`).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,63 @@ from repro.march.test import MarchTest
 
 #: All differentially-tested architectures, in report order.
 ARCHITECTURES: Tuple[str, ...] = ("microcode", "progfsm", "hardwired")
+
+
+class GoldenTraceCache:
+    """Bounded memo of golden traces keyed by ``(notation, geometry)``.
+
+    The delta-debugging shrinker evaluates its predicate hundreds of
+    times, and most evaluations revisit a (march, geometry) pair an
+    earlier round already expanded — most obviously the current
+    champion, re-checked after every rejected mutation.  Re-expanding
+    the golden stream dominated shrink time on big nightly finds, so
+    :func:`check_conformance` (and the fault-response checker, which
+    replays the golden stream once per architecture) memoises here.
+
+    The key is the *notation* rather than object identity: two
+    ``MarchTest`` objects that format identically expand identically
+    (owners embed item strings only, never the test name).  Entries are
+    immutable attributed streams shared between callers; nobody
+    mutates them.  ``hits``/``misses`` are exposed for the perf
+    regression test.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple[str, int, int, int], List[AttributedOp]]" = (
+            OrderedDict()
+        )
+
+    def get(
+        self, test: MarchTest, caps: ControllerCapabilities
+    ) -> List[AttributedOp]:
+        key = (format_test(test), caps.n_words, caps.width, caps.ports)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        entry = golden_trace(test, caps)
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide golden-expansion memo (fuzz workers each get their own
+#: copy via fork/spawn, so there is no cross-sample interference).
+GOLDEN_CACHE = GoldenTraceCache()
 
 
 @dataclass
@@ -161,7 +219,7 @@ def _microcode_stream(
 
 
 def _fsm_stream(
-    test: MarchTest, caps: ControllerCapabilities
+    test: MarchTest, caps: ControllerCapabilities, compress: bool
 ) -> List[AttributedOp]:
     from repro.core.progfsm.compiler import compile_to_sm
     from repro.core.progfsm.controller import ProgrammableFsmBistController
@@ -178,12 +236,23 @@ def _fsm_stream(
 
 
 def _hardwired_stream(
-    test: MarchTest, caps: ControllerCapabilities
+    test: MarchTest, caps: ControllerCapabilities, compress: bool
 ) -> List[AttributedOp]:
     from repro.core.hardwired.controller import HardwiredBistController
 
     controller = HardwiredBistController(test, caps)
     return hardwired_trace(controller)
+
+
+#: Attributed-stream builder per architecture, uniform signature
+#: ``(test, caps, compress)`` (only microcode honours ``compress``).
+#: Shared by the stimulus check below and the fault-response check in
+#: :mod:`repro.conformance.faulty`.
+STREAM_BUILDERS = {
+    "microcode": _microcode_stream,
+    "progfsm": _fsm_stream,
+    "hardwired": _hardwired_stream,
+}
 
 
 def check_conformance(
@@ -213,7 +282,7 @@ def check_conformance(
             f"unknown architecture(s) {sorted(unknown)}; "
             f"known: {list(ARCHITECTURES)}"
         )
-    reference = golden_trace(test, caps)
+    reference = GOLDEN_CACHE.get(test, caps)
     result = ConformanceResult(
         notation=format_test(test),
         geometry=(caps.n_words, caps.width, caps.ports),
@@ -226,12 +295,7 @@ def check_conformance(
         arch_result = ArchitectureResult(architecture=architecture)
         result.results.append(arch_result)
         try:
-            if architecture == "microcode":
-                stream = _microcode_stream(test, caps, compress)
-            elif architecture == "progfsm":
-                stream = _fsm_stream(test, caps)
-            else:
-                stream = _hardwired_stream(test, caps)
+            stream = STREAM_BUILDERS[architecture](test, caps, compress)
         except CompileError as error:
             arch_result.skipped = f"outside the SM0-SM7 boundary: {error}"
             continue

@@ -6,7 +6,15 @@ architectures the pair is differentially tested on, and the full golden
 operation stream in a compact one-op-per-line text encoding, protected
 by a SHA-256 content hash.  ``tests/corpus/regressions/`` holds
 minimised reproducers promoted from nightly fuzz failures in the same
-format (see ``docs/TESTING.md`` for the promotion workflow).
+format (see ``docs/TESTING.md`` for the promotion workflow); entries
+carrying a ``fault`` key additionally pin the *fault-response* of every
+architecture under that injected fault
+(:func:`repro.conformance.faulty.check.check_fault_conformance`).
+``tests/corpus/streams/`` holds traces of the non-march operation
+streams — the classical tests of :mod:`repro.classic` and the
+transparent (content-preserving) transforms of
+:mod:`repro.core.transparent` — pinned against the named generator in
+:data:`STREAM_GENERATORS` rather than against the march expander.
 
 ``repro conformance corpus-check`` re-derives everything: the stored
 hash must match the stored ops (file integrity), the stored ops must
@@ -38,6 +46,8 @@ from repro.core.controller import ControllerCapabilities
 from repro.march.notation import format_test, parse_test
 from repro.march.simulator import MemoryOperation
 from repro.march.test import MarchTest
+
+Geometry = Tuple[int, int, int]
 
 #: Corpus file schema version (bump on incompatible format changes).
 SCHEMA = 1
@@ -97,11 +107,15 @@ def _slug(name: str) -> str:
     return "".join(c if c.isalnum() else "-" for c in cleaned).strip("-")
 
 
+#: Corpus sub-directory per entry kind.
+_KIND_DIRS = {"golden": "golden", "stream": "streams"}
+
+
 def _entry_path(
-    root: pathlib.Path, kind: str, name: str, geometry: Tuple[int, int, int]
+    root: pathlib.Path, kind: str, name: str, geometry: Geometry
 ) -> pathlib.Path:
     words, width, ports = geometry
-    sub = "golden" if kind == "golden" else "regressions"
+    sub = _KIND_DIRS.get(kind, "regressions")
     return root / sub / f"{_slug(name)}__w{words}x{width}p{ports}.json"
 
 
@@ -154,7 +168,11 @@ def write_entry(path: pathlib.Path, entry: Dict[str, Any]) -> pathlib.Path:
 def load_entry(path: pathlib.Path) -> Dict[str, Any]:
     with open(path) as handle:
         entry = json.load(handle)
-    for key in ("kind", "notation", "geometry", "ops", "sha256"):
+    required = ["kind", "geometry", "ops", "sha256"]
+    required.append(
+        "generator" if entry.get("kind") == "stream" else "notation"
+    )
+    for key in required:
         if key not in entry:
             raise CorpusError(f"{path}: missing corpus key {key!r}")
     if entry.get("schema") != SCHEMA:
@@ -186,15 +204,132 @@ def record_golden(
     return written
 
 
+def _transparent_stream_builder(algorithm: str):
+    """Stream builder for the transparent transform of ``algorithm``.
+
+    The transparent expansion depends on the live contents; the corpus
+    pins it against the deterministic fill ``initial[a] = a & mask`` so
+    the trace exercises per-address data without any RNG.
+    """
+
+    def build(caps: ControllerCapabilities) -> List[MemoryOperation]:
+        from repro.core.transparent import (
+            TransparentBistRun,
+            transparent_version,
+        )
+        from repro.march import library
+        from repro.memory.sram import Sram
+
+        test = transparent_version(library.get(algorithm))
+        memory = Sram(caps.n_words, width=caps.width, ports=caps.ports)
+        for address in range(caps.n_words):
+            memory.poke(address, address & memory.word_mask)
+        run = TransparentBistRun(test, memory)
+        return run._operation_stream(tuple(memory.snapshot()))
+
+    return build
+
+
+def _classic_stream_builder(generator: str):
+    def build(caps: ControllerCapabilities) -> List[MemoryOperation]:
+        from repro import classic
+
+        if generator == "checkerboard-bake":
+            return list(
+                classic.checkerboard(
+                    caps.n_words, caps.width, caps.ports, bake=512
+                )
+            )
+        if generator == "pseudorandom":
+            # pseudorandom_test is single-port; length defaults to the
+            # 10N March C budget, seeds are the documented defaults.
+            return list(
+                classic.pseudorandom_test(caps.n_words, caps.width)
+            )
+        fn = getattr(classic, generator.replace("-", "_"))
+        return list(fn(caps.n_words, caps.width, caps.ports))
+
+    return build
+
+
+#: Named deterministic operation-stream generators the ``streams/``
+#: corpus is pinned against.  Each maps a geometry to the exact stream;
+#: corpus-check regenerates and compares, so any behavioural edit to a
+#: classical test or the transparent transform fails CI with a
+#: first-divergence report.
+STREAM_GENERATORS: Dict[str, Any] = {
+    "walking-ones": _classic_stream_builder("walking-ones"),
+    "walking-zeros": _classic_stream_builder("walking-zeros"),
+    "galpat": _classic_stream_builder("galpat"),
+    "checkerboard": _classic_stream_builder("checkerboard"),
+    "checkerboard-bake": _classic_stream_builder("checkerboard-bake"),
+    "pseudorandom": _classic_stream_builder("pseudorandom"),
+    "transparent-mats+": _transparent_stream_builder("MATS+"),
+    "transparent-march-c": _transparent_stream_builder("March C"),
+    "transparent-march-y": _transparent_stream_builder("March Y"),
+}
+
+#: Geometry grid of the stream corpus.  The O(N²) classical tests keep
+#: it deliberately small; both entries still cover width > 1 and the
+#: multi-port sweep.
+STREAM_GEOMETRIES: Tuple[Geometry, ...] = ((4, 1, 1), (3, 2, 2))
+
+
+def build_stream_entry(
+    generator: str, geometry: Geometry
+) -> Dict[str, Any]:
+    """One ``streams/`` corpus entry: generator name + pinned trace."""
+    words, width, ports = geometry
+    caps = ControllerCapabilities(n_words=words, width=width, ports=ports)
+    encoded = [
+        encode_op(op) for op in STREAM_GENERATORS[generator](caps)
+    ]
+    return {
+        "schema": SCHEMA,
+        "kind": "stream",
+        "name": generator,
+        "generator": generator,
+        "geometry": list(geometry),
+        "ops": encoded,
+        "sha256": trace_digest(encoded),
+    }
+
+
+def record_streams(
+    root: pathlib.Path,
+    geometries: Sequence[Geometry] = STREAM_GEOMETRIES,
+    generators: Optional[Iterable[str]] = None,
+) -> List[pathlib.Path]:
+    """(Re)write the stream corpus: generator registry × geometry grid."""
+    names = (
+        list(generators) if generators is not None
+        else list(STREAM_GENERATORS)
+    )
+    written: List[pathlib.Path] = []
+    for name in names:
+        for geometry in geometries:
+            entry = build_stream_entry(name, tuple(geometry))
+            path = _entry_path(root, "stream", name, tuple(geometry))
+            written.append(write_entry(path, entry))
+    return written
+
+
 def record_regression(
     root: pathlib.Path,
     notation: str,
-    geometry: Tuple[int, int, int],
+    geometry: Geometry,
     name: str,
     compress: bool = True,
     provenance: Optional[Dict[str, Any]] = None,
+    fault: Optional[str] = None,
 ) -> pathlib.Path:
-    """Check in one minimised reproducer as a regression entry."""
+    """Check in one minimised reproducer as a regression entry.
+
+    ``fault`` (a :mod:`repro.faults.spec` string) additionally pins the
+    differential *fault-response* under that injected fault — the
+    corpus checker re-runs the full faulty differential for such
+    entries.
+    """
     test = parse_test(notation, name=name)
     entry = build_entry(
         test,
@@ -203,6 +338,11 @@ def record_regression(
         provenance=provenance,
         compress=compress,
     )
+    if fault is not None:
+        from repro.faults.spec import parse_fault
+
+        parse_fault(fault)  # validate before committing
+        entry["fault"] = fault
     path = _entry_path(root, "regression", name, tuple(geometry))
     return write_entry(path, entry)
 
@@ -212,17 +352,23 @@ def promote_from_report(
 ) -> List[pathlib.Path]:
     """Promote every mismatch of a fuzz-report JSON into the corpus.
 
-    Prefers the shrunk reproducer the harness minimised automatically;
-    falls back to the full sample when shrinking was unavailable.  The
-    fuzz seed and sample index are kept as provenance, so a checked-in
-    regression is traceable to the nightly run that found it.
+    Prefers the shrunk reproducer the harness minimised automatically
+    (the three-axis faulty reproducer when the failure was a
+    fault-response divergence); falls back to the full sample when
+    shrinking was unavailable.  The fuzz seed, sample index and drawn
+    fault are kept as provenance, so a checked-in regression is
+    traceable to the nightly run that found it.
     """
     written: List[pathlib.Path] = []
     seed = report.get("seed", 0)
     for entry in report.get("mismatches", []):
-        shrunk = entry.get("shrunk") or {}
+        shrunk_faulty = entry.get("shrunk_faulty") or {}
+        shrunk = shrunk_faulty or entry.get("shrunk") or {}
         notation = shrunk.get("notation") or entry.get("notation")
         geometry = shrunk.get("geometry") or entry.get("geometry")
+        fault = shrunk_faulty.get("fault") or (
+            entry.get("fault_spec") if shrunk_faulty else None
+        )
         if not notation or not geometry:
             continue
         name = f"fuzz-seed{seed}-sample{entry.get('index', 0)}"
@@ -232,6 +378,7 @@ def promote_from_report(
             "sample_seed": entry.get("sample_seed"),
             "original_notation": entry.get("notation"),
             "original_geometry": entry.get("geometry"),
+            "original_fault": entry.get("fault_spec"),
             "mismatches": entry.get("mismatches"),
         }
         written.append(
@@ -242,6 +389,7 @@ def promote_from_report(
                 name=name,
                 compress=bool(entry.get("compress", True)),
                 provenance=provenance,
+                fault=fault,
             )
         )
     return written
@@ -335,6 +483,12 @@ def check_entry(path: pathlib.Path) -> EntryResult:
             f"ops hash to {digest[:12]}… (corpus file edited by hand?)"
         )
 
+    # Stream entries replay against their named generator, not the
+    # march machinery.
+    if entry["kind"] == "stream":
+        _check_stream_entry(entry, stored_ops, problem)
+        return result
+
     # 2. Reference stability: a fresh golden expansion reproduces the ops.
     try:
         test = parse_test(entry["notation"], name=result.name)
@@ -379,14 +533,86 @@ def check_entry(path: pathlib.Path) -> EntryResult:
                 f"{arch_result.architecture} listed in the corpus entry "
                 f"but skipped at check time: {arch_result.skipped}"
             )
+
+    # 4. Fault-response stability: entries pinning an injected fault
+    # re-run the full differential against it.
+    if entry.get("fault"):
+        _check_fault_entry(entry, test, caps, architectures, problem)
     return result
 
 
+def _check_stream_entry(
+    entry: Dict[str, Any], stored_ops: Sequence[str], problem
+) -> None:
+    """Replay a ``streams/`` entry against its named generator."""
+    generator = entry.get("generator")
+    if generator not in STREAM_GENERATORS:
+        problem(
+            f"unknown stream generator {generator!r}; known: "
+            f"{sorted(STREAM_GENERATORS)}"
+        )
+        return
+    words, width, ports = entry["geometry"]
+    caps = ControllerCapabilities(n_words=words, width=width, ports=ports)
+    try:
+        fresh = [encode_op(op) for op in STREAM_GENERATORS[generator](caps)]
+    except Exception as error:
+        problem(f"stream generator {generator!r} crashed: {error}")
+        return
+    if fresh != stored_ops:
+        index = next(
+            (i for i, (a, b) in enumerate(zip(fresh, stored_ops)) if a != b),
+            min(len(fresh), len(stored_ops)),
+        )
+        got = fresh[index] if index < len(fresh) else "<end of stream>"
+        want = (
+            stored_ops[index] if index < len(stored_ops)
+            else "<end of stream>"
+        )
+        problem(
+            f"stream {generator!r} drifted at op {index}: corpus has "
+            f"{want!r}, generator now yields {got!r} "
+            f"({len(stored_ops)} stored vs {len(fresh)} fresh ops)"
+        )
+
+
+def _check_fault_entry(
+    entry: Dict[str, Any],
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    architectures: Sequence[str],
+    problem,
+) -> None:
+    """Re-run the fault-response differential a regression entry pins."""
+    from repro.conformance.faulty.check import check_fault_conformance
+    from repro.faults.spec import FaultSpecError, parse_fault
+
+    try:
+        fault = parse_fault(entry["fault"])
+    except FaultSpecError as error:
+        problem(f"bad fault spec in corpus entry: {error}")
+        return
+    response = check_fault_conformance(
+        test,
+        caps,
+        fault,
+        architectures=architectures,
+        compress=bool(entry.get("compress", True)),
+    )
+    if not response.ok:
+        problem(
+            f"fault-response regression under {entry['fault']}: "
+            + response.describe_failures()
+        )
+
+
 def check_corpus(root: pathlib.Path) -> CorpusReport:
-    """Validate every golden and regression entry under ``root``."""
+    """Validate every golden, stream and regression entry under ``root``."""
     report = CorpusReport(root=str(root))
-    paths = sorted(root.glob("golden/*.json")) + sorted(
-        root.glob("regressions/*.json")
+    paths = (
+        sorted(root.glob("golden/*.json"))
+        + sorted(root.glob("streams/*.json"))
+        + sorted(root.glob("regressions/*.json"))
     )
     for path in paths:
         report.entries.append(check_entry(path))

@@ -1,0 +1,65 @@
+"""Differential fault-response conformance of the BIST architectures.
+
+The stimulus harness (:mod:`repro.conformance`) proves the three
+architectures issue identical operations; this package proves they give
+identical *verdicts* when the memory is actually broken: the same
+injected fault, three full BIST sessions, and a layered comparison of
+fail events, fail-log aggregations and diagnosis.  See
+``docs/TESTING.md`` for the event normalisation and budget semantics.
+"""
+
+from repro.conformance.faulty.check import (
+    ArchitectureResponse,
+    FaultResponseResult,
+    FaultSweepReport,
+    RESPONSE_CAPTURES,
+    ResponseDivergence,
+    check_fault_conformance,
+    first_fail_divergence,
+    run_fault_sweep,
+)
+from repro.conformance.faulty.events import (
+    FailEvent,
+    ResponseBudgetExceeded,
+    ResponseCapture,
+    capture_response,
+)
+from repro.conformance.faulty.sampling import (
+    random_fault,
+    spec_expressible,
+    stratified_sample,
+    sweep_faults,
+)
+from repro.conformance.faulty.shrink import (
+    CANONICAL_SPECS,
+    FaultyPredicate,
+    FaultyShrinkResult,
+    fault_response_predicate,
+    shrink_faulty_sample,
+    simpler_fault_specs,
+)
+
+__all__ = [
+    "ArchitectureResponse",
+    "CANONICAL_SPECS",
+    "FailEvent",
+    "FaultResponseResult",
+    "FaultSweepReport",
+    "FaultyPredicate",
+    "FaultyShrinkResult",
+    "RESPONSE_CAPTURES",
+    "ResponseBudgetExceeded",
+    "ResponseCapture",
+    "ResponseDivergence",
+    "capture_response",
+    "check_fault_conformance",
+    "fault_response_predicate",
+    "first_fail_divergence",
+    "random_fault",
+    "run_fault_sweep",
+    "shrink_faulty_sample",
+    "simpler_fault_specs",
+    "spec_expressible",
+    "stratified_sample",
+    "sweep_faults",
+]

@@ -1,0 +1,490 @@
+"""Differential fault-response conformance of the three architectures.
+
+PR 3's :func:`repro.conformance.check_conformance` proves the
+architectures emit identical *stimulus* on fault-free memories; this
+module proves they give identical *verdicts* on broken ones — the
+property the paper actually sells (detection, fail logging, diagnosis
+across fabrication stages).  :func:`check_fault_conformance` runs every
+architecture's full BIST session against *the same* injected fault
+(fresh :meth:`~repro.faults.injector.FaultInjector.injected` context
+per run, so dynamic fault state and cell contents never leak between
+architectures) and differentially compares the responses on three
+layers, most precise first:
+
+1. **fail events** — the normalised event streams of
+   :mod:`repro.conformance.faulty.events`, key-for-key, with a
+   provenance-attributed first divergence;
+2. **fail-log aggregations** — the
+   :class:`~repro.diagnostics.faillog.FailLog` views downstream repair
+   consumes (failing addresses / failing cells, in first-failure
+   order);
+3. **diagnosis** — the :func:`repro.diagnostics.classifier.classify`
+   verdict per failing cell.
+
+The golden reference response is the golden expansion applied to the
+same fault.  Statuses mirror the stimulus checker and add robustness
+classification: ``skipped`` (progfsm outside SM0–SM7), ``error`` (a
+controller that hangs, crashes, or overruns the per-run op budget on a
+decoder-fault memory is a harness *error*, not a response mismatch)
+and ``diverged`` with the offending layer named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.check import ARCHITECTURES, GOLDEN_CACHE, STREAM_BUILDERS
+from repro.conformance.faulty.events import (
+    FailEvent,
+    ResponseBudgetExceeded,
+    ResponseCapture,
+    capture_response,
+    format_fail,
+)
+from repro.core.controller import ControllerCapabilities
+from repro.faults.base import CellFault
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import format_fault
+from repro.march.notation import format_test
+from repro.march.test import MarchTest
+from repro.memory.sram import Sram
+
+#: Default per-run op budget, as a multiple of the golden stream length
+#: (every conformant run applies exactly the golden length; the slack
+#: only exists so a defective response path is *observed* diverging
+#: instead of tripping the budget on the first extra op).
+DEFAULT_BUDGET_FACTOR = 4
+
+#: Response-capture path per architecture.  All three default to the
+#: shared :func:`capture_response`, but the indirection is the honest
+#: model: in silicon each architecture owns its comparator and fail
+#: registers, and a defect there (wrong expected polarity, an off-by-one
+#: in the latched op index) is architecture-local.  The seeded-defect
+#: tests plant exactly such defects here.
+RESPONSE_CAPTURES = {architecture: capture_response
+                     for architecture in ARCHITECTURES}
+
+#: The comparison layers, most precise first.
+LAYERS: Tuple[str, ...] = ("events", "faillog", "diagnosis")
+
+
+@dataclass(frozen=True)
+class ResponseDivergence:
+    """First fail-event disagreement between golden and a candidate.
+
+    ``kind`` is ``mismatch`` (both logged an event, different keys),
+    ``missing`` (the candidate logged fewer events) or ``extra`` (the
+    candidate logged events the golden response does not have).
+    """
+
+    architecture: str
+    index: int
+    reference: Optional[FailEvent]
+    candidate: Optional[FailEvent]
+
+    @property
+    def kind(self) -> str:
+        if self.candidate is None:
+            return "missing"
+        if self.reference is None:
+            return "extra"
+        return "mismatch"
+
+    def describe(self) -> str:
+        return "\n".join([
+            f"{self.architecture} fail log diverges from the golden "
+            f"response at event {self.index} ({self.kind}):",
+            f"  expected {format_fail(self.reference)}",
+            f"  got      {format_fail(self.candidate)}",
+        ])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "architecture": self.architecture,
+            "index": self.index,
+            "kind": self.kind,
+            "expected": (
+                self.reference.to_dict() if self.reference else None
+            ),
+            "got": self.candidate.to_dict() if self.candidate else None,
+        }
+
+
+def first_fail_divergence(
+    reference: Sequence[FailEvent],
+    candidate: Sequence[FailEvent],
+    architecture: str,
+) -> Optional[ResponseDivergence]:
+    """Compare two fail-event streams key-for-key."""
+    for index in range(max(len(reference), len(candidate))):
+        ref = reference[index] if index < len(reference) else None
+        cand = candidate[index] if index < len(candidate) else None
+        ref_key = ref.key if ref is not None else None
+        cand_key = cand.key if cand is not None else None
+        if ref_key != cand_key:
+            return ResponseDivergence(
+                architecture=architecture,
+                index=index,
+                reference=ref,
+                candidate=cand,
+            )
+    return None
+
+
+@dataclass
+class ArchitectureResponse:
+    """One architecture's fault-response verdict.
+
+    Attributes:
+        architecture: architecture name.
+        status: ``ok`` | ``diverged`` | ``skipped`` | ``error``.
+        ops_applied: operations the BIST session executed.
+        event_count: fail events the session logged.
+        failing_cells: distinct failing (address, bit) cells, in
+            first-failure order (the fail-log aggregation layer).
+        diagnosis: classifier verdict per failing cell, as
+            ``"(addr,bit): label"`` strings (the diagnosis layer).
+        layer: the first comparison layer that disagreed (diverged
+            status only).
+        divergence: the attributed first event disagreement, when the
+            events layer is the one that diverged.
+        mismatch: human-readable disagreement of a coarser layer, when
+            the events agreed but an aggregation did not (defensive —
+            reachable only through an architecture-local response-path
+            defect downstream of event capture).
+        detail: skip reason or error classification.
+    """
+
+    architecture: str
+    status: str = "ok"
+    ops_applied: int = 0
+    event_count: int = 0
+    failing_cells: List[Tuple[int, int]] = field(default_factory=list)
+    diagnosis: List[str] = field(default_factory=list)
+    layer: Optional[str] = None
+    divergence: Optional[ResponseDivergence] = None
+    mismatch: Optional[str] = None
+    detail: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Skips do not fail the check (flexibility boundary)."""
+        return self.status in ("ok", "skipped")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "architecture": self.architecture,
+            "status": self.status,
+            "ops_applied": self.ops_applied,
+            "event_count": self.event_count,
+            "failing_cells": [list(cell) for cell in self.failing_cells],
+            "diagnosis": self.diagnosis,
+            "layer": self.layer,
+            "divergence": (
+                self.divergence.to_dict() if self.divergence else None
+            ),
+            "mismatch": self.mismatch,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FaultResponseResult:
+    """Outcome of one differential fault-response check."""
+
+    notation: str
+    geometry: Tuple[int, int, int]
+    fault: str
+    fault_spec: Optional[str]
+    compress: bool
+    golden_events: int = 0
+    responses: List[ArchitectureResponse] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(response.ok for response in self.responses)
+
+    @property
+    def detected(self) -> bool:
+        """Whether the golden reference response saw the fault at all."""
+        return self.golden_events > 0
+
+    @property
+    def failures(self) -> List[ArchitectureResponse]:
+        return [response for response in self.responses if not response.ok]
+
+    def describe_failures(self) -> str:
+        parts = []
+        for response in self.failures:
+            if response.status == "error":
+                parts.append(f"{response.architecture}: {response.detail}")
+            elif response.divergence is not None:
+                parts.append(response.divergence.describe())
+            else:
+                parts.append(
+                    f"{response.architecture}: {response.layer} layer "
+                    f"disagrees ({response.mismatch})"
+                )
+        return "; ".join(parts)
+
+    def format(self) -> str:
+        lines = [
+            f"fault-response conformance {self.geometry}: {self.notation}",
+            f"  fault: {self.fault}"
+            + (f"  [{self.fault_spec}]" if self.fault_spec else ""),
+            f"  golden response: {self.golden_events} fail event(s)"
+            + ("" if self.detected else "  (fault not detected)"),
+        ]
+        for response in self.responses:
+            name = f"  {response.architecture:<10}"
+            if response.status == "skipped":
+                lines.append(f"{name} skipped ({response.detail})")
+            elif response.status == "error":
+                lines.append(f"{name} ERROR: {response.detail}")
+            elif response.status == "diverged":
+                lines.append(f"{name} DIVERGES ({response.layer} layer)")
+                body = (
+                    response.divergence.describe()
+                    if response.divergence
+                    else response.mismatch or ""
+                )
+                lines.extend("    " + line for line in body.splitlines())
+            else:
+                lines.append(
+                    f"{name} ok ({response.event_count} event(s), "
+                    f"identical fail log and diagnosis)"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "notation": self.notation,
+            "geometry": list(self.geometry),
+            "fault": self.fault,
+            "fault_spec": self.fault_spec,
+            "compress": self.compress,
+            "golden_events": self.golden_events,
+            "detected": self.detected,
+            "ok": self.ok,
+            "architectures": [r.to_dict() for r in self.responses],
+        }
+
+
+def _diagnose(
+    capture: ResponseCapture,
+    test: MarchTest,
+    caps: ControllerCapabilities,
+) -> List[str]:
+    """Classifier verdicts of one capture, as comparable strings.
+
+    A defective architecture can log op indices outside the golden
+    stream; the classifier is downstream tooling and must not take the
+    harness down, so its crash is folded into the comparable verdict.
+    """
+    from repro.diagnostics.classifier import classify
+
+    try:
+        diagnoses = classify(
+            capture.log(test.name),
+            test,
+            caps.n_words,
+            width=caps.width,
+            ports=caps.ports,
+        )
+    except Exception as error:
+        return [f"<classifier failed: {error}>"]
+    return [
+        f"({d.address},{d.bit}): {d.label}" for d in diagnoses
+    ]
+
+
+def check_fault_conformance(
+    test: MarchTest,
+    capabilities: ControllerCapabilities,
+    fault: CellFault,
+    architectures: Sequence[str] = ARCHITECTURES,
+    compress: bool = True,
+    max_ops: Optional[int] = None,
+) -> FaultResponseResult:
+    """Differentially test the architectures' responses to ``fault``.
+
+    Args:
+        test: the march algorithm.
+        capabilities: memory geometry all controllers target.
+        fault: the single fault injected for every run (state is reset
+            between runs by the injector).
+        architectures: subset of :data:`ARCHITECTURES` to compare.
+        compress: microcode REPEAT compression.
+        max_ops: per-run op budget; defaults to
+            :data:`DEFAULT_BUDGET_FACTOR` × the golden stream length.
+
+    Returns:
+        A :class:`FaultResponseResult`; ``.ok`` means every compared
+        architecture produced the golden fail events, fail-log
+        aggregations and diagnosis.
+    """
+    from repro.core.progfsm.compiler import CompileError
+
+    caps = capabilities
+    unknown = set(architectures) - set(ARCHITECTURES)
+    if unknown:
+        raise ValueError(
+            f"unknown architecture(s) {sorted(unknown)}; "
+            f"known: {list(ARCHITECTURES)}"
+        )
+    golden_stream = GOLDEN_CACHE.get(test, caps)
+    budget = (
+        max_ops
+        if max_ops is not None
+        else DEFAULT_BUDGET_FACTOR * max(len(golden_stream), 1)
+    )
+    injector = FaultInjector(
+        Sram(caps.n_words, width=caps.width, ports=caps.ports)
+    )
+    with injector.injected(fault) as memory:
+        golden = capture_response(golden_stream, memory, max_ops=budget)
+    golden_cells = golden.log(test.name).failing_cells()
+    golden_diagnosis = _diagnose(golden, test, caps)
+
+    result = FaultResponseResult(
+        notation=format_test(test),
+        geometry=(caps.n_words, caps.width, caps.ports),
+        fault=fault.describe(),
+        fault_spec=format_fault(fault),
+        compress=compress,
+        golden_events=len(golden.events),
+    )
+    for architecture in ARCHITECTURES:
+        if architecture not in architectures:
+            continue
+        response = ArchitectureResponse(architecture=architecture)
+        result.responses.append(response)
+        try:
+            stream = STREAM_BUILDERS[architecture](test, caps, compress)
+        except CompileError as error:
+            response.status = "skipped"
+            response.detail = f"outside the SM0-SM7 boundary: {error}"
+            continue
+        except RuntimeError as error:
+            response.status = "error"
+            response.detail = f"simulation did not terminate: {error}"
+            continue
+        except Exception as error:
+            response.status = "error"
+            response.detail = (
+                f"controller crashed: {type(error).__name__}: {error}"
+            )
+            continue
+        try:
+            with injector.injected(fault) as memory:
+                capture = RESPONSE_CAPTURES[architecture](
+                    stream, memory, max_ops=budget
+                )
+        except ResponseBudgetExceeded as error:
+            response.status = "error"
+            response.detail = f"wedged BIST session: {error}"
+            continue
+        except Exception as error:
+            response.status = "error"
+            response.detail = (
+                f"BIST session crashed: {type(error).__name__}: {error}"
+            )
+            continue
+        response.ops_applied = capture.ops_applied
+        response.event_count = len(capture.events)
+        response.failing_cells = capture.log(test.name).failing_cells()
+        response.diagnosis = _diagnose(capture, test, caps)
+
+        divergence = first_fail_divergence(
+            golden.events, capture.events, architecture
+        )
+        if divergence is not None:
+            response.status = "diverged"
+            response.layer = "events"
+            response.divergence = divergence
+        elif response.failing_cells != golden_cells:
+            response.status = "diverged"
+            response.layer = "faillog"
+            response.mismatch = (
+                f"failing cells {response.failing_cells} != golden "
+                f"{golden_cells}"
+            )
+        elif response.diagnosis != golden_diagnosis:
+            response.status = "diverged"
+            response.layer = "diagnosis"
+            response.mismatch = (
+                f"diagnosis {response.diagnosis} != golden "
+                f"{golden_diagnosis}"
+            )
+    return result
+
+
+@dataclass
+class FaultSweepReport:
+    """Aggregated outcome of a (algorithms × faults) sweep."""
+
+    geometry: Tuple[int, int, int]
+    checked: int = 0
+    detected: int = 0
+    skipped_runs: int = 0
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def add(self, result: FaultResponseResult) -> None:
+        self.checked += 1
+        if result.detected:
+            self.detected += 1
+        self.skipped_runs += sum(
+            1 for r in result.responses if r.status == "skipped"
+        )
+        if not result.ok:
+            self.failures.append(result.to_dict())
+
+    def format(self) -> str:
+        lines = [
+            f"fault-response sweep {self.geometry}: {self.checked} "
+            f"(algorithm, fault) runs, {self.detected} detected the "
+            f"fault, {self.skipped_runs} skip(s), "
+            f"{len(self.failures)} failure(s)"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  FAIL {failure['notation']} under {failure['fault']}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "geometry": list(self.geometry),
+            "checked": self.checked,
+            "detected": self.detected,
+            "skipped_runs": self.skipped_runs,
+            "ok": self.ok,
+            "failures": self.failures,
+        }
+
+
+def run_fault_sweep(
+    tests: Sequence[MarchTest],
+    capabilities: ControllerCapabilities,
+    faults: Sequence[CellFault],
+    compress: bool = True,
+    max_ops: Optional[int] = None,
+) -> FaultSweepReport:
+    """Check every (algorithm, fault) pair; used by CI and the CLI."""
+    caps = capabilities
+    report = FaultSweepReport(
+        geometry=(caps.n_words, caps.width, caps.ports)
+    )
+    for test in tests:
+        for fault in faults:
+            report.add(
+                check_fault_conformance(
+                    test, caps, fault, compress=compress, max_ops=max_ops
+                )
+            )
+    return report

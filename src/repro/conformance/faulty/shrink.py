@@ -1,0 +1,253 @@
+"""Three-axis delta debugging for failing fault-response samples.
+
+A fault-response fuzz failure has one more degree of freedom than a
+stimulus failure: the injected fault.  :func:`shrink_faulty_sample`
+extends the PR 3 shrinker (whose march-item, operation and geometry
+passes it reuses verbatim) with a **fault axis** that simplifies the
+fault spec itself — first trying to swap the whole fault for a
+canonical single-cell stuck-at, then lowering its numeric coordinates
+(aggressor/victim cells, sensitising states, polarities) toward zero —
+so a nightly find reduces to a minimal *(march, geometry, single
+fault)* triple such as ``(r0, (1,1,1), saf:0:0:1)``.
+
+Every accepted fault mutation strictly decreases :func:`_spec_size`,
+so the fault pass terminates without extra bookkeeping; the axis order
+inside each fixpoint round is items → ops → fault → geometry, because
+moving the fault onto cell (0,0) is what makes the later geometry pass
+able to drop words/width the fault used to pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+from repro.conformance.shrink import (
+    _Budget,
+    _shrink_geometry,
+    _shrink_items,
+    _shrink_ops,
+)
+from repro.core.controller import ControllerCapabilities
+from repro.faults.spec import FaultSpecError, parse_fault
+from repro.march.notation import format_test
+from repro.march.test import MarchTest
+
+#: A faulty-sample predicate: True when (test, caps, fault spec) still
+#: reproduces the failure.
+FaultyPredicate = Callable[[MarchTest, ControllerCapabilities, str], bool]
+
+#: The simplest faults that exist: replacing an exotic find with one of
+#: these is the single biggest comprehensibility win, so they are tried
+#: before any field-by-field lowering.
+CANONICAL_SPECS: Tuple[str, ...] = ("saf:0:0:0", "saf:0:0:1")
+
+
+@dataclass
+class FaultyShrinkResult:
+    """A minimised (march, geometry, fault) reproducer."""
+
+    test: MarchTest
+    capabilities: ControllerCapabilities
+    fault_spec: str
+    checks: int
+    reduced: bool
+
+    @property
+    def notation(self) -> str:
+        return format_test(self.test)
+
+    @property
+    def geometry(self) -> Tuple[int, int, int]:
+        caps = self.capabilities
+        return (caps.n_words, caps.width, caps.ports)
+
+    def to_dict(self) -> dict:
+        return {
+            "notation": self.notation,
+            "geometry": list(self.geometry),
+            "fault": self.fault_spec,
+            "checks": self.checks,
+            "reduced": self.reduced,
+        }
+
+
+def fault_response_predicate(
+    architectures: Optional[Sequence[str]] = None,
+    compress: bool = True,
+    max_ops: Optional[int] = None,
+) -> FaultyPredicate:
+    """The standard predicate: some architecture's *response* diverges.
+
+    A candidate triple reproduces when
+    :func:`~repro.conformance.faulty.check.check_fault_conformance`
+    reports a divergence or a classified error on at least one of
+    ``architectures``.  Malformed candidates (unparseable spec, a
+    mutated march the assembler rejects) count as *not* reproducing.
+    """
+    from repro.conformance.check import ARCHITECTURES
+    from repro.conformance.faulty.check import check_fault_conformance
+
+    selected = tuple(architectures or ARCHITECTURES)
+
+    def predicate(
+        test: MarchTest, caps: ControllerCapabilities, spec: str
+    ) -> bool:
+        try:
+            fault = parse_fault(spec)
+            result = check_fault_conformance(
+                test,
+                caps,
+                fault,
+                architectures=selected,
+                compress=compress,
+                max_ops=max_ops,
+            )
+        except Exception:
+            return False
+        return not result.ok
+
+    return predicate
+
+
+def _spec_size(spec: str) -> int:
+    """Strictly-decreasing shrink metric of a fault spec.
+
+    The sum of all numeric fields, plus one per non-canonical
+    direction token (``down`` simplifies to ``up``), plus a large
+    penalty for any kind other than ``saf`` so a canonical swap always
+    counts as progress.
+    """
+    parts = spec.split(":")
+    size = 0 if parts[0] == "saf" else 1000
+    for token in parts[1:]:
+        if token == "down":
+            size += 1
+        elif token != "up":
+            try:
+                size += abs(int(token))
+            except ValueError:
+                size += 1
+    return size
+
+
+def simpler_fault_specs(spec: str) -> Iterator[str]:
+    """Candidate simplifications of ``spec``, best first.
+
+    Every yielded candidate has a strictly smaller :func:`_spec_size`
+    than ``spec``; the caller just takes the first that still
+    reproduces and loops to a fixpoint.
+    """
+    size = _spec_size(spec)
+    for canonical in CANONICAL_SPECS:
+        if _spec_size(canonical) < size:
+            yield canonical
+    parts = spec.split(":")
+    for index in range(1, len(parts)):
+        token = parts[index]
+        if token == "down":
+            yield ":".join(parts[:index] + ["up"] + parts[index + 1:])
+            continue
+        try:
+            value = int(token)
+        except ValueError:
+            continue
+        lowered = []
+        if abs(value) > 1:
+            lowered.append(value // 2)
+        if value != 0:
+            lowered.append(0)
+        for new_value in lowered:
+            yield ":".join(
+                parts[:index] + [str(new_value)] + parts[index + 1:]
+            )
+
+
+def _shrink_fault(
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    spec: str,
+    budget: _Budget,
+    predicate: FaultyPredicate,
+) -> Tuple[str, bool]:
+    """Greedy fault-spec simplification to a local fixpoint.
+
+    Uses ``budget`` only as the shared evaluation counter; candidates
+    are checked through the three-argument ``predicate`` directly.
+    """
+    changed = False
+    improving = True
+    while improving:
+        improving = False
+        for candidate in simpler_fault_specs(spec):
+            if budget.checks >= budget.max_checks:
+                return spec, changed
+            budget.checks += 1
+            try:
+                parse_fault(candidate)
+            except FaultSpecError:
+                continue
+            if predicate(test, caps, candidate):
+                spec = candidate
+                changed = True
+                improving = True
+                break
+    return spec, changed
+
+
+def shrink_faulty_sample(
+    test: MarchTest,
+    capabilities: ControllerCapabilities,
+    fault_spec: str,
+    predicate: FaultyPredicate,
+    max_checks: int = 2000,
+    max_rounds: int = 10,
+) -> FaultyShrinkResult:
+    """Minimise a failing (march, geometry, fault) triple.
+
+    Args:
+        test: the failing algorithm.
+        capabilities: the failing geometry.
+        fault_spec: the injected fault, as a
+            :mod:`repro.faults.spec` string.
+        predicate: three-argument failure predicate, e.g.
+            :func:`fault_response_predicate`.
+        max_checks: hard cap on predicate evaluations across all axes.
+        max_rounds: fixpoint-iteration cap.
+
+    Returns:
+        The smallest reproducing triple found, with the march renamed
+        ``"shrunk"`` when any axis reduced.
+    """
+    state = {"spec": fault_spec}
+
+    def two_arg(t: MarchTest, c: ControllerCapabilities) -> bool:
+        return predicate(t, c, state["spec"])
+
+    budget = _Budget(two_arg, max_checks)
+    if not budget.holds(test, capabilities):
+        return FaultyShrinkResult(
+            test, capabilities, fault_spec, budget.checks, reduced=False
+        )
+    caps = capabilities
+    reduced = False
+    for _round in range(max_rounds):
+        round_changed = False
+        test, changed = _shrink_items(test, caps, budget)
+        round_changed |= changed
+        test, changed = _shrink_ops(test, caps, budget)
+        round_changed |= changed
+        state["spec"], changed = _shrink_fault(
+            test, caps, state["spec"], budget, predicate
+        )
+        round_changed |= changed
+        caps, changed = _shrink_geometry(test, caps, budget)
+        round_changed |= changed
+        reduced |= round_changed
+        if not round_changed:
+            break
+    if reduced:
+        test = test.renamed("shrunk")
+    return FaultyShrinkResult(
+        test, caps, state["spec"], budget.checks, reduced=reduced
+    )

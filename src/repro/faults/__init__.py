@@ -50,6 +50,7 @@ from repro.faults.read_faults import (
     ReadDestructiveFault,
 )
 from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpecError, format_fault, parse_fault
 from repro.faults.universe import FaultUniverse, standard_universe
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "DataRetentionFault",
     "DeceptiveReadDestructiveFault",
     "FaultInjector",
+    "FaultSpecError",
     "FaultUniverse",
     "IdempotentCouplingFault",
     "IncorrectReadFault",
@@ -72,5 +74,7 @@ __all__ = [
     "StuckOpenFault",
     "TransitionFault",
     "TwoAddressesOneCell",
+    "format_fault",
+    "parse_fault",
     "standard_universe",
 ]

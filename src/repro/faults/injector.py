@@ -29,6 +29,13 @@ class FaultInjector:
         The memory's cell contents, clock and the fault's dynamic state
         are reset on entry; the fault (and any decoder rewrite it made)
         is removed on exit.
+
+        Exit is exception-safe even against faults whose ``remove``
+        itself raises: :meth:`Sram.detach_all` restores the decoder and
+        clears the fault list in a ``finally`` of its own, and the
+        state reset below runs regardless, so a misbehaving fault can
+        never leak half-attached into the next experiment (the original
+        error still propagates).
         """
         self.memory.detach_all()
         self.memory.reset_state()
@@ -36,8 +43,10 @@ class FaultInjector:
         try:
             yield self.memory
         finally:
-            self.memory.detach_all()
-            self.memory.reset_state()
+            try:
+                self.memory.detach_all()
+            finally:
+                self.memory.reset_state()
 
     def pristine(self) -> Sram:
         """The memory with all faults removed and state cleared."""

@@ -149,11 +149,26 @@ class Sram:
         self.faults.append(fault)
 
     def detach_all(self) -> None:
-        """Remove every fault and restore the fault-free decoder."""
-        for fault in self.faults:
-            fault.remove(self)
-        self.faults.clear()
-        self.decoder.reset()
+        """Remove every fault and restore the fault-free decoder.
+
+        Exception-safe: even when a fault's ``remove`` raises, every
+        other fault is still removed, the fault list is cleared and the
+        decoder is restored before the first error propagates — a
+        misbehaving fault model cannot leave a half-attached fault (or
+        its decoder rewrite) behind for the next experiment.
+        """
+        errors: List[BaseException] = []
+        try:
+            for fault in self.faults:
+                try:
+                    fault.remove(self)
+                except Exception as error:
+                    errors.append(error)
+        finally:
+            self.faults.clear()
+            self.decoder.reset()
+        if errors:
+            raise errors[0]
 
     def reset_state(self, fill: int = 0) -> None:
         """Reset cell contents, time and the dynamic state of all faults.

@@ -103,6 +103,67 @@ class TestRunFuzz:
         assert "boom" in report.format()
 
 
+class TestFaultIdentity:
+    """Identity (e): fault-response equivalence inside the fuzz loop."""
+
+    def test_sample_draws_a_fault(self):
+        result = check_sample(0, 0)
+        assert result.fault_spec  # the (e) draw happened ...
+        assert result.ok          # ... and the responses agreed
+
+    def test_fault_draw_is_deterministic_per_seed(self):
+        one = check_sample(7, 3)
+        two = check_sample(7, 3)
+        assert one.fault_spec == two.fault_spec
+        assert one.fault_detected == two.fault_detected
+
+    def test_fault_check_can_be_disabled(self):
+        result = check_sample(0, 0, fault_conformance=False)
+        assert result.fault_spec is None
+        assert not result.fault_detected
+
+    def test_report_counts_detecting_samples(self):
+        report = run_fuzz(40, seed=0, jobs=1)
+        assert report.ok
+        assert report.fault_detected > 0  # most random faults are seen
+        assert report.to_json()["fault_detected"] == report.fault_detected
+        assert "fault-detecting" in report.format()
+
+    def test_seeded_response_defect_is_caught_and_shrunk(self, monkeypatch):
+        """An off-by-one in one architecture's fail logging is invisible
+        to the stimulus identities (a)-(d) but must trip identity (e),
+        and the report must carry a shrunk (march, geometry, fault)
+        reproducer."""
+        import dataclasses
+
+        from repro.conformance.faulty import check as faulty_check
+        from repro.conformance.faulty import capture_response
+
+        def shifted(stream, memory, max_ops=None):
+            capture = capture_response(stream, memory, max_ops=max_ops)
+            capture.events = [
+                dataclasses.replace(event, op_index=event.op_index + 1)
+                for event in capture.events
+            ]
+            return capture
+
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES, "hardwired", shifted
+        )
+        # jobs=1 keeps the monkeypatch visible (workers would re-import).
+        report = run_fuzz(12, seed=0, jobs=1)
+        assert not report.ok
+        entry = report.mismatches[0]
+        assert entry["fault_spec"]
+        assert any(
+            "fault-response divergence" in m for m in entry["mismatches"]
+        )
+        shrunk = entry["shrunk_faulty"]
+        assert shrunk is not None
+        assert shrunk["fault"]
+        assert "shrunk faulty reproducer" in report.format()
+
+
 class TestProperty:
     @settings(max_examples=30, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])

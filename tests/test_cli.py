@@ -274,6 +274,67 @@ class TestLintFixCommand:
         assert "--fix requires --program" in capsys.readouterr().err
 
 
+class TestConformanceRunFaultyCommand:
+    def test_single_fault_exits_zero(self, capsys):
+        assert main(["conformance", "run-faulty", "--algorithm", "March C",
+                     "--words", "4", "--width", "2",
+                     "--fault", "saf:2:1:1"]) == 0
+        out = capsys.readouterr().out
+        assert "saf:2:1:1" in out
+
+    def test_stratified_sweep_reports_and_exits_zero(self, capsys, tmp_path):
+        import json as json_module
+
+        report_file = tmp_path / "sweep.json"
+        assert main(["conformance", "run-faulty", "--algorithm", "MATS+",
+                     "--words", "3", "--per-kind", "1",
+                     "--report", str(report_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fault-response sweep" in out
+        payload = json_module.loads(report_file.read_text())
+        assert payload["ok"]
+        assert payload["checked"] > 0
+
+    def test_json_result_shape(self, capsys):
+        import json as json_module
+
+        assert main(["conformance", "run-faulty", "--algorithm", "MATS",
+                     "--words", "4", "--fault", "tf:1:0:up",
+                     "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["fault_spec"] == "tf:1:0:up"
+        assert [r["architecture"] for r in payload["architectures"]] == [
+            "microcode", "progfsm", "hardwired"
+        ]
+
+    def test_bad_fault_spec_exits_two(self, capsys):
+        assert main(["conformance", "run-faulty", "--fault", "zzz:1"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestConformanceShrinkFaultCommand:
+    def test_conforming_sample_has_nothing_to_shrink(self, capsys):
+        code = main(["conformance", "shrink", "--notation", "^(r0)",
+                     "--words", "2", "--fault", "saf:0:0:1"])
+        assert code == 1
+        assert "nothing to shrink" in capsys.readouterr().out
+
+
+class TestConformanceRecordStreamsCommand:
+    def test_record_streams_writes_the_registry(self, capsys, tmp_path):
+        assert main(["conformance", "record", "--streams",
+                     "--corpus-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        from repro.conformance.corpus import (
+            STREAM_GENERATORS,
+            STREAM_GEOMETRIES,
+        )
+
+        expected = len(STREAM_GENERATORS) * len(STREAM_GEOMETRIES)
+        assert len(list(tmp_path.glob("streams/*.json"))) == expected
+        assert out.count("wrote ") == expected
+
+
 class TestFuzzCommand:
     def test_small_corpus_exits_zero(self, capsys):
         assert main(["fuzz", "--samples", "12", "--seed", "0",
@@ -294,3 +355,12 @@ class TestFuzzCommand:
     def test_bad_arguments_exit_two(self, capsys):
         assert main(["fuzz", "--samples", "0", "--jobs", "1"]) == 2
         assert "at least one sample" in capsys.readouterr().err
+
+    def test_no_faults_skips_identity_e(self, capsys):
+        import json as json_module
+
+        assert main(["fuzz", "--samples", "6", "--seed", "0",
+                     "--jobs", "1", "--no-faults", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["checked"] == 6
+        assert payload["fault_detected"] == 0

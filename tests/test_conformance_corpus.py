@@ -13,13 +13,17 @@ import pytest
 from repro.conformance import check_corpus, record_golden
 from repro.conformance.corpus import (
     GOLDEN_GEOMETRIES,
+    STREAM_GENERATORS,
+    STREAM_GEOMETRIES,
     build_entry,
+    build_stream_entry,
     check_entry,
     decode_op,
     encode_op,
     load_entry,
     promote_from_report,
     record_regression,
+    record_streams,
     trace_digest,
     write_entry,
 )
@@ -129,6 +133,110 @@ class TestCorpusChecker:
         assert check_entry(path).ok
 
 
+class TestStreamCorpus:
+    def test_checked_in_streams_cover_the_registry(self):
+        streams = list(CORPUS_DIR.glob("streams/*.json"))
+        assert len(streams) == len(STREAM_GENERATORS) * len(
+            STREAM_GEOMETRIES
+        )
+
+    def test_record_streams_writes_checkable_entries(self, tmp_path):
+        written = record_streams(
+            tmp_path,
+            geometries=[(4, 1, 1)],
+            generators=["walking-ones", "transparent-mats+"],
+        )
+        assert len(written) == 2
+        for path in written:
+            result = check_entry(path)
+            assert result.ok, result.problems
+
+    def test_stream_drift_detected_even_when_rehashed(self, tmp_path):
+        [path] = record_streams(
+            tmp_path, geometries=[(4, 1, 1)], generators=["walking-zeros"]
+        )
+        entry = json.loads(path.read_text())
+        tampered = "w 0 0 0" if entry["ops"][0] == "w 0 0 1" else "w 0 0 1"
+        entry["ops"][0] = tampered
+        entry["sha256"] = trace_digest(entry["ops"])
+        path.write_text(json.dumps(entry))
+        result = check_entry(path)
+        assert not result.ok
+        assert any("drifted" in p for p in result.problems)
+
+    def test_unknown_generator_reported(self, tmp_path):
+        entry = build_stream_entry("walking-ones", (4, 1, 1))
+        entry["generator"] = entry["name"] = "nonesuch"
+        path = tmp_path / "streams" / "nonesuch.json"
+        path.parent.mkdir(parents=True)
+        path = write_entry(path, entry)
+        result = check_entry(path)
+        assert not result.ok
+        assert any("unknown stream generator" in p for p in result.problems)
+
+    def test_transparent_entries_pin_read_verify_phases(self):
+        entry = build_stream_entry("transparent-mats+", (4, 1, 1))
+        lines = entry["ops"]
+        # A transparent session both writes and verifies with expected
+        # values derived from the preserved contents.
+        assert any(line.startswith("w ") for line in lines)
+        assert any(line.startswith("r ") for line in lines)
+
+
+class TestFaultRegressionEntries:
+    def test_fault_entry_round_trips_and_checks(self, tmp_path):
+        path = record_regression(
+            tmp_path, "^(r0)", (1, 1, 1), name="faulty-demo",
+            fault="saf:0:0:1",
+            provenance={"scenario": "seeded fail-log off-by-one"},
+        )
+        entry = load_entry(path)
+        assert entry["fault"] == "saf:0:0:1"
+        result = check_entry(path)
+        assert result.ok, result.problems
+
+    def test_invalid_fault_spec_rejected_at_record_time(self, tmp_path):
+        from repro.faults.spec import FaultSpecError
+
+        with pytest.raises(FaultSpecError):
+            record_regression(
+                tmp_path, "^(r0)", (1, 1, 1), name="bad",
+                fault="saf:not-a-number",
+            )
+
+    def test_fault_divergence_flagged_on_replay(self, tmp_path, monkeypatch):
+        """A checked-in faulty reproducer re-runs the differential: if
+        the seeded response defect reappears, the corpus check fails."""
+        import dataclasses
+
+        from repro.conformance.faulty import capture_response
+        from repro.conformance.faulty import check as faulty_check
+
+        path = record_regression(
+            tmp_path, "^(r0)", (1, 1, 1), name="faulty-demo",
+            fault="saf:0:0:1",
+        )
+        assert check_entry(path).ok
+
+        def shifted(stream, memory, max_ops=None):
+            capture = capture_response(stream, memory, max_ops=max_ops)
+            capture.events = [
+                dataclasses.replace(event, op_index=event.op_index + 1)
+                for event in capture.events
+            ]
+            return capture
+
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES, "microcode", shifted
+        )
+        result = check_entry(path)
+        assert not result.ok
+        assert any(
+            "fault-response regression under saf:0:0:1" in p
+            for p in result.problems
+        )
+
+
 class TestPromoteFromReport:
     def test_prefers_shrunk_reproducer(self, tmp_path):
         report = {
@@ -157,6 +265,36 @@ class TestPromoteFromReport:
         assert entry["provenance"]["original_notation"] == (
             "~(w0); ^(r0,w1); v(r1)"
         )
+
+    def test_prefers_faulty_reproducer_and_pins_the_fault(self, tmp_path):
+        report = {
+            "seed": 5,
+            "mismatches": [{
+                "index": 4,
+                "sample_seed": "5:4",
+                "notation": "~(w0); ^(r0,w1); v(r1)",
+                "geometry": [5, 2, 2],
+                "compress": True,
+                "fault_spec": "tf:3:1:up",
+                "mismatches": ["fault-response divergence under tf:3:1:up"],
+                "shrunk": None,
+                "shrunk_faulty": {
+                    "notation": "^(r0)",
+                    "geometry": [1, 1, 1],
+                    "fault": "saf:0:0:1",
+                    "checks": 17,
+                    "reduced": True,
+                },
+            }],
+        }
+        written = promote_from_report(tmp_path, report)
+        assert len(written) == 1
+        entry = load_entry(written[0])
+        assert entry["notation"] == "^(r0)"
+        assert entry["geometry"] == [1, 1, 1]
+        assert entry["fault"] == "saf:0:0:1"
+        assert entry["provenance"]["original_fault"] == "tf:3:1:up"
+        assert check_entry(written[0]).ok
 
     def test_falls_back_to_full_sample(self, tmp_path):
         report = {

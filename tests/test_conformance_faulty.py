@@ -1,0 +1,471 @@
+"""Differential fault-response conformance: events, checker, shrinker.
+
+The acceptance scenario mirrors PR 3's seeded-defect test one layer up
+the stack: a deliberately planted *response-path* defect (an off-by-one
+in the fail log's detecting op index) is invisible to every fault-free
+check, caught by the fault-response differential, and shrunk to a
+single-cell fault on a (1,1,1) memory.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.conformance import (
+    GOLDEN_CACHE,
+    check_conformance,
+    check_fault_conformance,
+    fault_response_predicate,
+    run_fault_sweep,
+    shrink_faulty_sample,
+    sweep_faults,
+)
+from repro.conformance.check import GoldenTraceCache
+from repro.conformance.faulty import check as faulty_check
+from repro.conformance.faulty.events import (
+    FailEvent,
+    ResponseBudgetExceeded,
+    ResponseCapture,
+    capture_response,
+)
+from repro.conformance.faulty.sampling import random_fault, stratified_sample
+from repro.conformance.faulty.shrink import _spec_size, simpler_fault_specs
+from repro.conformance.trace import golden_trace
+from repro.core.controller import ControllerCapabilities
+from repro.faults.spec import format_fault, parse_fault
+from repro.faults.universe import standard_universe
+from repro.march import library
+from repro.memory.sram import Sram
+
+CAPS = ControllerCapabilities(n_words=4, width=2, ports=1)
+
+
+def _faulty_memory(spec, caps=CAPS):
+    memory = Sram(caps.n_words, width=caps.width, ports=caps.ports)
+    memory.attach(parse_fault(spec))
+    return memory
+
+
+class TestFailEvents:
+    def test_capture_records_attributed_mismatches(self):
+        stream = golden_trace(library.get("March C"), CAPS)
+        capture = capture_response(stream, _faulty_memory("saf:2:1:1"))
+        assert capture.detected
+        assert capture.ops_applied == len(stream)
+        event = capture.events[0]
+        assert event.address == 2
+        assert event.owner  # provenance attached
+        assert stream[event.op_index].op.is_read
+
+    def test_fault_free_memory_yields_no_events(self):
+        stream = golden_trace(library.get("March C"), CAPS)
+        memory = Sram(CAPS.n_words, width=CAPS.width, ports=CAPS.ports)
+        capture = capture_response(stream, memory)
+        assert not capture.detected
+
+    def test_key_excludes_owner(self):
+        a = FailEvent(3, 0, 1, 0, 1, owner="item 2 ^(r0)")
+        b = FailEvent(3, 0, 1, 0, 1, owner="fsm row 2")
+        assert a.key == b.key
+        assert a.to_dict()["owner"] == "item 2 ^(r0)"
+
+    def test_budget_trips_as_classified_error(self):
+        stream = golden_trace(library.get("MATS"), CAPS)
+        with pytest.raises(ResponseBudgetExceeded):
+            capture_response(
+                stream, _faulty_memory("saf:0:0:1"), max_ops=2
+            )
+
+    def test_capture_converts_to_faillog(self):
+        stream = golden_trace(library.get("March C"), CAPS)
+        capture = capture_response(stream, _faulty_memory("saf:2:1:1"))
+        log = capture.log("March C")
+        assert log.failing_addresses() == [2]
+        assert log.failing_cells() == [(2, 1)]
+
+
+class TestCheckFaultConformance:
+    @pytest.mark.parametrize(
+        "spec",
+        ["saf:2:1:1", "tf:1:0:up", "af2:0:2", "cfin:1:0:2:0:up",
+         "irf:2:0:1", "cfst:0:0:1:0:1:0", "paf:0:2:1"],
+    )
+    def test_architectures_agree_on_library_algorithm(self, spec):
+        result = check_fault_conformance(
+            library.get("March C"), CAPS, parse_fault(spec)
+        )
+        assert result.ok, result.describe_failures()
+        assert result.detected
+        assert [r.status for r in result.responses] == ["ok"] * 3
+
+    def test_whole_library_against_stratified_sample(self):
+        caps = ControllerCapabilities(n_words=3, width=1, ports=1)
+        faults = sweep_faults(caps, per_kind=1)
+        tests = [library.get(name) for name in library.ALGORITHMS]
+        report = run_fault_sweep(tests, caps, faults)
+        assert report.ok, report.format()
+        assert report.checked == len(tests) * len(faults)
+        assert report.detected > 0
+
+    def test_undetected_fault_is_ok_but_not_detected(self):
+        # A retention fault never decays without a march pause: no
+        # session ever observes it, so all responses are (vacuously)
+        # equal.  March C is pause-free by construction.
+        result = check_fault_conformance(
+            library.get("March C"), CAPS, parse_fault("drf:1:0:1")
+        )
+        assert result.ok
+        assert not result.detected
+        assert result.golden_events == 0
+
+    def test_progfsm_skipped_outside_boundary(self):
+        result = check_fault_conformance(
+            library.get("March B"), CAPS, parse_fault("saf:0:0:1")
+        )
+        assert result.ok  # skips do not fail the check
+        progfsm = [
+            r for r in result.responses if r.architecture == "progfsm"
+        ][0]
+        assert progfsm.status == "skipped"
+        assert "SM0-SM7" in progfsm.detail
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            check_fault_conformance(
+                library.get("MATS"),
+                CAPS,
+                parse_fault("saf:0:0:1"),
+                architectures=["microcode", "risc-v"],
+            )
+
+    def test_wedged_session_is_error_not_mismatch(self, monkeypatch):
+        def wedged(stream, memory, max_ops=None):
+            raise ResponseBudgetExceeded("op budget of 1 exceeded")
+
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES, "hardwired", wedged
+        )
+        result = check_fault_conformance(
+            library.get("MATS"), CAPS, parse_fault("saf:0:0:1")
+        )
+        hardwired = result.failures[0]
+        assert hardwired.architecture == "hardwired"
+        assert hardwired.status == "error"
+        assert "wedged" in hardwired.detail
+        assert hardwired.divergence is None
+
+    def test_crashed_session_is_error(self, monkeypatch):
+        def crashed(stream, memory, max_ops=None):
+            raise IndexError("comparator bank out of range")
+
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES, "microcode", crashed
+        )
+        result = check_fault_conformance(
+            library.get("MATS"), CAPS, parse_fault("saf:0:0:1")
+        )
+        microcode = result.failures[0]
+        assert microcode.status == "error"
+        assert "crashed" in microcode.detail
+        assert "IndexError" in microcode.detail
+
+    def test_nonterminating_controller_is_error(self, monkeypatch):
+        def hangs(test, caps, compress):
+            raise RuntimeError("cycle bound 100000 exceeded")
+
+        monkeypatch.setitem(
+            faulty_check.STREAM_BUILDERS, "hardwired", hangs
+        )
+        result = check_fault_conformance(
+            library.get("MATS"), CAPS, parse_fault("saf:0:0:1")
+        )
+        hardwired = result.failures[0]
+        assert hardwired.status == "error"
+        assert "did not terminate" in hardwired.detail
+
+    def test_to_dict_and_format(self):
+        result = check_fault_conformance(
+            library.get("MATS+"), CAPS, parse_fault("tf:1:0:up")
+        )
+        payload = result.to_dict()
+        assert payload["ok"] and payload["detected"]
+        assert payload["fault_spec"] == "tf:1:0:up"
+        assert len(payload["architectures"]) == 3
+        assert "identical fail log and diagnosis" in result.format()
+
+
+class _ShiftedIndexCapture:
+    """The seeded response-path defect: the fail log latches the
+    detecting op index one too late (classic off-by-one in the address
+    pipeline's fail register).  Stimulus is untouched, and a fault-free
+    run logs nothing — the defect is invisible until a fault fires."""
+
+    def __call__(self, stream, memory, max_ops=None):
+        capture = capture_response(stream, memory, max_ops=max_ops)
+        capture.events = [
+            dataclasses.replace(event, op_index=event.op_index + 1)
+            for event in capture.events
+        ]
+        return capture
+
+
+class TestSeededResponseDefect:
+    @pytest.fixture()
+    def faillog_off_by_one(self, monkeypatch):
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES,
+            "progfsm",
+            _ShiftedIndexCapture(),
+        )
+
+    def test_invisible_to_fault_free_checks(self, faillog_off_by_one):
+        # Stimulus conformance never consults the response path ...
+        assert check_conformance(library.get("March C"), CAPS).ok
+        # ... and under an undetected fault nothing is ever logged, so
+        # the fault-response differential passes too.
+        result = check_fault_conformance(
+            library.get("March C"), CAPS, parse_fault("drf:1:0:1")
+        )
+        assert result.ok and not result.detected
+
+    def test_caught_by_fault_response_differential(self, faillog_off_by_one):
+        result = check_fault_conformance(
+            library.get("March C"), CAPS, parse_fault("saf:2:1:1")
+        )
+        assert not result.ok
+        failing = result.failures
+        assert [r.architecture for r in failing] == ["progfsm"]
+        assert failing[0].layer == "events"
+        divergence = failing[0].divergence
+        assert divergence.kind == "mismatch"
+        assert divergence.candidate.op_index == (
+            divergence.reference.op_index + 1
+        )
+        assert divergence.reference.owner  # provenance survives
+
+    def test_shrinks_to_single_cell_fault_on_minimal_memory(
+        self, faillog_off_by_one
+    ):
+        # Start bit-oriented: at width > 1 the golden expansion walks
+        # data backgrounds, and the resulting background-mismatch events
+        # would let the defect fire without any fault at all.
+        shrunk = shrink_faulty_sample(
+            library.get("March C"),
+            ControllerCapabilities(n_words=4, width=1, ports=1),
+            "saf:2:0:1",
+            fault_response_predicate(),
+            max_checks=500,
+        )
+        assert shrunk.reduced
+        assert shrunk.geometry == (1, 1, 1)
+        assert shrunk.fault_spec == "saf:0:0:1"
+        assert len(shrunk.test.items) == 1
+        # The minimal triple still reproduces.
+        final = check_fault_conformance(
+            shrunk.test,
+            shrunk.capabilities,
+            parse_fault(shrunk.fault_spec),
+        )
+        assert not final.ok
+
+    def test_healthy_response_path_conforms_again(self):
+        result = check_fault_conformance(
+            library.get("March C"), CAPS, parse_fault("saf:2:1:1")
+        )
+        assert result.ok
+
+
+class _DefectiveAggregation(ResponseCapture):
+    """Events intact, downstream aggregation broken — exercises the
+    coarser comparison layers the event diff cannot reach."""
+
+    def __init__(self, capture, drop_address=None, shift_log_index=0):
+        super().__init__(
+            ops_applied=capture.ops_applied, events=list(capture.events)
+        )
+        self._drop_address = drop_address
+        self._shift = shift_log_index
+
+    def failures(self):
+        failures = super().failures()
+        if self._drop_address is not None:
+            failures = [
+                f for f in failures if f.address != self._drop_address
+            ]
+        if self._shift:
+            failures = [
+                dataclasses.replace(f, op_index=f.op_index + self._shift)
+                for f in failures
+            ]
+        return failures
+
+
+class TestCoarserLayers:
+    def _patched(self, monkeypatch, **kwargs):
+        def defective(stream, memory, max_ops=None):
+            return _DefectiveAggregation(
+                capture_response(stream, memory, max_ops=max_ops),
+                **kwargs,
+            )
+
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES, "hardwired", defective
+        )
+
+    def test_faillog_layer_divergence(self, monkeypatch):
+        # af3 aliases two addresses, so the golden log fails at both;
+        # the defective aggregation silently drops one of them.
+        self._patched(monkeypatch, drop_address=0)
+        result = check_fault_conformance(
+            library.get("March C"), CAPS, parse_fault("af3:0:1")
+        )
+        failing = result.failures[0]
+        assert failing.status == "diverged"
+        assert failing.layer == "faillog"
+        assert "failing cells" in failing.mismatch
+
+    def test_diagnosis_layer_divergence(self, monkeypatch):
+        # Same cells, shifted op indices: the fail log aggregations
+        # agree but the classifier reads different march contexts.
+        self._patched(monkeypatch, shift_log_index=1)
+        result = check_fault_conformance(
+            library.get("March C"), CAPS, parse_fault("saf:2:1:1")
+        )
+        failing = result.failures[0]
+        assert failing.status == "diverged"
+        assert failing.layer == "diagnosis"
+
+
+class TestFaultAxisShrinking:
+    def test_spec_size_strictly_decreases(self):
+        for spec in ("cfid:3:1:2:0:down:1", "af3:2:1", "tf:4:0:down"):
+            size = _spec_size(spec)
+            for candidate in simpler_fault_specs(spec):
+                assert _spec_size(candidate) < size
+
+    def test_canonical_swap_tried_first(self):
+        first = next(simpler_fault_specs("cfin:1:0:2:0:up"))
+        assert first == "saf:0:0:0"
+
+    def test_non_reproducing_triple_unchanged(self):
+        result = shrink_faulty_sample(
+            library.get("MATS"),
+            CAPS,
+            "saf:1:0:1",
+            fault_response_predicate(),
+        )
+        assert not result.reduced
+        assert result.fault_spec == "saf:1:0:1"
+        assert result.checks == 1
+
+    def test_structural_predicate_shrinks_all_three_axes(self):
+        # Reproduces whenever the fault touches an odd-polarity SAF and
+        # the march still reads — independent of the architecture, so
+        # the shrinker's own mechanics are isolated from the checkers.
+        def predicate(test, caps, spec):
+            fault = parse_fault(spec)
+            return (
+                getattr(fault, "value", None) == 1
+                and any(
+                    op.is_read
+                    for item in test.elements
+                    for op in item.ops
+                )
+            )
+
+        result = shrink_faulty_sample(
+            library.get("March C"),
+            ControllerCapabilities(n_words=6, width=4, ports=2),
+            "saf:5:3:1",
+            predicate,
+        )
+        assert result.reduced
+        assert result.geometry == (1, 1, 1)
+        assert result.fault_spec == "saf:0:0:1"
+        assert result.to_dict()["fault"] == "saf:0:0:1"
+
+
+class TestSampling:
+    def test_stratified_sample_covers_every_kind(self):
+        universe = standard_universe(4, width=1, include_npsf=False)
+        sample = stratified_sample(universe, per_kind=2)
+        assert {f.kind for f in sample} == set(universe.kinds())
+        assert all(format_fault(f) is not None for f in sample)
+
+    def test_stratified_sample_deterministic(self):
+        universe = standard_universe(4, width=1, include_npsf=False)
+        a = [format_fault(f) for f in stratified_sample(universe, seed=7)]
+        b = [format_fault(f) for f in stratified_sample(universe, seed=7)]
+        assert a == b
+
+    def test_random_fault_is_seed_deterministic(self):
+        import random
+
+        caps = ControllerCapabilities(n_words=5, width=2, ports=1)
+        a = format_fault(random_fault(random.Random("3:17"), caps))
+        b = format_fault(random_fault(random.Random("3:17"), caps))
+        assert a == b
+
+    def test_random_fault_spreads_over_kinds(self):
+        import random
+
+        rng = random.Random(0)
+        caps = ControllerCapabilities(n_words=4, width=1, ports=1)
+        kinds = {random_fault(rng, caps).kind for _ in range(60)}
+        assert len(kinds) >= 5  # uniform over kinds, not instances
+
+
+class TestGoldenTraceMemoisation:
+    def test_cache_hit_during_a_shrink(self):
+        """The perf regression: a shrink run must reuse memoised golden
+        expansions instead of re-expanding the champion every check.
+        The predicate rejects n_words < 2, so the geometry probe of
+        (1, 1, 1) is retried in the second fixpoint round with identical
+        champion state — that repeat must be served from the cache."""
+        GOLDEN_CACHE.clear()
+
+        def predicate(test, caps):
+            check_conformance(test, caps)
+            return caps.n_words >= 2
+
+        from repro.conformance import shrink_sample
+
+        shrink_sample(
+            library.get("March C"),
+            ControllerCapabilities(n_words=4, width=1, ports=1),
+            predicate,
+            max_checks=100,
+        )
+        assert GOLDEN_CACHE.hits > 0
+
+    def test_cache_key_is_notation_and_geometry(self):
+        cache = GoldenTraceCache()
+        test = library.get("MATS")
+        first = cache.get(test, CAPS)
+        second = cache.get(test, CAPS)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+        other = cache.get(
+            test, ControllerCapabilities(n_words=2, width=1, ports=1)
+        )
+        assert other is not first
+        assert cache.misses == 2
+
+    def test_cache_is_bounded(self):
+        cache = GoldenTraceCache(maxsize=2)
+        for n_words in (1, 2, 3):
+            cache.get(
+                library.get("MATS"),
+                ControllerCapabilities(n_words=n_words, width=1, ports=1),
+            )
+        assert len(cache) == 2
+
+    def test_fault_check_uses_the_shared_cache(self):
+        GOLDEN_CACHE.clear()
+        check_fault_conformance(
+            library.get("MATS"), CAPS, parse_fault("saf:0:0:1")
+        )
+        check_fault_conformance(
+            library.get("MATS"), CAPS, parse_fault("saf:0:0:0")
+        )
+        assert GOLDEN_CACHE.hits >= 1

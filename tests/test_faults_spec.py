@@ -1,0 +1,158 @@
+"""Fault specification strings and injector robustness.
+
+The spec format (``repro.faults.spec``) is the wire form every fault
+takes when it travels as data — CLI flags, shrinker fault axis, fuzz
+reproducers, corpus regression entries — so the round trip must be
+exact.  The injector tests pin the exception-safety contract that the
+fault-response differential leans on: a fault whose ``remove`` raises
+must not leak into the next BIST session.
+"""
+
+import pytest
+
+from repro.faults import (
+    ActiveNpsf,
+    PassiveNpsf,
+    StuckAtFault,
+    TransitionFault,
+)
+from repro.faults.linked import CompositeFault
+from repro.faults.port import PortRestrictedFault
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpecError, format_fault, parse_fault
+from repro.faults.universe import standard_universe
+from repro.memory.sram import Sram
+
+
+ROUND_TRIP_SPECS = [
+    "saf:3:0:1",
+    "saf:0:2:0",
+    "tf:1:0:up",
+    "tf:2:1:down",
+    "drf:1:0:1",
+    "sof:2:0:0",
+    "irf:0:0:1",
+    "rdf:3:1:0",
+    "drdf:2:2:1",
+    "cfin:1:0:2:0:up",
+    "cfin:0:1:3:1:down",
+    "cfid:1:0:2:0:down:1",
+    "cfst:0:0:1:0:1:0",
+    "af1:5",
+    "af2:0:2",
+    "af3:1:3",
+    "af4:2:0",
+    "paf:1:2:0",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS)
+    def test_format_inverts_parse(self, spec):
+        assert format_fault(parse_fault(spec)) == spec
+
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS)
+    def test_reparse_builds_equivalent_fault(self, spec):
+        first = parse_fault(spec)
+        second = parse_fault(format_fault(first))
+        assert type(first) is type(second)
+        assert vars(first) == vars(second)
+
+    def test_direction_synonyms_normalise(self):
+        assert format_fault(parse_fault("tf:0:0:rising")) == "tf:0:0:up"
+        assert format_fault(parse_fault("tf:0:0:0")) == "tf:0:0:down"
+
+    def test_spec_is_case_insensitive(self):
+        assert format_fault(parse_fault("SAF:1:0:1")) == "saf:1:0:1"
+
+    def test_standard_universe_round_trips(self):
+        # Every non-NPSF fault the generator can produce must survive
+        # the wire format bit-identically — this is what lets the fuzz
+        # fault draw and the corpus regressions rebuild faults from
+        # their spec strings alone.
+        universe = standard_universe(4, width=2, include_npsf=False)
+        for fault in universe.faults:
+            spec = format_fault(fault)
+            assert spec is not None, fault.kind
+            rebuilt = parse_fault(spec)
+            assert vars(rebuilt) == vars(fault)
+
+
+class TestInexpressible:
+    def test_npsf_has_no_spec_form(self):
+        passive = PassiveNpsf((0, 0), [(1, 0)], (1,))
+        active = ActiveNpsf((0, 0), (1, 0), True, [], ())
+        assert format_fault(passive) is None
+        assert format_fault(active) is None
+
+    def test_linked_composite_has_no_spec_form(self):
+        linked = CompositeFault(
+            [StuckAtFault(0, 0, 1), TransitionFault(1, 0, True)]
+        )
+        assert format_fault(linked) is None
+
+    def test_port_restricted_wrapper_has_no_spec_form(self):
+        wrapped = PortRestrictedFault(1, StuckAtFault(0, 0, 1))
+        assert format_fault(wrapped) is None
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "unknown:1:2:3",
+            "saf",
+            "saf:1:0",
+            "saf:one:0:1",
+            "tf:0:0:sideways",
+            "cfin:1:0:2:0",
+            "",
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault(spec)
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            parse_fault("saf:bad")
+
+
+class _ExplodingRemove(StuckAtFault):
+    """A fault model whose detach path itself is defective."""
+
+    def remove(self, memory):
+        super().remove(memory)
+        raise RuntimeError("remove exploded")
+
+
+class TestInjectorDetachSafety:
+    def test_misbehaving_remove_does_not_leak_fault(self):
+        memory = Sram(n_words=4, width=1, ports=1)
+        injector = FaultInjector(memory)
+        with pytest.raises(RuntimeError, match="remove exploded"):
+            with injector.injected(_ExplodingRemove(1, 0, 1)):
+                pass
+        # The error propagated, but the fault list is clear, the decoder
+        # restored and the state reset — the injector stays usable.
+        assert memory.faults == []
+        assert memory.read(0, 1) == 0
+
+    def test_injector_reusable_after_detach_error(self):
+        memory = Sram(n_words=4, width=1, ports=1)
+        injector = FaultInjector(memory)
+        with pytest.raises(RuntimeError):
+            with injector.injected(_ExplodingRemove(1, 0, 1)):
+                pass
+        with injector.injected(StuckAtFault(2, 0, 1)) as faulty:
+            assert faulty.read(0, 2) == 1
+        assert memory.faults == []
+
+    def test_detach_all_restores_decoder_despite_error(self):
+        memory = Sram(n_words=4, width=1, ports=1)
+        memory.attach(_ExplodingRemove(0, 0, 1))
+        with pytest.raises(RuntimeError):
+            memory.detach_all()
+        # A second detach is a no-op, not a second explosion.
+        memory.detach_all()
+        assert memory.faults == []
