@@ -1,0 +1,135 @@
+"""Fault-sweep throughput: serial vs sharded differential sweeps.
+
+The nightly conformance job sweeps the whole algorithm library against
+the full spec-expressible fault universe; this benchmark measures that
+sweep's throughput with ``jobs=1`` and with a worker pool, asserts the
+two reports are identical (timing aside — the determinism contract of
+``run_fault_sweep``), and writes a ``BENCH_fault_sweep.json`` record so
+sweep throughput can be tracked over time.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_fault_sweep.py
+    PYTHONPATH=src python benchmarks/bench_fault_sweep.py --full-universe --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro.conformance import run_fault_sweep, sweep_faults
+from repro.core.controller import ControllerCapabilities
+from repro.march import library
+
+
+def sweep_record(
+    caps: ControllerCapabilities,
+    jobs: int,
+    per_kind: int,
+    full: bool,
+) -> dict:
+    """One (geometry, jobs) sweep measurement of the whole library."""
+    tests = [library.get(name) for name in library.ALGORITHMS]
+    faults = sweep_faults(caps, per_kind=per_kind, full=full)
+    report = run_fault_sweep(tests, caps, faults, jobs=jobs)
+    payload = report.to_json()
+    return {
+        "payload": payload,
+        "record": {
+            "jobs": report.jobs,
+            "wall_time_s": payload["timing"]["wall_time_s"],
+            "runs_per_s": payload["timing"]["runs_per_s"],
+            "shards": payload["timing"]["shards"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--words", type=int, default=4)
+    parser.add_argument("--width", type=int, default=2)
+    parser.add_argument("--ports", type=int, default=1)
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="parallel worker count (0 = one per CPU, capped at 4)",
+    )
+    parser.add_argument(
+        "--per-kind", type=int, default=3,
+        help="stratified-sample size per fault kind (quick mode)",
+    )
+    parser.add_argument(
+        "--full-universe", action="store_true",
+        help="sweep the whole spec-expressible universe (the nightly "
+        "workload) instead of a stratified sample",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_fault_sweep.json",
+        help="output record path (default: BENCH_fault_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs > 0 else min(4, os.cpu_count() or 1)
+    caps = ControllerCapabilities(
+        n_words=args.words, width=args.width, ports=args.ports
+    )
+    serial = sweep_record(caps, 1, args.per_kind, args.full_universe)
+    parallel = sweep_record(caps, jobs, args.per_kind, args.full_universe)
+
+    def sans_timing(payload: dict) -> str:
+        return json.dumps(
+            {k: v for k, v in payload.items() if k != "timing"},
+            sort_keys=True,
+        )
+
+    identical = sans_timing(serial["payload"]) == sans_timing(
+        parallel["payload"]
+    )
+    serial_s = serial["record"]["wall_time_s"]
+    parallel_s = parallel["record"]["wall_time_s"]
+    record = {
+        "benchmark": "fault_sweep",
+        "geometry": [caps.n_words, caps.width, caps.ports],
+        "algorithms": len(library.ALGORITHMS),
+        "universe": "full" if args.full_universe else "stratified",
+        "runs": serial["payload"]["checked"],
+        "ok": serial["payload"]["ok"],
+        "reports_identical_sans_timing": identical,
+        "serial": serial["record"],
+        "parallel": parallel["record"],
+        "speedup": (
+            round(serial_s / parallel_s, 3) if parallel_s > 0 else None
+        ),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"fault-sweep throughput {tuple(record['geometry'])} "
+        f"({record['universe']} universe, {record['runs']} runs):"
+    )
+    print(
+        f"  jobs=1: {serial_s:.2f} s "
+        f"({serial['record']['runs_per_s']} runs/s)"
+    )
+    print(
+        f"  jobs={jobs}: {parallel_s:.2f} s "
+        f"({parallel['record']['runs_per_s']} runs/s)  "
+        f"speedup {record['speedup']}x"
+    )
+    print(f"  reports identical (timing aside): {identical}")
+    print(f"  wrote {args.out}")
+    if not identical:
+        print("error: jobs-independence contract violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,10 @@ Commands:
     BIST session against the *same injected fault* and compares fail
     events, fail-log aggregations and diagnosis (``--fault SPEC``, or a
     stratified/``--full-universe`` sweep of the standard fault
-    universe); ``shrink`` delta-debugs a failing sample (``--sample
+    universe; ``--jobs N`` shards the sweep over worker processes with
+    a jobs-independent report, and repeatable ``--geometry WxBxP``
+    flags sweep several memory geometries into one sectioned report);
+    ``shrink`` delta-debugs a failing sample (``--sample
     SEED:INDEX`` from a fuzz report, or ``--notation``) to a minimal
     reproducer — with ``--fault SPEC`` the shrink runs over all three
     axes (march, geometry, fault); ``record`` (re)writes the
@@ -361,43 +364,112 @@ def _cmd_conformance_run(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _parse_geometry(token: str) -> tuple:
+    """Parse a ``WORDSxWIDTH[xPORTS]`` geometry flag, e.g. ``8x1x1``."""
+    parts = token.lower().split("x")
+    if len(parts) not in (2, 3):
+        raise ValueError(
+            f"bad geometry {token!r} (expected WORDSxWIDTH or "
+            f"WORDSxWIDTHxPORTS, e.g. 4x2x1)"
+        )
+    try:
+        numbers = [int(part) for part in parts]
+    except ValueError:
+        raise ValueError(
+            f"bad geometry {token!r}: every component must be an integer"
+        ) from None
+    if any(number <= 0 for number in numbers):
+        raise ValueError(f"bad geometry {token!r}: components must be >= 1")
+    if len(numbers) == 2:
+        numbers.append(1)
+    return tuple(numbers)
+
+
+def _write_report(path: str, payload: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
 def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
+    import os
+    import time
+
     from repro.conformance import (
+        FaultSweepReport,
         check_fault_conformance,
         run_fault_sweep,
+        run_fault_sweeps,
         sweep_faults,
     )
 
     names = list(library.ALGORITHMS) if args.all else [args.algorithm]
     tests = [library.get(name) for name in names]
+    compress = not args.no_compress
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    explicit_faults = (
+        [parse_fault(spec) for spec in args.fault] if args.fault else None
+    )
+    if args.geometry:
+        # Multi-geometry driver: one report with a section per geometry,
+        # each drawing its own (geometry-dependent) fault population
+        # unless --fault pinned one explicitly.
+        geometries = [_parse_geometry(token) for token in args.geometry]
+        report = run_fault_sweeps(
+            geometries,
+            tests,
+            faults=explicit_faults,
+            per_kind=args.per_kind,
+            seed=args.seed,
+            full=args.full_universe,
+            compress=compress,
+            max_ops=args.max_ops,
+            jobs=jobs,
+        )
+        if args.report:
+            _write_report(args.report, report.to_json())
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2))
+        else:
+            print(report.format())
+        return 0 if report.ok else 1
     caps = _conformance_caps(args)
-    if args.fault:
-        faults = [parse_fault(spec) for spec in args.fault]
-    else:
-        faults = sweep_faults(
+    faults = (
+        explicit_faults
+        if explicit_faults is not None
+        else sweep_faults(
             caps,
             per_kind=args.per_kind,
             seed=args.seed,
             full=args.full_universe,
         )
-    compress = not args.no_compress
+    )
     if len(tests) == 1 and len(faults) == 1:
+        started = time.perf_counter()
         result = check_fault_conformance(
             tests[0], caps, faults[0], compress=compress,
             max_ops=args.max_ops,
         )
+        if args.report:
+            # A one-run sweep JSON, so --report behaves identically
+            # whether the run happens to be a single pair or a sweep.
+            sweep = FaultSweepReport(
+                geometry=(caps.n_words, caps.width, caps.ports)
+            )
+            sweep.add(result)
+            sweep.wall_time_s = time.perf_counter() - started
+            _write_report(args.report, sweep.to_json())
         if args.json:
             print(json.dumps(result.to_dict(), indent=2))
         else:
             print(result.format())
         return 0 if result.ok else 1
     report = run_fault_sweep(
-        tests, caps, faults, compress=compress, max_ops=args.max_ops
+        tests, caps, faults, compress=compress, max_ops=args.max_ops,
+        jobs=jobs,
     )
     if args.report:
-        with open(args.report, "w") as handle:
-            json.dump(report.to_json(), handle, indent=2)
-            handle.write("\n")
+        _write_report(args.report, report.to_json())
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:
@@ -734,6 +806,19 @@ def build_parser() -> argparse.ArgumentParser:
     conf_faulty.add_argument(
         "--max-ops", type=int, default=None,
         help="per-run op budget (default: 4x the golden stream length)",
+    )
+    conf_faulty.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes sharding the (algorithm, fault) product "
+        "(0 = one per CPU); the report is identical regardless, timing "
+        "aside (default: 1)",
+    )
+    conf_faulty.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="memory geometry WORDSxWIDTH[xPORTS] to sweep (repeatable; "
+        "e.g. --geometry 4x2x1 --geometry 8x1x1); overrides "
+        "--words/--width/--ports and produces one report with a "
+        "section per geometry",
     )
     conf_faulty.add_argument(
         "--no-compress", action="store_true",

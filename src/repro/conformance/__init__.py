@@ -29,12 +29,14 @@ from repro.conformance.faulty import (
     FaultResponseResult,
     FaultSweepReport,
     FaultyShrinkResult,
+    MultiGeometrySweepReport,
     ResponseBudgetExceeded,
     capture_response,
     check_fault_conformance,
     fault_response_predicate,
     random_fault,
     run_fault_sweep,
+    run_fault_sweeps,
     shrink_faulty_sample,
     sweep_faults,
 )
@@ -78,6 +80,7 @@ __all__ = [
     "GOLDEN_CACHE",
     "GOLDEN_GEOMETRIES",
     "GoldenTraceCache",
+    "MultiGeometrySweepReport",
     "ResponseBudgetExceeded",
     "STREAM_BUILDERS",
     "ShrinkResult",
@@ -99,6 +102,7 @@ __all__ = [
     "record_golden",
     "record_regression",
     "run_fault_sweep",
+    "run_fault_sweeps",
     "shrink_faulty_sample",
     "shrink_sample",
     "sweep_faults",

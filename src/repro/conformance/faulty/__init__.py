@@ -12,11 +12,13 @@ from repro.conformance.faulty.check import (
     ArchitectureResponse,
     FaultResponseResult,
     FaultSweepReport,
+    MultiGeometrySweepReport,
     RESPONSE_CAPTURES,
     ResponseDivergence,
     check_fault_conformance,
     first_fail_divergence,
     run_fault_sweep,
+    run_fault_sweeps,
 )
 from repro.conformance.faulty.events import (
     FailEvent,
@@ -47,6 +49,7 @@ __all__ = [
     "FaultSweepReport",
     "FaultyPredicate",
     "FaultyShrinkResult",
+    "MultiGeometrySweepReport",
     "RESPONSE_CAPTURES",
     "ResponseBudgetExceeded",
     "ResponseCapture",
@@ -57,6 +60,7 @@ __all__ = [
     "first_fail_divergence",
     "random_fault",
     "run_fault_sweep",
+    "run_fault_sweeps",
     "shrink_faulty_sample",
     "simpler_fault_specs",
     "spec_expressible",

@@ -31,8 +31,10 @@ and ``diverged`` with the offending layer named.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.conformance.check import ARCHITECTURES, GOLDEN_CACHE, STREAM_BUILDERS
 from repro.conformance.faulty.events import (
@@ -420,15 +422,45 @@ def check_fault_conformance(
     return result
 
 
+def _first_failure_summary(failure: Dict[str, Any]) -> str:
+    """The first non-ok architecture of a failure dict, with its layer.
+
+    Multi-geometry sweeps print many failure lines; naming the diverged
+    architecture and comparison layer (or the error class) makes each
+    line actionable without opening the JSON report.
+    """
+    for response in failure.get("architectures", []):
+        status = response.get("status")
+        if status in ("ok", "skipped"):
+            continue
+        if status == "error":
+            return f"{response['architecture']}: error"
+        return f"{response['architecture']}: {response.get('layer')} layer"
+    return "no failing architecture recorded"
+
+
 @dataclass
 class FaultSweepReport:
-    """Aggregated outcome of a (algorithms × faults) sweep."""
+    """Aggregated outcome of a (algorithms × faults) sweep.
+
+    Reports are *mergeable*: a sharded sweep produces one report per
+    shard and reduces them with :meth:`merge`, and because shards are
+    contiguous chunks of the (algorithm, fault) product in serial
+    order, the merged report is byte-identical to a serial sweep's —
+    timing aside.  All timing lives under the ``timing`` key of
+    :meth:`to_json` (pass ``include_timing=False`` to drop it), so the
+    jobs-independence contract is simply "payloads without ``timing``
+    compare equal".
+    """
 
     geometry: Tuple[int, int, int]
     checked: int = 0
     detected: int = 0
     skipped_runs: int = 0
     failures: List[Dict[str, Any]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    jobs: int = 1
+    shards: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -444,6 +476,33 @@ class FaultSweepReport:
         if not result.ok:
             self.failures.append(result.to_dict())
 
+    @classmethod
+    def merge(
+        cls, reports: Sequence["FaultSweepReport"]
+    ) -> "FaultSweepReport":
+        """Reduce shard reports (in shard order) into one report.
+
+        Counters sum and failures concatenate, so as long as ``reports``
+        arrives in shard order the merged failure list preserves the
+        serial sweep's ordering exactly.
+        """
+        if not reports:
+            raise ValueError("cannot merge an empty report sequence")
+        geometries = {report.geometry for report in reports}
+        if len(geometries) > 1:
+            raise ValueError(
+                f"cannot merge sweeps of different geometries: "
+                f"{sorted(geometries)}"
+            )
+        merged = cls(geometry=reports[0].geometry)
+        for report in reports:
+            merged.checked += report.checked
+            merged.detected += report.detected
+            merged.skipped_runs += report.skipped_runs
+            merged.failures.extend(report.failures)
+            merged.shards.extend(report.shards)
+        return merged
+
     def format(self) -> str:
         lines = [
             f"fault-response sweep {self.geometry}: {self.checked} "
@@ -453,12 +512,14 @@ class FaultSweepReport:
         ]
         for failure in self.failures:
             lines.append(
-                f"  FAIL {failure['notation']} under {failure['fault']}"
+                f"  FAIL {tuple(failure['geometry'])} "
+                f"{failure['notation']} under {failure['fault']}  "
+                f"[{_first_failure_summary(failure)}]"
             )
         return "\n".join(lines)
 
-    def to_json(self) -> Dict[str, Any]:
-        return {
+    def to_json(self, include_timing: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
             "geometry": list(self.geometry),
             "checked": self.checked,
             "detected": self.detected,
@@ -466,6 +527,51 @@ class FaultSweepReport:
             "ok": self.ok,
             "failures": self.failures,
         }
+        if include_timing:
+            payload["timing"] = {
+                "wall_time_s": round(self.wall_time_s, 6),
+                "jobs": self.jobs,
+                "runs_per_s": (
+                    round(self.checked / self.wall_time_s, 2)
+                    if self.wall_time_s > 0
+                    else None
+                ),
+                "shards": self.shards,
+            }
+        return payload
+
+
+def _sweep_shard(
+    args: Tuple[int, Sequence[MarchTest], ControllerCapabilities,
+                Sequence[CellFault], int, int, bool, Optional[int]]
+) -> FaultSweepReport:
+    """Worker entry point: check product pairs ``start..start+count-1``.
+
+    The (algorithm, fault) product is flattened algorithm-major, the
+    same order the serial loop visits, so contiguous shards keep the
+    per-algorithm golden expansions hot in each worker's cache and the
+    merged failure list matches the serial one.
+    """
+    (shard_index, tests, caps, faults, start, count, compress,
+     max_ops) = args
+    started = time.perf_counter()
+    report = FaultSweepReport(
+        geometry=(caps.n_words, caps.width, caps.ports)
+    )
+    for index in range(start, start + count):
+        test = tests[index // len(faults)]
+        fault = faults[index % len(faults)]
+        report.add(
+            check_fault_conformance(
+                test, caps, fault, compress=compress, max_ops=max_ops
+            )
+        )
+    report.shards = [{
+        "shard": shard_index,
+        "runs": count,
+        "wall_time_s": round(time.perf_counter() - started, 6),
+    }]
+    return report
 
 
 def run_fault_sweep(
@@ -474,17 +580,163 @@ def run_fault_sweep(
     faults: Sequence[CellFault],
     compress: bool = True,
     max_ops: Optional[int] = None,
+    jobs: int = 1,
 ) -> FaultSweepReport:
-    """Check every (algorithm, fault) pair; used by CI and the CLI."""
+    """Check every (algorithm, fault) pair; used by CI and the CLI.
+
+    Args:
+        tests: the march algorithms to sweep.
+        capabilities: memory geometry all controllers target.
+        faults: the fault population (every fault runs against every
+            algorithm).
+        compress: microcode REPEAT compression.
+        max_ops: per-run op budget override.
+        jobs: worker-process count; 1 runs inline (no pool).  The
+            (algorithm, fault) product is sharded into ``jobs``
+            contiguous chunks and the shard reports merged, so the
+            report — timing aside — is independent of ``jobs``.
+    """
+    if jobs <= 0:
+        raise ValueError(f"need at least one job, got {jobs}")
     caps = capabilities
-    report = FaultSweepReport(
-        geometry=(caps.n_words, caps.width, caps.ports)
-    )
-    for test in tests:
-        for fault in faults:
-            report.add(
-                check_fault_conformance(
-                    test, caps, fault, compress=compress, max_ops=max_ops
-                )
+    tests = list(tests)
+    faults = list(faults)
+    total = len(tests) * len(faults)
+    started = time.perf_counter()
+    if total == 0:
+        report = FaultSweepReport(
+            geometry=(caps.n_words, caps.width, caps.ports)
+        )
+    elif min(jobs, total) == 1:
+        report = _sweep_shard(
+            (0, tests, caps, faults, 0, total, compress, max_ops)
+        )
+    else:
+        jobs = min(jobs, total)
+        # Shard finer than the worker count: algorithms differ widely in
+        # stream length and the product is algorithm-major, so equal
+        # ``jobs``-sized chunks leave workers idle behind the chunk that
+        # drew the longest algorithms.  Merging by shard index keeps the
+        # report order (and bytes) independent of the shard count.
+        shards = min(total, jobs * 4)
+        chunk = (total + shards - 1) // shards
+        work = [
+            (shard, tests, caps, faults, start,
+             min(chunk, total - start), compress, max_ops)
+            for shard, start in enumerate(range(0, total, chunk))
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            report = FaultSweepReport.merge(list(pool.map(_sweep_shard, work)))
+    report.jobs = jobs
+    report.wall_time_s = time.perf_counter() - started
+    return report
+
+
+Geometry = Union[Tuple[int, ...], ControllerCapabilities]
+
+
+def _as_capabilities(geometry: Geometry) -> ControllerCapabilities:
+    """Coerce a ``(words, width[, ports])`` tuple to capabilities."""
+    if isinstance(geometry, ControllerCapabilities):
+        return geometry
+    parts = tuple(int(part) for part in geometry)
+    if len(parts) == 2:
+        parts = parts + (1,)
+    if len(parts) != 3:
+        raise ValueError(
+            f"geometry must be (words, width) or (words, width, ports), "
+            f"got {geometry!r}"
+        )
+    n_words, width, ports = parts
+    return ControllerCapabilities(n_words=n_words, width=width, ports=ports)
+
+
+@dataclass
+class MultiGeometrySweepReport:
+    """Per-geometry sections of one multi-geometry fault sweep."""
+
+    sweeps: List[FaultSweepReport] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return all(sweep.ok for sweep in self.sweeps)
+
+    @property
+    def checked(self) -> int:
+        return sum(sweep.checked for sweep in self.sweeps)
+
+    @property
+    def failure_count(self) -> int:
+        return sum(len(sweep.failures) for sweep in self.sweeps)
+
+    def format(self) -> str:
+        lines = [
+            f"multi-geometry fault-response sweep: "
+            f"{len(self.sweeps)} geometrie(s), {self.checked} runs, "
+            f"{self.failure_count} failure(s)"
+        ]
+        for sweep in self.sweeps:
+            lines.extend("  " + line for line in sweep.format().splitlines())
+        return "\n".join(lines)
+
+    def to_json(self, include_timing: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "geometries": [
+                sweep.to_json(include_timing=include_timing)
+                for sweep in self.sweeps
+            ],
+            "checked": self.checked,
+            "failure_count": self.failure_count,
+            "ok": self.ok,
+        }
+        if include_timing:
+            payload["timing"] = {
+                "wall_time_s": round(self.wall_time_s, 6),
+                "jobs": self.jobs,
+            }
+        return payload
+
+
+def run_fault_sweeps(
+    geometries: Sequence[Geometry],
+    tests: Sequence[MarchTest],
+    faults: Optional[Sequence[CellFault]] = None,
+    per_kind: int = 3,
+    seed: int = 0,
+    full: bool = False,
+    compress: bool = True,
+    max_ops: Optional[int] = None,
+    jobs: int = 1,
+) -> MultiGeometrySweepReport:
+    """Sweep ``tests`` across several memory geometries.
+
+    When ``faults`` is ``None`` each geometry draws its own population
+    with :func:`~repro.conformance.faulty.sampling.sweep_faults` (the
+    universe depends on the geometry — bigger memories have more cells
+    to couple, multi-port ones gain the port-fault stratum); an explicit
+    ``faults`` sequence is reused verbatim for every geometry.
+    Geometries run in sequence, each internally sharded over ``jobs``.
+    """
+    from repro.conformance.faulty.sampling import sweep_faults
+
+    if not geometries:
+        raise ValueError("need at least one geometry to sweep")
+    started = time.perf_counter()
+    report = MultiGeometrySweepReport(jobs=jobs)
+    for geometry in geometries:
+        caps = _as_capabilities(geometry)
+        population = (
+            list(faults)
+            if faults is not None
+            else sweep_faults(caps, per_kind=per_kind, seed=seed, full=full)
+        )
+        report.sweeps.append(
+            run_fault_sweep(
+                tests, caps, population, compress=compress,
+                max_ops=max_ops, jobs=jobs,
             )
+        )
+    report.wall_time_s = time.perf_counter() - started
     return report

@@ -70,10 +70,16 @@ def sweep_faults(
     ``full`` returns the whole spec-expressible standard universe
     (nightly); otherwise a stratified sample (per-PR).  NPSF faults are
     excluded either way — they have no spec form, so a divergence under
-    one could not be committed as a reproducer.
+    one could not be committed as a reproducer.  Multi-port geometries
+    include the port-access (PAF) stratum: the universe is built with
+    ``capabilities.ports``, so the faults only per-port repetition can
+    catch are actually swept.
     """
     universe = standard_universe(
-        capabilities.n_words, width=capabilities.width, include_npsf=False
+        capabilities.n_words,
+        width=capabilities.width,
+        include_npsf=False,
+        ports=capabilities.ports,
     )
     if full:
         return spec_expressible(universe.faults)

@@ -28,6 +28,7 @@ from repro.faults.coupling import (
     StateCouplingFault,
 )
 from repro.faults.neighborhood import ActiveNpsf, CellGrid, PassiveNpsf
+from repro.faults.port import port_fault_universe
 from repro.faults.read_faults import read_fault_universe
 from repro.faults.retention import DataRetentionFault
 from repro.faults.stuck_at import StuckAtFault
@@ -167,9 +168,21 @@ def standard_universe(
     n_words: int,
     width: int = 1,
     include_npsf: bool = True,
+    ports: int = 1,
 ) -> FaultUniverse:
-    """The full standard universe used by the coverage benchmark."""
-    universe = FaultUniverse(f"standard({n_words}x{width})")
+    """The full standard universe used by the coverage benchmark.
+
+    ``ports > 1`` additionally enumerates the port-access stratum (one
+    PAF per cell per port, :func:`repro.faults.port.port_fault_universe`)
+    — the defects only per-port test repetition can see.  The default of
+    1 preserves the historical single-port population exactly.
+    """
+    name = (
+        f"standard({n_words}x{width})"
+        if ports == 1
+        else f"standard({n_words}x{width}x{ports})"
+    )
+    universe = FaultUniverse(name)
     universe.extend(stuck_at_universe(n_words, width))
     universe.extend(transition_universe(n_words, width))
     universe.extend(coupling_universe(n_words, width))
@@ -177,6 +190,8 @@ def standard_universe(
     universe.extend(stuck_open_universe(n_words, width))
     universe.extend(retention_universe(n_words, width))
     universe.extend(read_fault_universe(n_words, width))
+    if ports > 1:
+        universe.extend(port_fault_universe(n_words, width, ports))
     if include_npsf:
         universe.extend(npsf_universe(n_words, width))
     return universe

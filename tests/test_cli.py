@@ -311,6 +311,65 @@ class TestConformanceRunFaultyCommand:
         assert main(["conformance", "run-faulty", "--fault", "zzz:1"]) == 2
         assert "unknown fault kind" in capsys.readouterr().err
 
+    def test_single_run_writes_the_report_too(self, capsys, tmp_path):
+        """Regression: with exactly one algorithm and one --fault the
+        single-run branch returned before the --report write, silently
+        dropping the file."""
+        import json as json_module
+
+        report_file = tmp_path / "single.json"
+        assert main(["conformance", "run-faulty", "--algorithm", "March C",
+                     "--words", "4", "--width", "2",
+                     "--fault", "saf:2:1:1",
+                     "--report", str(report_file)]) == 0
+        assert "fault-response conformance" in capsys.readouterr().out
+        payload = json_module.loads(report_file.read_text())
+        assert payload["ok"] and payload["checked"] == 1
+        assert payload["geometry"] == [4, 2, 1]
+        assert payload["detected"] == 1
+
+    def test_jobs_flag_keeps_the_report_identical(self, capsys, tmp_path):
+        import json as json_module
+
+        serial_file = tmp_path / "serial.json"
+        parallel_file = tmp_path / "parallel.json"
+        base = ["conformance", "run-faulty", "--algorithm", "MATS+",
+                "--words", "3", "--per-kind", "1"]
+        assert main(base + ["--jobs", "1",
+                            "--report", str(serial_file)]) == 0
+        assert main(base + ["--jobs", "2",
+                            "--report", str(parallel_file)]) == 0
+        capsys.readouterr()
+        serial = json_module.loads(serial_file.read_text())
+        parallel = json_module.loads(parallel_file.read_text())
+        assert serial.pop("timing")["jobs"] == 1
+        assert parallel.pop("timing")["jobs"] == 2
+        assert serial == parallel
+
+    def test_multi_geometry_sweep_sections(self, capsys, tmp_path):
+        import json as json_module
+
+        report_file = tmp_path / "multi.json"
+        assert main(["conformance", "run-faulty", "--algorithm", "MATS+",
+                     "--geometry", "3x1x1", "--geometry", "2x2",
+                     "--per-kind", "1",
+                     "--report", str(report_file)]) == 0
+        out = capsys.readouterr().out
+        assert "multi-geometry fault-response sweep" in out
+        assert "(3, 1, 1)" in out and "(2, 2, 1)" in out
+        payload = json_module.loads(report_file.read_text())
+        assert payload["ok"]
+        assert [g["geometry"] for g in payload["geometries"]] == [
+            [3, 1, 1], [2, 2, 1]
+        ]
+
+    def test_bad_geometry_exits_two(self, capsys):
+        assert main(["conformance", "run-faulty",
+                     "--geometry", "4xZ"]) == 2
+        assert "bad geometry" in capsys.readouterr().err
+        assert main(["conformance", "run-faulty",
+                     "--geometry", "4"]) == 2
+
 
 class TestConformanceShrinkFaultCommand:
     def test_conforming_sample_has_nothing_to_shrink(self, capsys):

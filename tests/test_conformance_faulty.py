@@ -8,15 +8,18 @@ single-cell fault on a (1,1,1) memory.
 """
 
 import dataclasses
+import json
 
 import pytest
 
 from repro.conformance import (
+    FaultSweepReport,
     GOLDEN_CACHE,
     check_conformance,
     check_fault_conformance,
     fault_response_predicate,
     run_fault_sweep,
+    run_fault_sweeps,
     shrink_faulty_sample,
     sweep_faults,
 )
@@ -413,6 +416,192 @@ class TestSampling:
         caps = ControllerCapabilities(n_words=4, width=1, ports=1)
         kinds = {random_fault(rng, caps).kind for _ in range(60)}
         assert len(kinds) >= 5  # uniform over kinds, not instances
+
+
+class TestPortUniverse:
+    """The sweep universe must see port faults on multi-port geometries
+    (regression: ``sweep_faults`` never passed ``capabilities.ports``,
+    so ``repro.faults.port`` faults were never swept)."""
+
+    def test_default_universe_has_no_port_stratum(self):
+        universe = standard_universe(4, width=2, include_npsf=False)
+        assert "PAF" not in universe.kinds()
+        explicit = standard_universe(4, width=2, include_npsf=False, ports=1)
+        assert [format_fault(f) for f in explicit] == [
+            format_fault(f) for f in universe
+        ]
+
+    def test_multiport_universe_gains_one_paf_per_cell_per_port(self):
+        universe = standard_universe(4, width=2, include_npsf=False, ports=2)
+        port_faults = universe.by_kind()["PAF"]
+        assert len(port_faults) == 2 * 4 * 2  # ports x words x width
+        specs = {format_fault(f) for f in port_faults}
+        assert "paf:0:0:0" in specs and "paf:1:3:1" in specs
+        # Only the port stratum is new; the rest of the population is
+        # untouched.
+        base = standard_universe(4, width=2, include_npsf=False)
+        assert len(universe) == len(base) + len(port_faults)
+
+    def test_stratified_sample_includes_the_port_stratum(self):
+        universe = standard_universe(3, width=1, include_npsf=False, ports=2)
+        sample = stratified_sample(universe, per_kind=2)
+        assert sum(1 for f in sample if f.kind == "PAF") == 2
+
+    def test_sweep_faults_threads_ports(self):
+        multiport = ControllerCapabilities(n_words=3, width=1, ports=2)
+        sample = sweep_faults(multiport, per_kind=1)
+        assert any(
+            format_fault(f).startswith("paf:") for f in sample
+        ), "port faults missing from the multi-port sweep population"
+        single = sweep_faults(
+            ControllerCapabilities(n_words=3, width=1, ports=1), per_kind=1
+        )
+        assert not any(format_fault(f).startswith("paf:") for f in single)
+
+    def test_full_universe_counts_pinned(self):
+        caps = ControllerCapabilities(n_words=4, width=2, ports=2)
+        full = sweep_faults(caps, full=True)
+        counts = {}
+        for fault in full:
+            counts[fault.kind] = counts.get(fault.kind, 0) + 1
+        assert counts["PAF"] == 16
+        assert len(full) == 328 + 16
+
+    def test_multiport_sweep_conforms_under_port_faults(self):
+        caps = ControllerCapabilities(n_words=2, width=1, ports=2)
+        faults = [f for f in sweep_faults(caps, per_kind=2)
+                  if f.kind == "PAF"]
+        assert faults
+        report = run_fault_sweep([library.get("March C")], caps, faults)
+        assert report.ok, report.format()
+
+
+def _payload(report, include_timing=False):
+    return json.dumps(
+        report.to_json(include_timing=include_timing), sort_keys=True
+    )
+
+
+class TestParallelSweep:
+    def test_jobs_independent_payload(self):
+        """Sharded and serial sweeps must agree byte-for-byte (timing
+        aside), same as the fuzz determinism guarantee."""
+        caps = ControllerCapabilities(n_words=3, width=1, ports=1)
+        faults = sweep_faults(caps, per_kind=1)
+        tests = [library.get(name) for name in library.ALGORITHMS]
+        serial = run_fault_sweep(tests, caps, faults, jobs=1)
+        parallel = run_fault_sweep(tests, caps, faults, jobs=4)
+        assert _payload(serial) == _payload(parallel)
+        assert parallel.jobs == 4
+        assert len(parallel.shards) > 1
+        assert sum(s["runs"] for s in parallel.shards) == serial.checked
+        assert parallel.wall_time_s > 0
+
+    def test_timing_lives_only_under_the_timing_key(self):
+        caps = ControllerCapabilities(n_words=2, width=1, ports=1)
+        report = run_fault_sweep(
+            [library.get("MATS")], caps, sweep_faults(caps, per_kind=1)
+        )
+        payload = report.to_json()
+        assert payload["timing"]["jobs"] == 1
+        assert payload["timing"]["wall_time_s"] > 0
+        assert payload["timing"]["runs_per_s"] > 0
+        assert payload["timing"]["shards"][0]["runs"] == report.checked
+        assert "timing" not in report.to_json(include_timing=False)
+
+    def test_merge_matches_the_serial_report(self):
+        caps = ControllerCapabilities(n_words=3, width=1, ports=1)
+        tests = [library.get("MATS"), library.get("March C")]
+        faults = [parse_fault(s)
+                  for s in ("saf:0:0:1", "tf:1:0:up", "drf:1:0:1")]
+        serial = run_fault_sweep(tests, caps, faults)
+        shards = [run_fault_sweep([test], caps, faults) for test in tests]
+        merged = FaultSweepReport.merge(shards)
+        assert _payload(merged) == _payload(serial)
+
+    def test_merge_rejects_mixed_geometries(self):
+        a = FaultSweepReport(geometry=(2, 1, 1))
+        b = FaultSweepReport(geometry=(3, 1, 1))
+        with pytest.raises(ValueError, match="different geometries"):
+            FaultSweepReport.merge([a, b])
+        with pytest.raises(ValueError, match="empty"):
+            FaultSweepReport.merge([])
+
+    def test_non_positive_jobs_rejected(self):
+        caps = ControllerCapabilities(n_words=2, width=1, ports=1)
+        with pytest.raises(ValueError, match="at least one job"):
+            run_fault_sweep(
+                [library.get("MATS")], caps, [parse_fault("saf:0:0:1")],
+                jobs=0,
+            )
+
+    def test_failure_lines_carry_geometry_and_layer(self, monkeypatch):
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES, "progfsm",
+            _ShiftedIndexCapture(),
+        )
+        report = run_fault_sweep(
+            [library.get("March C")], CAPS, [parse_fault("saf:2:1:1")]
+        )
+        assert not report.ok
+        line = report.format().splitlines()[-1]
+        assert "(4, 2, 1)" in line
+        assert "progfsm" in line and "events layer" in line
+
+    def test_error_failure_lines_name_the_architecture(self, monkeypatch):
+        def crashed(stream, memory, max_ops=None):
+            raise IndexError("comparator bank out of range")
+
+        monkeypatch.setitem(
+            faulty_check.RESPONSE_CAPTURES, "microcode", crashed
+        )
+        report = run_fault_sweep(
+            [library.get("MATS")], CAPS, [parse_fault("saf:0:0:1")]
+        )
+        assert "microcode: error" in report.format().splitlines()[-1]
+
+
+class TestMultiGeometrySweeps:
+    def test_sections_per_geometry(self):
+        report = run_fault_sweeps(
+            [(3, 1, 1), (2, 2, 1)], [library.get("MATS+")], per_kind=1
+        )
+        assert report.ok, report.format()
+        assert [s.geometry for s in report.sweeps] == [(3, 1, 1), (2, 2, 1)]
+        payload = report.to_json()
+        assert [g["geometry"] for g in payload["geometries"]] == [
+            [3, 1, 1], [2, 2, 1]
+        ]
+        assert payload["checked"] == report.checked
+        assert payload["timing"]["wall_time_s"] > 0
+        formatted = report.format()
+        assert "(3, 1, 1)" in formatted and "(2, 2, 1)" in formatted
+
+    def test_two_component_geometry_defaults_to_one_port(self):
+        report = run_fault_sweeps([(2, 2)], [library.get("MATS")],
+                                  per_kind=1)
+        assert report.sweeps[0].geometry == (2, 2, 1)
+
+    def test_multiport_geometry_draws_its_own_population(self):
+        caps = ControllerCapabilities(n_words=2, width=1, ports=2)
+        report = run_fault_sweeps(
+            [(2, 1, 1), (2, 1, 2)], [library.get("March C")], per_kind=1
+        )
+        single, multi = report.sweeps
+        assert multi.checked == len(sweep_faults(caps, per_kind=1))
+        assert multi.checked > single.checked  # the PAF stratum
+
+    def test_explicit_faults_reused_for_every_geometry(self):
+        report = run_fault_sweeps(
+            [(3, 1, 1), (2, 1, 1)],
+            [library.get("MATS")],
+            faults=[parse_fault("saf:0:0:1")],
+        )
+        assert [s.checked for s in report.sweeps] == [1, 1]
+
+    def test_empty_geometry_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one geometry"):
+            run_fault_sweeps([], [library.get("MATS")])
 
 
 class TestGoldenTraceMemoisation:
