@@ -16,6 +16,10 @@ lose fault coverage.  This package rejects bad programs before they run:
   :mod:`~repro.analysis.progfsm_rules` — the rule catalogue (``MC…``
   program rules, ``MA…`` algorithm rules, ``PF…`` upper-buffer rules;
   see ``docs/ANALYSIS.md``);
+* :mod:`~repro.analysis.coverage` — the static fault-coverage prover
+  (per-fault certificates with failing-read witnesses) and
+  :mod:`~repro.analysis.coverage_rules`, the ``CV…`` coverage lint
+  family it powers;
 * :mod:`~repro.analysis.fixes` — mechanical autofixes behind
   ``repro lint --fix``;
 * :mod:`~repro.analysis.fuzz` — the verifier-vs-simulator fuzz harness
@@ -32,6 +36,17 @@ from repro.analysis.diagnostics import (
     DiagnosticReport,
     Location,
     Severity,
+)
+from repro.analysis.coverage import (
+    CoverageCertificate,
+    FaultVerdict,
+    certify,
+    support_of,
+)
+from repro.analysis.coverage_rules import (
+    CoverageAnalysis,
+    LINT_GEOMETRY,
+    run_coverage_rules,
 )
 from repro.analysis.fixes import FixResult, apply_fixes
 from repro.analysis.fuzz import (
@@ -67,6 +82,7 @@ from repro.analysis.rules import (
 from repro.analysis.verifier import (
     VerificationError,
     assert_verified,
+    verify_coverage,
     verify_fsm_program,
     verify_march,
     verify_program,
@@ -74,6 +90,8 @@ from repro.analysis.verifier import (
 
 __all__ = [
     "ControlFlowGraph",
+    "CoverageAnalysis",
+    "CoverageCertificate",
     "Diagnostic",
     "DiagnosticReport",
     "Edge",
@@ -83,9 +101,11 @@ __all__ = [
     "FsmControlFlowGraph",
     "FsmEdge",
     "FsmEdgeKind",
+    "FaultVerdict",
     "FsmProgramAnalysis",
     "FuzzReport",
     "Interpretation",
+    "LINT_GEOMETRY",
     "Location",
     "ProgramAnalysis",
     "RuleSpec",
@@ -97,6 +117,7 @@ __all__ = [
     "assert_verified",
     "build_cfg",
     "build_fsm_cfg",
+    "certify",
     "check_sample",
     "cycle_bound",
     "fsm_cycle_bound",
@@ -105,10 +126,13 @@ __all__ = [
     "random_geometry",
     "random_march",
     "rule_catalogue",
+    "run_coverage_rules",
     "run_fsm_rules",
     "run_fuzz",
     "run_march_rules",
     "run_program_rules",
+    "support_of",
+    "verify_coverage",
     "verify_fsm_program",
     "verify_march",
     "verify_program",

@@ -1,0 +1,36 @@
+"""Static fault-coverage prover over march notation.
+
+Public surface:
+
+- :func:`certify` — prove per-fault coverage of a march test over a
+  fault universe, returning a :class:`CoverageCertificate` with concrete
+  failing-read witnesses.
+- :class:`CoverageCertificate` / :class:`FaultVerdict` — the certificate
+  datatypes, with ``covered`` / ``not-covered`` / ``unknown`` verdicts.
+- :func:`support_of` — per-fault address support and stratum signature.
+"""
+
+from repro.analysis.coverage.certificate import (
+    COVERED,
+    NOT_COVERED,
+    UNKNOWN,
+    VERDICTS,
+    CoverageCertificate,
+    FaultVerdict,
+)
+from repro.analysis.coverage.prover import certify
+from repro.analysis.coverage.shadow import ShadowMemory
+from repro.analysis.coverage.support import FaultSupport, support_of
+
+__all__ = [
+    "COVERED",
+    "NOT_COVERED",
+    "UNKNOWN",
+    "VERDICTS",
+    "CoverageCertificate",
+    "FaultVerdict",
+    "ShadowMemory",
+    "FaultSupport",
+    "certify",
+    "support_of",
+]

@@ -1,0 +1,277 @@
+"""The static fault-coverage prover.
+
+:func:`certify` decides, from march notation alone, whether a march test
+detects each fault of a universe — without ever simulating the full
+``N``-word memory.  The proof strategy is *projected symbolic execution*:
+
+1.  :func:`repro.analysis.coverage.support.support_of` bounds the set of
+    logical addresses a fault can influence (its support).  Every fault
+    hook filters on its own word(s), decoder rewrites are confined to
+    the fault's own addresses, and idle time only advances at explicit
+    pauses — so the faulty run restricted to the support is *bit-exact*
+    regardless of memory size.
+2.  The projected run executes the real fault object against a sparse
+    :class:`~repro.analysis.coverage.shadow.ShadowMemory`, visiting only
+    support addresses in each element's traversal order.  A failing read
+    there is a failing read of the full run; no failing read there (for
+    a fault-free-consistent test) proves the full run passes.
+3.  Faults sharing a *stratum signature* (parameters relativised to
+    support ranks) see isomorphic projected runs, so one symbolic
+    execution decides the whole stratum; witnesses are re-instantiated
+    per member analytically.
+
+For covered faults the certificate carries a *witness*: the index in the
+golden expansion (:func:`repro.march.simulator.expand`) of an operation
+whose read must mismatch.  Tests whose fault-free run already fails
+reads (possible for fuzz-generated notation, never for the library) are
+handled via the fault-free trace: any fault leaving at least one address
+untouched is detected at that address, and a fault involving *every*
+address makes the projection the full run, which stays exact.
+
+Verdicts are conservative: fault types outside the support registry, or
+any projection failure, yield ``unknown`` — never a guessed ``covered``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.coverage.certificate import (
+    COVERED,
+    NOT_COVERED,
+    UNKNOWN,
+    CoverageCertificate,
+    FaultVerdict,
+)
+from repro.analysis.coverage.shadow import ShadowMemory
+from repro.analysis.coverage.support import support_of
+from repro.faults.base import CellFault
+from repro.faults.spec import format_fault
+from repro.faults.universe import FaultUniverse, standard_universe
+from repro.march.backgrounds import apply_polarity, data_backgrounds
+from repro.march.element import AddressOrder, MarchElement, Pause
+from repro.march.test import MarchTest
+
+#: Symbolic failure location inside one projected run:
+#: (port, background index, item index, support slot, op index).
+_SymbolicFailure = Tuple[int, int, int, int, int]
+
+
+def _fault_free_failures(
+    test: MarchTest, patterns: Sequence[int], width: int, ports: int
+) -> List[Tuple[int, int, int, int]]:
+    """(port, bg_idx, item_idx, op_idx) of reads failing without any fault.
+
+    In a fault-free memory every address receives the identical operation
+    sequence, so a single symbolic cell (power-on value 0, carried across
+    backgrounds and ports exactly like the real array state) traces all
+    of them at once.
+    """
+    failures: List[Tuple[int, int, int, int]] = []
+    value = 0
+    for port in range(ports):
+        for bg_idx, background in enumerate(patterns):
+            for item_idx, item in enumerate(test.items):
+                if isinstance(item, Pause):
+                    continue
+                for op_idx, op in enumerate(item.ops):
+                    word = apply_polarity(background, op.polarity, width)
+                    if op.is_write:
+                        value = word
+                    elif word != value:
+                        failures.append((port, bg_idx, item_idx, op_idx))
+    return failures
+
+
+class _Projection:
+    """One test + geometry, prepared for per-stratum symbolic runs."""
+
+    def __init__(
+        self, test: MarchTest, n_words: int, width: int, ports: int
+    ) -> None:
+        self.test = test
+        self.n_words = n_words
+        self.width = width
+        self.ports = ports
+        self.patterns = list(data_backgrounds(width))
+        # Golden-stream offset of each item within one (port, background)
+        # pass; mirrors the expand() loop structure analytically.
+        self.item_offsets: List[int] = []
+        offset = 0
+        for item in test.items:
+            self.item_offsets.append(offset)
+            offset += 1 if isinstance(item, Pause) else len(item.ops) * n_words
+        self.per_pass = offset
+        self.free_failures = _fault_free_failures(
+            test, self.patterns, width, ports
+        )
+
+    def run(self, fault: CellFault, addresses: Sequence[int]):
+        """Execute the projected faulty run over the support addresses.
+
+        Returns the first symbolic failure, or None when every projected
+        read matches.  The fault object's dynamic state is reset around
+        the run so shared universe instances stay reusable.
+        """
+        shadow = ShadowMemory(self.n_words, width=self.width, ports=self.ports)
+        fault.reset()
+        shadow.attach(fault)
+        try:
+            for port in range(self.ports):
+                for bg_idx, background in enumerate(self.patterns):
+                    for item_idx, item in enumerate(self.test.items):
+                        if isinstance(item, Pause):
+                            shadow.elapse(item.duration)
+                            continue
+                        up = item.order.resolve() is AddressOrder.UP
+                        sweep = addresses if up else tuple(reversed(addresses))
+                        for address in sweep:
+                            for op_idx, op in enumerate(item.ops):
+                                word = apply_polarity(
+                                    background, op.polarity, self.width
+                                )
+                                if op.is_write:
+                                    shadow.write(port, address, word)
+                                    continue
+                                if shadow.read(port, address) != word:
+                                    slot = addresses.index(address)
+                                    return (
+                                        port, bg_idx, item_idx, slot, op_idx
+                                    )
+        finally:
+            shadow.detach_all()
+            fault.reset()
+        return None
+
+    def witness_index(
+        self, port: int, bg_idx: int, item_idx: int, address: int, op_idx: int
+    ) -> int:
+        """Golden-expansion index of one (pass, item, address, op) read."""
+        item = self.test.items[item_idx]
+        assert isinstance(item, MarchElement)
+        if item.order.resolve() is AddressOrder.UP:
+            position = address
+        else:
+            position = self.n_words - 1 - address
+        return (
+            (port * len(self.patterns) + bg_idx) * self.per_pass
+            + self.item_offsets[item_idx]
+            + position * len(item.ops)
+            + op_idx
+        )
+
+
+def certify(
+    test: MarchTest,
+    n_words: int,
+    width: int = 1,
+    ports: int = 1,
+    universe: Optional[FaultUniverse] = None,
+    faults: Optional[Sequence[CellFault]] = None,
+    universe_name: str = "faults",
+) -> CoverageCertificate:
+    """Statically prove per-fault coverage of ``test`` on a geometry.
+
+    Args:
+        test: the march algorithm to certify.
+        n_words / width / ports: memory geometry (witness indices are
+            geometry-specific).
+        universe: fault population; defaults to the full
+            :func:`repro.faults.universe.standard_universe` of the
+            geometry.
+        faults: explicit fault list overriding ``universe`` (used by the
+            conformance cross-check and fuzz identity (f)).
+        universe_name: label when ``faults`` is given.
+
+    Returns:
+        A :class:`CoverageCertificate` with one verdict per fault, a
+        witness op index for each ``covered`` verdict, and the stratum
+        structure of the proof.
+    """
+    if faults is None:
+        if universe is None:
+            universe = standard_universe(n_words, width, ports=ports)
+        population: Sequence[CellFault] = universe.faults
+        universe_name = universe.name
+    else:
+        population = list(faults)
+
+    projection = _Projection(test, n_words, width, ports)
+    inconsistent = bool(projection.free_failures)
+    all_addresses = frozenset(range(n_words))
+
+    certificate = CoverageCertificate(
+        test_name=test.name,
+        universe_name=universe_name,
+        n_words=n_words,
+        width=width,
+        ports=ports,
+        fault_free_consistent=not inconsistent,
+    )
+    # stratum key -> (verdict, symbolic failure or None)
+    cache: Dict[tuple, Tuple[str, Optional[_SymbolicFailure]]] = {}
+
+    for index, fault in enumerate(population):
+        support = support_of(fault)
+        if support is None:
+            verdict, witness, label = UNKNOWN, None, "?"
+        else:
+            visited = tuple(a for a in support.addresses if 0 <= a < n_words)
+            covers_all = set(visited) == all_addresses
+            label = support.label
+            if inconsistent and not covers_all:
+                # Some address is untouched by the fault; it behaves
+                # fault-free there, and the fault-free run already fails
+                # a read — so the faulty run fails at that address too.
+                verdict = COVERED
+                untouched = min(all_addresses - set(visited))
+                port, bg_idx, item_idx, op_idx = projection.free_failures[0]
+                witness = projection.witness_index(
+                    port, bg_idx, item_idx, untouched, op_idx
+                )
+            else:
+                # In-range membership is part of the key: a stratum-mate
+                # whose support is partly out of range sweeps fewer
+                # cells and is not isomorphic.
+                in_range = tuple(
+                    0 <= a < n_words for a in support.addresses
+                )
+                key = (support.signature, covers_all, in_range)
+                if key not in cache:
+                    try:
+                        failure = projection.run(fault, visited)
+                    except Exception:
+                        cache[key] = (UNKNOWN, None)
+                    else:
+                        cache[key] = (
+                            (COVERED, failure)
+                            if failure is not None
+                            else (NOT_COVERED, None)
+                        )
+                verdict, symbolic = cache[key]
+                witness = None
+                if verdict == COVERED and symbolic is not None:
+                    port, bg_idx, item_idx, slot, op_idx = symbolic
+                    witness = projection.witness_index(
+                        port, bg_idx, item_idx, visited[slot], op_idx
+                    )
+        entry = certificate.strata.setdefault(
+            label, {"verdict": verdict, "members": 0}
+        )
+        entry["members"] += 1
+        if entry["verdict"] != verdict:
+            # Same label, different geometry interaction (e.g. support
+            # partly out of range) — don't misreport the stratum.
+            entry["verdict"] = "mixed"
+        certificate.verdicts.append(
+            FaultVerdict(
+                index=index,
+                kind=fault.kind,
+                spec=format_fault(fault),
+                description=fault.describe(),
+                verdict=verdict,
+                witness=witness,
+                stratum=label,
+            )
+        )
+    return certificate

@@ -30,6 +30,15 @@ geometries and, for every sample, checks three identities:
     delta-debugged over all three axes
     (:func:`repro.conformance.shrink_faulty_sample`) to a minimal
     (march, geometry, fault) triple embedded in the report.
+(f) coverage-certificate equivalence: the static coverage prover
+    (:func:`repro.analysis.coverage.certify`) and the simulated sweep
+    must agree fault-for-fault on a stratified fault sample of the
+    sample's geometry, witnesses replaying as failing reads
+    (:func:`repro.conformance.faulty.coverage.
+    check_coverage_conformance`).  Disagreements are delta-debugged
+    with the same three-axis shrinker, via
+    :func:`repro.conformance.faulty.coverage.
+    coverage_disagreement_predicate`.
 
 Any violation — including the verifier *rejecting* a well-formed
 algorithm, the false-positive direction — is a mismatch.  The
@@ -158,6 +167,11 @@ class SampleResult:
         fault_detected: whether the golden response saw the fault.
         shrunk_faulty: minimal (march, geometry, fault) reproducer of a
             response divergence, or None when identity (e) held.
+        coverage_pairs: certificate-vs-sweep fault pairs cross-checked
+            for identity (f) (0 when (f) was off).
+        shrunk_coverage: minimal (march, geometry, fault) reproducer of
+            a certificate-vs-sweep disagreement, or None when identity
+            (f) held.
     """
 
     index: int
@@ -173,6 +187,8 @@ class SampleResult:
     fault_spec: Optional[str] = None
     fault_detected: bool = False
     shrunk_faulty: Optional[Dict[str, Any]] = None
+    coverage_pairs: int = 0
+    shrunk_coverage: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -193,6 +209,8 @@ class SampleResult:
             "fault_spec": self.fault_spec,
             "fault_detected": self.fault_detected,
             "shrunk_faulty": self.shrunk_faulty,
+            "coverage_pairs": self.coverage_pairs,
+            "shrunk_coverage": self.shrunk_coverage,
         }
 
 
@@ -201,11 +219,14 @@ def check_sample(
     index: int,
     conformance: bool = True,
     fault_conformance: bool = True,
+    coverage_conformance: bool = True,
 ) -> SampleResult:
-    """Generate sample ``index`` of corpus ``seed`` and check all five
+    """Generate sample ``index`` of corpus ``seed`` and check all six
     verifier-vs-simulator identities on it (``conformance=False`` skips
     the behavioural-equivalence identity (d); ``fault_conformance=False``
-    skips the faulty-memory response identity (e))."""
+    skips the faulty-memory response identity (e);
+    ``coverage_conformance=False`` skips the coverage-certificate
+    identity (f))."""
     from repro.analysis.interpreter import Verdict, interpret
     from repro.analysis.progfsm_cfg import interpret_fsm
     from repro.analysis.verifier import verify_fsm_program, verify_program
@@ -306,6 +327,10 @@ def check_sample(
     # draws above, so "{seed}:{index}" alone regenerates the whole triple.
     if fault_conformance:
         _check_fault_identity(result, test, caps, compress, rng)
+
+    # -- (f), coverage-certificate equivalence -----------------------------
+    if coverage_conformance:
+        _check_coverage_identity(result, test, caps, index)
     return result
 
 
@@ -386,6 +411,48 @@ def _check_fault_identity(
     result.shrunk_faulty = shrunk.to_dict()
 
 
+def _check_coverage_identity(
+    result: SampleResult,
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    index: int,
+) -> None:
+    """Identity (f): the static coverage prover agrees with simulation.
+
+    Certifies the sample against a stratified spec-expressible fault
+    sample of its own geometry (deterministic in the sample index) and
+    cross-checks every verdict — and every witness — against the
+    simulated golden-expansion sweep.  A disagreement is delta-debugged
+    over march items, operations, the fault and the geometry; the
+    minimal triple rides in the report.
+    """
+    from repro.conformance import shrink_faulty_sample
+    from repro.conformance.faulty import sweep_faults
+    from repro.conformance.faulty.coverage import (
+        check_coverage_conformance,
+        coverage_disagreement_predicate,
+    )
+
+    faults = sweep_faults(caps, per_kind=2, seed=index)
+    check = check_coverage_conformance(
+        tests=[test], geometry=caps, faults=faults, universe_name="sample"
+    )
+    result.coverage_pairs = check.checked
+    if check.ok:
+        return
+    first = check.disagreements[0]
+    result.mismatches.append("coverage divergence: " + first.describe())
+    if first.spec is not None:
+        shrunk = shrink_faulty_sample(
+            test,
+            caps,
+            first.spec,
+            coverage_disagreement_predicate(),
+            max_checks=500,
+        )
+        result.shrunk_coverage = shrunk.to_dict()
+
+
 @dataclass
 class FuzzReport:
     """Aggregated outcome of one corpus run."""
@@ -395,6 +462,7 @@ class FuzzReport:
     checked: int = 0
     fsm_compiled: int = 0
     fault_detected: int = 0
+    coverage_pairs: int = 0
     mismatch_count: int = 0
     mismatches: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -414,6 +482,7 @@ class FuzzReport:
                 else 0.0
             ),
             "fault_detected": self.fault_detected,
+            "coverage_pairs": self.coverage_pairs,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
         }
@@ -423,6 +492,7 @@ class FuzzReport:
             f"fuzz: {self.checked}/{self.samples} samples checked "
             f"(seed {self.seed}), {self.fsm_compiled} SM-compilable, "
             f"{self.fault_detected} fault-detecting, "
+            f"{self.coverage_pairs} coverage pairs certified, "
             f"{self.mismatch_count} mismatch(es)"
         ]
         for entry in self.mismatches:
@@ -449,18 +519,26 @@ class FuzzReport:
                     f"{tuple(shrunk_faulty['geometry'])} under "
                     f"{shrunk_faulty['fault']}"
                 )
+            shrunk_coverage = entry.get("shrunk_coverage")
+            if shrunk_coverage:
+                lines.append(
+                    f"    shrunk coverage reproducer: "
+                    f"{shrunk_coverage['notation']} on "
+                    f"{tuple(shrunk_coverage['geometry'])} under "
+                    f"{shrunk_coverage['fault']}"
+                )
         return "\n".join(lines)
 
 
 def _check_batch(
-    args: Tuple[int, int, int, bool, bool]
+    args: Tuple[int, int, int, bool, bool, bool]
 ) -> List[Dict[str, Any]]:
     """Worker entry point: check samples ``start..start+count-1``.
 
     Returns compact per-sample dicts (full detail only for mismatches)
     to keep the inter-process payload small.
     """
-    seed, start, count, conformance, fault_conformance = args
+    seed, start, count, conformance, fault_conformance, coverage = args
     out: List[Dict[str, Any]] = []
     for index in range(start, start + count):
         result = check_sample(
@@ -468,11 +546,13 @@ def _check_batch(
             index,
             conformance=conformance,
             fault_conformance=fault_conformance,
+            coverage_conformance=coverage,
         )
         if result.ok:
             out.append({"index": index, "ok": True,
                         "fsm_compiled": result.fsm_compiled,
-                        "fault_detected": result.fault_detected})
+                        "fault_detected": result.fault_detected,
+                        "coverage_pairs": result.coverage_pairs})
         else:
             payload = result.to_dict()
             payload["ok"] = False
@@ -486,6 +566,7 @@ def run_fuzz(
     jobs: int = 1,
     conformance: bool = True,
     fault_conformance: bool = True,
+    coverage_conformance: bool = True,
 ) -> FuzzReport:
     """Run the corpus and aggregate a :class:`FuzzReport`.
 
@@ -498,6 +579,8 @@ def run_fuzz(
             equivalence across all architectures (on by default).
         fault_conformance: check identity (e), response equivalence on
             a faulty memory (on by default).
+        coverage_conformance: check identity (f), coverage-certificate
+            vs simulated-sweep agreement (on by default).
     """
     if samples <= 0:
         raise ValueError(f"need at least one sample, got {samples}")
@@ -507,13 +590,14 @@ def run_fuzz(
     jobs = min(jobs, samples)
     if jobs == 1:
         batches = [
-            _check_batch((seed, 0, samples, conformance, fault_conformance))
+            _check_batch((seed, 0, samples, conformance, fault_conformance,
+                          coverage_conformance))
         ]
     else:
         chunk = (samples + jobs - 1) // jobs
         work = [
             (seed, start, min(chunk, samples - start), conformance,
-             fault_conformance)
+             fault_conformance, coverage_conformance)
             for start in range(0, samples, chunk)
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -525,6 +609,7 @@ def run_fuzz(
                 report.fsm_compiled += 1
             if entry.get("fault_detected"):
                 report.fault_detected += 1
+            report.coverage_pairs += entry.get("coverage_pairs", 0)
             if not entry["ok"]:
                 report.mismatch_count += 1
                 report.mismatches.append(

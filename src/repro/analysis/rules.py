@@ -2,9 +2,11 @@
 
 Every rule has a stable identifier (``MC…`` for microcode-program rules,
 ``MA…`` for march-algorithm rules — those live in
-:mod:`repro.analysis.march_rules` — and ``PF…`` for the programmable
+:mod:`repro.analysis.march_rules` — ``PF…`` for the programmable
 FSM architecture's upper-buffer programs, in
-:mod:`repro.analysis.progfsm_rules`), a default severity and a one-line
+:mod:`repro.analysis.progfsm_rules`, and ``CV…`` for statically-proved
+fault-coverage gaps, in
+:mod:`repro.analysis.coverage_rules`), a default severity and a one-line
 title; ``docs/ANALYSIS.md`` documents the catalogue and the test suite
 seeds one defect per rule to prove each fires with the right id and
 location.
@@ -55,7 +57,7 @@ class RuleSpec:
     rule_id: str
     severity: Severity
     title: str
-    scope: str                       # "program", "march" or "fsm"
+    scope: str                # "program", "march", "fsm" or "coverage"
     check: Callable[..., Iterable]
 
     def build(self, finding) -> Diagnostic:
@@ -89,6 +91,7 @@ def rule(rule_id: str, severity: Severity, title: str, scope: str = "program"):
 
 def rule_catalogue() -> List[RuleSpec]:
     """All rules, ordered by id (for docs and the test suite)."""
+    import repro.analysis.coverage_rules  # noqa: F401 — CV family registration
     import repro.analysis.march_rules  # noqa: F401 — ensure registration
     import repro.analysis.progfsm_rules  # noqa: F401 — ensure registration
     import repro.rtl.readback  # noqa: F401 — RT family registration

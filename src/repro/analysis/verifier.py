@@ -150,6 +150,20 @@ def verify_march(
     return report
 
 
+def verify_coverage(test: MarchTest) -> DiagnosticReport:
+    """Lint a march algorithm's *fault coverage* statically.
+
+    Certifies the test with the coverage prover over the full standard
+    universe on the lint geometry and reports every proved escape
+    (``CV`` rules; see :mod:`repro.analysis.coverage_rules`).
+    """
+    from repro.analysis.coverage_rules import run_coverage_rules
+
+    report = DiagnosticReport(name=test.name)
+    report.extend(run_coverage_rules(test))
+    return report
+
+
 def assert_verified(
     program_or_test: Union[MicrocodeProgram, FsmProgram, MarchTest],
     capabilities: Optional[ControllerCapabilities] = None,

@@ -26,8 +26,15 @@ Commands:
     ``docs/ANALYSIS.md``.  Exits 1 when any error-severity finding is
     reported, so it can gate a program load in CI or on a tester.
     ``--target progfsm`` compiles and verifies the upper-buffer program
-    (``PF`` rules); ``--fix`` applies the mechanical microcode fixes to
-    an interchange file in place.
+    (``PF`` rules); ``--target coverage`` statically proves per-fault
+    coverage and reports escapes (``CV`` rules); ``--fix`` applies the
+    mechanical microcode fixes to an interchange file in place.
+``certify``
+    Run the static fault-coverage prover: one verdict (covered /
+    not-covered / unknown) per fault of the standard universe, each
+    covered verdict carrying a failing-read witness op index.
+    ``--cross-check`` validates every verdict fault-for-fault against a
+    simulated sweep and exits 1 on any disagreement (the CI gate).
 ``fuzz``
     Run the verifier-vs-simulator fuzz harness: random well-formed
     march algorithms over random geometries, each checked for exact
@@ -238,6 +245,10 @@ def _lint_one(name: str, args: argparse.Namespace):
         return verify_march(test, target="progfsm")
     if args.target == "march":
         return verify_march(library.get(name), target=None)
+    if args.target == "coverage":
+        from repro.analysis import verify_coverage
+
+        return verify_coverage(library.get(name))
     if args.target == "rtl":
         from repro.rtl.readback import verify_rom_image
 
@@ -314,7 +325,68 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         for report in reports:
             print(report.format())
+        if args.all:
+            print(_lint_summary(reports))
     return 1 if failed else 0
+
+
+def _lint_summary(reports) -> str:
+    """Whole-library roll-up: finding counts per rule family (MC
+    microcode, MA march, PF upper-buffer, RT readback, CV coverage)."""
+    families: dict = {}
+    errors = 0
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            family = diagnostic.rule[:2]
+            families[family] = families.get(family, 0) + 1
+            if diagnostic.severity.value == "error":
+                errors += 1
+    detail = (
+        ", ".join(
+            f"{family}: {count}" for family, count in sorted(families.items())
+        )
+        or "no findings"
+    )
+    return (
+        f"summary: {len(reports)} algorithm(s) linted, {errors} error(s) "
+        f"— {detail}"
+    )
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    """``repro certify``: static coverage certificates, optionally
+    cross-checked fault-for-fault against simulated sweeps."""
+    from repro.analysis.coverage import certify
+    from repro.conformance import check_coverage_conformance
+
+    names = list(library.ALGORITHMS) if args.all else [args.algorithm]
+    tests = [library.get(name) for name in names]
+    geometries = (
+        [_parse_geometry(token) for token in args.geometry]
+        if args.geometry
+        else [(args.words, args.width, args.ports)]
+    )
+    ok = True
+    payload = []
+    for geometry in geometries:
+        if args.cross_check:
+            result = check_coverage_conformance(tests=tests, geometry=geometry)
+            ok = ok and result.ok
+            payload.append(result.to_json())
+            if not args.json:
+                print(result.format())
+        else:
+            n_words, width, ports = geometry
+            for test in tests:
+                certificate = certify(test, n_words, width=width, ports=ports)
+                payload.append(certificate.to_json())
+                if not args.json:
+                    print(certificate.format())
+    if args.report:
+        _write_report(args.report, {"results": payload})
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0 if ok else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -327,6 +399,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         args.samples, seed=args.seed, jobs=jobs,
         conformance=not args.no_conformance,
         fault_conformance=not args.no_faults,
+        coverage_conformance=not args.no_coverage,
     )
     if args.report:
         with open(args.report, "w") as handle:
@@ -685,11 +758,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint every library algorithm instead of --algorithm",
     )
     lint.add_argument(
-        "--target", choices=["microcode", "progfsm", "march", "rtl"],
+        "--target",
+        choices=["microcode", "progfsm", "march", "rtl", "coverage"],
         default="microcode",
         help="microcode: assemble and verify the program; progfsm: check "
         "SM0-SM7 realisability; march: architecture-neutral checks only; "
-        "rtl: check the exported ROM image decodes back bit-exactly",
+        "rtl: check the exported ROM image decodes back bit-exactly; "
+        "coverage: statically prove per-fault coverage and report escapes",
     )
     lint.add_argument(
         "--no-compress", action="store_true",
@@ -746,7 +821,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip identity (e), fault-response equivalence on a "
         "randomly faulted memory",
     )
+    fuzz.add_argument(
+        "--no-coverage", action="store_true",
+        help="skip identity (f), static coverage certificate vs "
+        "simulated fault sweep",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    certify_cmd = commands.add_parser(
+        "certify",
+        help="statically prove per-fault coverage (the coverage "
+        "certificate), optionally cross-checked against simulation",
+    )
+    certify_cmd.add_argument(
+        "--algorithm", default="March C",
+        help='library algorithm name (see "algorithms")',
+    )
+    certify_cmd.add_argument(
+        "--all", action="store_true",
+        help="certify every library algorithm instead of --algorithm",
+    )
+    certify_cmd.add_argument(
+        "--words", type=int, default=8, help="memory depth"
+    )
+    certify_cmd.add_argument(
+        "--width", type=int, default=1, help="word width"
+    )
+    certify_cmd.add_argument(
+        "--ports", type=int, default=1, help="port count"
+    )
+    certify_cmd.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="memory geometry WORDSxWIDTH[xPORTS] (repeatable; overrides "
+        "--words/--width/--ports)",
+    )
+    certify_cmd.add_argument(
+        "--cross-check", action="store_true",
+        help="validate every verdict fault-for-fault against a simulated "
+        "sweep of the full standard universe (exit 1 on disagreement)",
+    )
+    certify_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    certify_cmd.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON results to FILE (CI artifact)",
+    )
+    certify_cmd.set_defaults(handler=_cmd_certify)
 
     conformance = commands.add_parser(
         "conformance",

@@ -25,6 +25,8 @@ from repro.conformance.check import (
     check_conformance,
 )
 from repro.conformance.faulty import (
+    CoverageConformanceResult,
+    CoverageDisagreement,
     FailEvent,
     FaultResponseResult,
     FaultSweepReport,
@@ -32,7 +34,9 @@ from repro.conformance.faulty import (
     MultiGeometrySweepReport,
     ResponseBudgetExceeded,
     capture_response,
+    check_coverage_conformance,
     check_fault_conformance,
+    coverage_disagreement_predicate,
     fault_response_predicate,
     random_fault,
     run_fault_sweep,
@@ -71,6 +75,8 @@ __all__ = [
     "AttributedOp",
     "ConformanceResult",
     "CorpusReport",
+    "CoverageConformanceResult",
+    "CoverageDisagreement",
     "DEFAULT_CORPUS_DIR",
     "Divergence",
     "FailEvent",
@@ -87,8 +93,10 @@ __all__ = [
     "capture_response",
     "check_conformance",
     "check_corpus",
+    "check_coverage_conformance",
     "check_fault_conformance",
     "conformance_predicate",
+    "coverage_disagreement_predicate",
     "fault_response_predicate",
     "first_divergence",
     "format_normalized",

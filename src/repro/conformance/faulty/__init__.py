@@ -26,6 +26,12 @@ from repro.conformance.faulty.events import (
     ResponseCapture,
     capture_response,
 )
+from repro.conformance.faulty.coverage import (
+    CoverageConformanceResult,
+    CoverageDisagreement,
+    check_coverage_conformance,
+    coverage_disagreement_predicate,
+)
 from repro.conformance.faulty.sampling import (
     random_fault,
     spec_expressible,
@@ -44,6 +50,8 @@ from repro.conformance.faulty.shrink import (
 __all__ = [
     "ArchitectureResponse",
     "CANONICAL_SPECS",
+    "CoverageConformanceResult",
+    "CoverageDisagreement",
     "FailEvent",
     "FaultResponseResult",
     "FaultSweepReport",
@@ -55,7 +63,9 @@ __all__ = [
     "ResponseCapture",
     "ResponseDivergence",
     "capture_response",
+    "check_coverage_conformance",
     "check_fault_conformance",
+    "coverage_disagreement_predicate",
     "fault_response_predicate",
     "first_fail_divergence",
     "random_fault",

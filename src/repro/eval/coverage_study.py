@@ -34,25 +34,47 @@ DEFAULT_ALGORITHMS = (
 
 @dataclass(frozen=True)
 class CoverageRow:
-    """One algorithm's measured coverage per fault class (percent)."""
+    """One algorithm's measured coverage per fault class (percent).
+
+    A class percentage of ``None`` means the swept universe held no
+    fault of that class (0/0) — rendered ``n/a``, never 100.
+
+    ``escapes`` lists every undetected fault as a portable spec string
+    (:func:`repro.faults.spec.format_fault`, with a tagged
+    ``unspec:…`` fallback for inexpressible faults).
+    """
 
     algorithm: str
     complexity: str
-    by_class: Tuple[Tuple[str, float], ...]
+    by_class: Tuple[Tuple[str, Optional[float]], ...]
     overall: float
+    escapes: Tuple[str, ...] = ()
 
-    def percent(self, column: str) -> float:
+    def percent(self, column: str) -> Optional[float]:
         return dict(self.by_class)[column]
 
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "complexity": self.complexity,
+            "by_class": {column: value for column, value in self.by_class},
+            "overall_percent": round(self.overall, 2),
+            "escapes": list(self.escapes),
+        }
 
-def _column_coverage(report: CoverageReport, column: str) -> float:
+
+def _column_coverage(
+    report: CoverageReport, column: str
+) -> Optional[float]:
+    """Percent coverage of one report column; None for an empty (0/0)
+    column — the caller renders it ``n/a`` instead of a vacuous 100."""
     if column == "AF":
         kinds = ("AF1", "AF2", "AF3", "AF4")
     else:
         kinds = (column,)
     detected = sum(report.detected.get(kind, 0) for kind in kinds)
     total = sum(report.total.get(kind, 0) for kind in kinds)
-    return 100.0 * detected / total if total else 100.0
+    return 100.0 * detected / total if total else None
 
 
 def coverage_table(
@@ -82,20 +104,24 @@ def coverage_table(
                 complexity=test.complexity,
                 by_class=by_class,
                 overall=100.0 * report.overall,
+                escapes=tuple(report.escape_specs()),
             )
         )
     return rows
 
 
 def render_coverage_table(rows: List[CoverageRow]) -> str:
-    """Text rendering of the coverage matrix."""
+    """Text rendering of the coverage matrix (``n/a`` for 0/0 columns)."""
     header = f"{'algorithm':<12} {'ops':>5} " + " ".join(
         f"{column:>5}" for column in COVERAGE_COLUMNS
     ) + f" {'all':>6}"
     lines = ["Measured fault coverage (%) over the standard universe", header]
     for row in rows:
         cells = " ".join(
-            f"{row.percent(column):>5.0f}" for column in COVERAGE_COLUMNS
+            f"{row.percent(column):>5.0f}"
+            if row.percent(column) is not None
+            else f"{'n/a':>5}"
+            for column in COVERAGE_COLUMNS
         )
         lines.append(
             f"{row.algorithm:<12} {row.complexity:>5} {cells} "

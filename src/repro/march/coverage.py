@@ -11,8 +11,9 @@ coverage.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.faults.base import CellFault
 from repro.faults.injector import FaultInjector
@@ -43,20 +44,45 @@ class CoverageReport:
         return sum(self.total.values())
 
     @property
+    def is_vacuous(self) -> bool:
+        """True when the swept universe contained no faults at all —
+        every ratio is then 0/0 and carries no information."""
+        return not self.total_count
+
+    @property
     def overall(self) -> float:
-        """Overall coverage fraction in [0, 1]."""
+        """Overall coverage fraction in [0, 1].
+
+        A 0/0 sweep (empty universe) reports 0.0, *not* 1.0: an empty
+        sweep detects nothing and must never read as full coverage.
+        Check :attr:`is_vacuous` to distinguish 0/0 from a genuine
+        all-escaped 0/N.
+        """
         if not self.total_count:
-            return 1.0
+            return 0.0
         return self.detected_count / self.total_count
 
     def coverage_of(self, kind: str) -> float:
+        """Coverage fraction for one fault kind; 0.0 when the universe
+        held no fault of that kind (0/0 — see :attr:`is_vacuous`)."""
         total = self.total.get(kind, 0)
         if not total:
-            return 1.0
+            return 0.0
         return self.detected.get(kind, 0) / total
 
     def as_rows(self) -> List[tuple]:
-        """(kind, detected, total, percent) rows, sorted by kind."""
+        """(kind, detected, total, percent) rows, sorted by kind.
+
+        Warns on a vacuous report so table renderers can't silently
+        show an empty sweep as a clean one.
+        """
+        if self.is_vacuous:
+            warnings.warn(
+                f"coverage report for {self.test_name!r} over "
+                f"{self.universe_name!r} is vacuous: 0 faults swept "
+                "(0/0 reported as 0%)",
+                stacklevel=2,
+            )
         rows = []
         for kind in sorted(self.total):
             rows.append(
@@ -69,11 +95,48 @@ class CoverageReport:
             )
         return rows
 
+    def escape_specs(self) -> List[str]:
+        """The escaped faults as portable strings.
+
+        Spec-expressible faults serialise through
+        :func:`repro.faults.spec.format_fault` (re-parseable); the rest
+        fall back to a tagged repr ``unspec:<kind>:<description>`` so
+        JSON reports never drop an escape silently.
+        """
+        from repro.faults.spec import format_fault
+
+        specs = []
+        for fault in self.escapes:
+            spec = format_fault(fault)
+            if spec is None:
+                spec = f"unspec:{fault.kind}:{fault.describe()}"
+            specs.append(spec)
+        return specs
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "test": self.test_name,
+            "universe": self.universe_name,
+            "detected": self.detected_count,
+            "total": self.total_count,
+            "vacuous": self.is_vacuous,
+            "overall_percent": round(100.0 * self.overall, 2),
+            "by_kind": {
+                kind: {
+                    "detected": self.detected.get(kind, 0),
+                    "total": self.total[kind],
+                }
+                for kind in sorted(self.total)
+            },
+            "escapes": self.escape_specs(),
+        }
+
     def __str__(self) -> str:
         lines = [
             f"coverage of {self.test_name} over {self.universe_name}: "
             f"{100.0 * self.overall:.1f}% "
             f"({self.detected_count}/{self.total_count})"
+            + (" [vacuous: 0 faults swept]" if self.is_vacuous else "")
         ]
         for kind, detected, total, percent in self.as_rows():
             lines.append(f"  {kind:6s} {detected:5d}/{total:<5d} {percent:6.1f}%")

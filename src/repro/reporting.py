@@ -82,7 +82,9 @@ def datasheet(
     ])
     rows = coverage_table(n_words=coverage_words, algorithms=(test.name,))
     for column in COVERAGE_COLUMNS:
-        lines.append(f"| {column} | {rows[0].percent(column):.0f} % |")
+        percent = rows[0].percent(column)
+        cell = "n/a (0/0)" if percent is None else f"{percent:.0f} %"
+        lines.append(f"| {column} | {cell} |")
     lines.append(f"| **overall** | **{rows[0].overall:.1f} %** |")
     lines.extend([
         "",

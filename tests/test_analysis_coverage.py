@@ -1,0 +1,319 @@
+"""Tests for the static fault-coverage prover, its certificates, the
+certificate-vs-sweep differential cross-check and the ``CV`` lint rules."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.coverage import (
+    COVERED,
+    NOT_COVERED,
+    UNKNOWN,
+    CoverageCertificate,
+    ShadowMemory,
+    certify,
+    support_of,
+)
+from repro.analysis.coverage_rules import LINT_GEOMETRY, run_coverage_rules
+from repro.conformance import (
+    check_coverage_conformance,
+    coverage_disagreement_predicate,
+    sweep_faults,
+)
+from repro.core.controller import ControllerCapabilities
+from repro.faults.base import CellFault
+from repro.faults.conditions import condition_for, condition_table
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import parse_fault
+from repro.faults.universe import standard_universe
+from repro.march import library
+from repro.march.notation import parse_test
+from repro.march.simulator import expand
+from repro.march.test import MarchTest
+from repro.memory.sram import Sram
+
+REGRESSIONS = pathlib.Path(__file__).parent / "corpus" / "regressions"
+
+#: Kinds whose behaviour involves only the faulty cell itself, so a
+#: covered verdict must survive growing the memory around the cell.
+CELL_LOCAL_KINDS = ("SAF", "TF", "SOF", "DRF", "IRF", "RDF", "DRDF")
+
+
+def _simulated_detection(test, caps, fault):
+    """The sweep's ground truth: does any read fail under the fault?"""
+    injector = FaultInjector(
+        Sram(caps.n_words, width=caps.width, ports=caps.ports)
+    )
+    with injector.injected(fault) as memory:
+        for op in expand(
+            test, caps.n_words, width=caps.width, ports=caps.ports
+        ):
+            if op.is_delay:
+                memory.elapse(op.delay)
+            elif op.is_write:
+                memory.write(op.port, op.address, op.value)
+            elif memory.read(op.port, op.address) != op.expected:
+                return True
+    return False
+
+
+class TestCertificate:
+    def test_full_universe_verdicts(self):
+        universe = standard_universe(4, 2, ports=1)
+        certificate = certify(library.get("March C"), 4, width=2)
+        assert len(certificate.verdicts) == len(universe.faults)
+        assert certificate.unknown_count == 0
+        assert certificate.fault_free_consistent
+        assert certificate.covered_count + certificate.not_covered_count == \
+            len(certificate.verdicts)
+
+    def test_covered_verdicts_carry_witnesses(self):
+        certificate = certify(library.get("MATS+"), 4, width=1)
+        for verdict in certificate.verdicts:
+            if verdict.verdict == COVERED:
+                assert verdict.witness is not None
+            else:
+                assert verdict.witness is None
+
+    def test_strata_account_for_every_fault(self):
+        certificate = certify(library.get("March Y"), 4, width=2)
+        assert sum(s["members"] for s in certificate.strata.values()) == \
+            len(certificate.verdicts)
+
+    def test_to_json_is_serialisable(self):
+        certificate = certify(library.get("MATS"), 4, width=1)
+        payload = json.loads(json.dumps(certificate.to_json()))
+        assert payload["test"] == "MATS"
+        assert payload["geometry"] == [4, 1, 1]
+        assert payload["fault_free_consistent"] is True
+        assert len(payload["verdicts"]) == len(certificate.verdicts)
+
+    def test_format_mentions_counts(self):
+        certificate = certify(library.get("March C"), 4, width=1)
+        text = certificate.format()
+        assert "March C" in text
+        assert f"{certificate.covered_count}/" in text
+
+    def test_kind_fully_covered_tristate(self):
+        certificate = certify(library.get("March C"), 4, width=1)
+        assert certificate.kind_fully_covered("SAF") is True
+        assert certificate.kind_fully_covered("DRF") is False
+        assert certificate.kind_fully_covered("NOPE") is None
+
+    def test_empty_certificate_rates(self):
+        certificate = CoverageCertificate(
+            test_name="t", universe_name="u", n_words=4, width=1, ports=1
+        )
+        assert certificate.unknown_rate == 0.0
+        assert certificate.escapes() == []
+
+
+class TestDeterminism:
+    def test_certify_twice_identical(self):
+        args = (library.get("March B"), 4)
+        first = certify(*args, width=2, ports=2)
+        second = certify(*args, width=2, ports=2)
+        assert first.to_json() == second.to_json()
+
+    def test_universe_order_preserved(self):
+        universe = standard_universe(4, 1)
+        certificate = certify(library.get("MATS++"), 4, universe=universe)
+        assert [v.index for v in certificate.verdicts] == \
+            list(range(len(universe.faults)))
+
+
+class TestSoundness:
+    def test_witnesses_replay_as_failing_reads(self):
+        caps = ControllerCapabilities(n_words=4, width=2, ports=1)
+        faults = sweep_faults(caps, per_kind=2, seed=7)
+        for name in ("MATS+", "March C", "March LR"):
+            test = library.get(name)
+            certificate = certify(test, 4, width=2, faults=faults)
+            for verdict, fault in zip(certificate.verdicts, faults):
+                if verdict.verdict != COVERED:
+                    continue
+                injector = FaultInjector(Sram(4, width=2))
+                with injector.injected(fault) as memory:
+                    failed = None
+                    for index, op in enumerate(expand(test, 4, width=2)):
+                        if op.is_delay:
+                            memory.elapse(op.delay)
+                        elif op.is_write:
+                            memory.write(op.port, op.address, op.value)
+                        elif index == verdict.witness:
+                            failed = (
+                                memory.read(op.port, op.address)
+                                != op.expected
+                            )
+                            break
+                        else:
+                            memory.read(op.port, op.address)
+                assert failed is True, (name, verdict)
+
+    def test_unregistered_fault_type_is_unknown(self):
+        class MysteryFault(CellFault):
+            kind = "???"
+
+            def describe(self):
+                return "mystery"
+
+        fault = MysteryFault()
+        assert support_of(fault) is None
+        certificate = certify(library.get("MATS"), 4, faults=[fault])
+        assert certificate.verdicts[0].verdict == UNKNOWN
+        assert certificate.unknown_rate == 1.0
+
+    def test_inconsistent_test_flagged_and_still_agrees(self):
+        # ⇕(r1) expects 1 from a power-on-zero array: the fault-free run
+        # fails, so every fault is detected by the sweep's criterion.
+        test = parse_test("⇕(r1)", name="expects-one")
+        certificate = certify(test, 4, width=1)
+        assert not certificate.fault_free_consistent
+        assert certificate.not_covered_count == 0
+        result = check_coverage_conformance(tests=[test], geometry=(4, 1, 1))
+        assert result.ok, result.format()
+
+
+class TestGeometryMonotonicity:
+    @pytest.mark.parametrize("name", sorted(library.ALGORITHMS))
+    def test_cell_local_coverage_survives_growth(self, name):
+        small = certify(library.get(name), 2, width=1, ports=1)
+        large = certify(library.get(name), 8, width=2, ports=1)
+        for kind in CELL_LOCAL_KINDS:
+            if small.kind_fully_covered(kind) is True:
+                assert large.kind_fully_covered(kind) is True, (name, kind)
+
+
+class TestCoverageConformance:
+    def test_whole_library_agrees_on_word_oriented(self):
+        result = check_coverage_conformance(geometry=(4, 2, 1))
+        assert result.ok, result.format()
+        assert result.checked == 17 * len(standard_universe(4, 2).faults)
+        assert result.unknown_rate < 0.10
+
+    def test_sample_agrees_on_bit_and_multiport(self):
+        tests = [library.get(n) for n in ("MATS++", "March C+", "PMOVI")]
+        for geometry in ((8, 1, 1), (4, 2, 2)):
+            result = check_coverage_conformance(tests=tests, geometry=geometry)
+            assert result.ok, result.format()
+            assert result.unknown == 0
+
+    def test_to_json_shape(self):
+        result = check_coverage_conformance(
+            tests=[library.get("MATS")], geometry=(2, 1, 1)
+        )
+        payload = json.loads(json.dumps(result.to_json()))
+        assert payload["ok"] is True
+        assert payload["geometry"] == [2, 1, 1]
+        assert "timing" in payload
+        assert "timing" not in result.to_json(include_timing=False)
+
+    def test_predicate_false_on_agreement(self):
+        predicate = coverage_disagreement_predicate()
+        caps = ControllerCapabilities(n_words=4, width=1, ports=1)
+        assert predicate(library.get("March C"), caps, "saf:0:0:1") is False
+        assert predicate(library.get("March C"), caps, "not-a-spec") is False
+
+    def test_regression_corpus_fault_verdicts_match_sweep(self):
+        # Satellite: every recorded regression that carries a fault must
+        # get, from the certificate, the exact verdict the sweep records.
+        checked = 0
+        for path in sorted(REGRESSIONS.glob("*.json")):
+            record = json.loads(path.read_text())
+            if "fault" not in record:
+                continue
+            test = parse_test(record["notation"], name=record["name"])
+            n_words, width, ports = record["geometry"]
+            caps = ControllerCapabilities(
+                n_words=n_words, width=width, ports=ports
+            )
+            fault = parse_fault(record["fault"])
+            detected = _simulated_detection(test, caps, fault)
+            certificate = certify(
+                test, n_words, width=width, ports=ports, faults=[fault]
+            )
+            verdict = certificate.verdicts[0].verdict
+            assert verdict == (COVERED if detected else NOT_COVERED), path
+            checked += 1
+        assert checked >= 1  # the corpus ships at least one faulty record
+
+
+class TestShadowMemory:
+    def test_matches_sram_under_fault(self):
+        fault = parse_fault("cfid:0:0:2:0:up:1")
+        for memory in (Sram(4, width=2), ShadowMemory(4, width=2)):
+            fault.reset()
+            memory.attach(fault)
+            memory.write(0, 0, 1)  # aggressor up-transition on bit 0
+            values = [memory.read(0, word) for word in range(4)]
+            memory.detach_all()
+            assert values == [1, 0, 1, 0], type(memory).__name__
+
+    def test_open_read_and_wired_and(self):
+        shadow = ShadowMemory(4, width=1)
+        shadow.attach(parse_fault("af1:2"))  # address 2 selects no cell
+        shadow.write(0, 2, 1)
+        assert shadow.read(0, 2) == 0  # open read returns the pulled value
+
+    def test_elapse_reaches_retention_faults(self):
+        shadow = ShadowMemory(4, width=1)
+        shadow.attach(parse_fault("drf:1:0:1"))
+        shadow.write(0, 1, 1)
+        shadow.elapse(10_000_000)
+        assert shadow.read(0, 1) == 0
+
+
+class TestCoverageRules:
+    def test_write_only_fires_cv001(self):
+        test = parse_test("⇕(w0);⇕(w1)", name="write-only")
+        rules = {d.rule for d in run_coverage_rules(test)}
+        assert "CV001" in rules
+        assert "CV002" in rules  # and the SAF gap is proved, not implied
+
+    def test_library_march_c_reports_only_known_gaps(self):
+        diagnostics = run_coverage_rules(library.get("March C"))
+        rules = {d.rule for d in diagnostics}
+        # March C has no pause and no double read: SOF/DRF/DRDF escape.
+        assert rules == {"CV004", "CV005", "CV006"}
+        assert all(d.severity.value == "info" for d in diagnostics)
+
+    def test_vacuous_test_fires_cv013(self):
+        fake = MarchTest("March C", parse_test("⇕(r0)", name="x").items)
+        rules = {d.rule for d in run_coverage_rules(fake)}
+        assert "CV013" in rules
+
+    def test_renamed_weaker_body_fires_cv011(self):
+        impostor = MarchTest("March C", library.get("MATS").items)
+        diagnostics = run_coverage_rules(impostor)
+        cv011 = [d for d in diagnostics if d.rule == "CV011"]
+        assert cv011 and cv011[0].severity.value == "error"
+        assert "March C" in cv011[0].message
+
+    def test_genuine_library_names_never_fire_cv011(self):
+        for name in ("March C", "MATS", "March G"):
+            rules = {d.rule for d in run_coverage_rules(library.get(name))}
+            assert "CV011" not in rules, name
+
+    def test_hints_cite_detection_conditions(self):
+        test = parse_test("⇕(w0);⇕(w1)", name="write-only")
+        hints = [d.hint for d in run_coverage_rules(test) if d.hint]
+        assert any("detection condition" in hint for hint in hints)
+
+
+class TestDetectionConditions:
+    def test_table_covers_every_universe_kind(self):
+        universe = standard_universe(4, 2, ports=2)
+        for fault in universe.faults:
+            assert condition_for(fault.kind) is not None, fault.kind
+
+    def test_conditions_carry_citations(self):
+        for condition in condition_table():
+            assert condition.citation
+            assert condition.primitives
+
+    def test_lint_geometry_exercises_all_kinds(self):
+        n_words, width, ports = LINT_GEOMETRY
+        kinds = {f.kind for f in standard_universe(
+            n_words, width, ports=ports).faults}
+        assert {"SAF", "TF", "CFid", "AF1", "PNPSF", "PAF"} <= kinds

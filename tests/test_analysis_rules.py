@@ -283,8 +283,9 @@ class TestWiring:
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
         assert {"MC001", "MC003", "MC010", "MA004", "MA007",
-                "PF002", "PF003", "RT003"} <= set(ids)
+                "PF002", "PF003", "RT003", "CV001", "CV013"} <= set(ids)
         assert len(ids) >= 8
         for spec in catalogue:
             assert spec.title
-            assert spec.scope in ("program", "march", "fsm", "rtl")
+            assert spec.scope in ("program", "march", "fsm", "rtl",
+                                  "coverage")

@@ -229,6 +229,59 @@ class TestLintCommand:
         assert main(["lint", "--rules"]) == 0
         assert "PF002" in capsys.readouterr().out
 
+    def test_rules_catalogue_includes_cv_series(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "CV001" in out
+        assert "CV013" in out
+
+    def test_coverage_target_reports_proved_escapes(self, capsys):
+        assert main(["lint", "--algorithm", "March C",
+                     "--target", "coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "CV005" in out  # March C has no pause: DRF escapes
+        assert "proved escape" in out
+
+    def test_all_prints_family_summary_line(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "summary: 17 algorithm(s) linted" in out
+        assert "MA:" in out
+
+    def test_single_algorithm_has_no_summary_line(self, capsys):
+        assert main(["lint"]) == 0
+        assert "summary:" not in capsys.readouterr().out
+
+
+class TestCertifyCommand:
+    def test_certificate_prints_per_kind_counts(self, capsys):
+        assert main(["certify", "--algorithm", "March C", "--words", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate: March C" in out
+        assert "SAF" in out
+
+    def test_cross_check_agrees_and_exits_zero(self, capsys):
+        assert main(["certify", "--algorithm", "MATS+", "--words", "4",
+                     "--width", "2", "--cross-check"]) == 0
+        out = capsys.readouterr().out
+        assert "0 disagreement(s)" in out
+
+    def test_geometry_flags_and_report(self, capsys, tmp_path):
+        import json as json_module
+
+        path = tmp_path / "certify.json"
+        assert main(["certify", "--algorithm", "MATS", "--geometry", "2x1x1",
+                     "--geometry", "2x2x1", "--cross-check",
+                     "--report", str(path), "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert [entry["geometry"] for entry in payload] == \
+            [[2, 1, 1], [2, 2, 1]]
+        assert json_module.loads(path.read_text())["results"] == payload
+
+    def test_bad_geometry_errors(self, capsys):
+        assert main(["certify", "--geometry", "nope"]) == 2
+        assert "bad geometry" in capsys.readouterr().err
+
 
 class TestLintFixCommand:
     def _write_broken_program(self, capsys, tmp_path):
