@@ -1,0 +1,145 @@
+"""Shared plumbing for the ``BENCH_*.json``-writing benchmarks.
+
+Every benchmark that feeds the nightly ``bench-report`` artifact (or
+the per-PR ``bench-gate``) goes through this module so the records are
+mutually comparable:
+
+* one **schema version** stamped into every record, checked again on
+  load — the gate refuses to diff records written by a different
+  harness generation instead of mis-reading renamed keys;
+* one **machine-info stamp** (CPU count, Python, platform, numpy when
+  present) so a regression can be told apart from a runner change;
+* **timed sections**: ``with timed() as t:`` wall-clocks a block, and a
+  :class:`Sections` accumulator turns named blocks into the record's
+  ``sections`` map;
+* one JSON writer/loader pair with the key layout fixed in one place.
+
+The module is import-path-agnostic: benchmarks run as scripts
+(``python benchmarks/bench_x.py``), so siblings import it with a plain
+``from _harness import ...``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+#: Bumped whenever a record's key layout changes incompatibly; the
+#: gate and the report reader hard-fail on a mismatch.
+SCHEMA_VERSION = 1
+
+
+def machine_info() -> Dict[str, Any]:
+    """The environment stamp embedded in every benchmark record."""
+    info: Dict[str, Any] = {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+    }
+    try:
+        import numpy
+    except ImportError:
+        info["numpy"] = None
+    else:
+        info["numpy"] = numpy.__version__
+    return info
+
+
+class Section:
+    """Wall-time of one ``timed()`` block (valid after the block exits)."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+@contextmanager
+def timed() -> Iterator[Section]:
+    """Wall-clock a block: ``with timed() as t: ...; t.seconds``."""
+    section = Section()
+    started = time.perf_counter()
+    try:
+        yield section
+    finally:
+        section.seconds = time.perf_counter() - started
+
+
+class Sections:
+    """Named timed blocks, serialised as the record's ``sections`` map."""
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        with timed() as t:
+            yield
+        # Repeated names accumulate, so per-iteration loops sum up.
+        self._seconds[name] = self._seconds.get(name, 0.0) + t.seconds
+
+    def to_json(self) -> Dict[str, float]:
+        return {
+            name: round(seconds, 6)
+            for name, seconds in self._seconds.items()
+        }
+
+
+def write_record(
+    path: str,
+    benchmark: str,
+    payload: Dict[str, Any],
+    sections: Optional[Sections] = None,
+) -> Dict[str, Any]:
+    """Stamp ``payload`` with schema/benchmark/machine and write it.
+
+    Returns the full record as written, so callers can print from it.
+    """
+    record: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+    }
+    record.update(payload)
+    if sections is not None:
+        record["sections"] = sections.to_json()
+    record["machine"] = machine_info()
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return record
+
+
+def load_record(
+    path: str, expect_benchmark: Optional[str] = None
+) -> Dict[str, Any]:
+    """Read a record back, checking schema (and optionally benchmark)."""
+    with open(path) as handle:
+        record = json.load(handle)
+    schema = record.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {schema!r} != harness schema {SCHEMA_VERSION} "
+            "(regenerate the record with the current benchmarks)"
+        )
+    if expect_benchmark is not None:
+        found = record.get("benchmark")
+        if found != expect_benchmark:
+            raise ValueError(
+                f"{path}: benchmark {found!r}, expected {expect_benchmark!r}"
+            )
+    return record
+
+
+def parse_geometry(token: str) -> Tuple[int, int, int]:
+    """``WxBxP`` (or ``WxB``) → ``(n_words, width, ports)``."""
+    parts = [int(part) for part in token.lower().split("x")]
+    if len(parts) == 2:
+        parts.append(1)
+    if len(parts) != 3 or any(part <= 0 for part in parts):
+        raise ValueError(f"bad geometry {token!r} (expected WxB[xP])")
+    return (parts[0], parts[1], parts[2])

@@ -19,10 +19,9 @@ against single-fault simulation over the whole library and writes a
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
+
+from _harness import Sections, parse_geometry, write_record
 
 from repro.core.controller import ControllerCapabilities
 from repro.core.hardwired import HardwiredBistController
@@ -95,15 +94,6 @@ def test_coverage_ladder(benchmark):
     assert coverages["March C++"] > 0.95
 
 
-def _parse_geometry(token: str) -> tuple:
-    parts = [int(part) for part in token.lower().split("x")]
-    if len(parts) == 2:
-        parts.append(1)
-    if len(parts) != 3 or any(part <= 0 for part in parts):
-        raise ValueError(f"bad geometry {token!r} (expected WxB[xP])")
-    return tuple(parts)
-
-
 def static_vs_simulate_record(geometry: tuple) -> dict:
     """Cross-check the whole library on one geometry, timing both sides.
 
@@ -147,22 +137,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     geometries = [
-        _parse_geometry(token)
+        parse_geometry(token)
         for token in (args.geometry or ["4x2x1", "8x1x1", "4x2x2"])
     ]
-    measurements = [static_vs_simulate_record(g) for g in geometries]
-    record = {
-        "benchmark": "coverage_static",
-        "algorithms": len(library.ALGORITHMS),
-        "universe": "full standard (NPSF included)",
-        "measurements": measurements,
-        "ok": all(m["ok"] for m in measurements),
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-    }
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    sections = Sections()
+    measurements = []
+    for geometry in geometries:
+        with sections.section("x".join(str(part) for part in geometry)):
+            measurements.append(static_vs_simulate_record(geometry))
+    record = write_record(
+        args.out,
+        "coverage_static",
+        {
+            "algorithms": len(library.ALGORITHMS),
+            "universe": "full standard (NPSF included)",
+            "measurements": measurements,
+            "ok": all(m["ok"] for m in measurements),
+        },
+        sections=sections,
+    )
 
     print(f"static prover vs simulated sweep ({record['algorithms']} "
           "algorithms x full universe):")

@@ -1,16 +1,28 @@
-"""Fault-sweep throughput: serial vs sharded differential sweeps.
+"""Fault-sweep throughput: scalar oracle vs numpy batch kernel.
 
-The nightly conformance job sweeps the whole algorithm library against
-the full spec-expressible fault universe; this benchmark measures that
-sweep's throughput with ``jobs=1`` and with a worker pool, asserts the
-two reports are identical (timing aside — the determinism contract of
-``run_fault_sweep``), and writes a ``BENCH_fault_sweep.json`` record so
-sweep throughput can be tracked over time.
+Measures ``run_fault_sweep`` on one workload with both engines (and,
+in full mode, with a worker pool), asserts every report is identical
+payload-for-payload (timing aside — the determinism contract of the
+sweep), and writes a ``BENCH_fault_sweep.json`` record.
 
-Run it directly::
+Two profiles:
+
+* **quick** (default) — the per-PR ``bench-gate`` workload: the short
+  half of the algorithm library against a stratified fault sample on a
+  64-word memory, scalar ``jobs=1`` vs vector ``jobs=1``.  Small
+  enough to run on every pull request, big enough that the vector
+  kernel's >=10x advantage is measurable above timer noise.
+* **full** (``--profile full``) — the nightly workload: the whole
+  library against the full spec-expressible universe, all four
+  (engine, jobs) combinations.
+
+The committed ``benchmarks/BENCH_fault_sweep.json`` baseline is a
+quick-profile record; ``bench_gate.py`` compares a fresh quick run
+against it.  Run directly::
 
     PYTHONPATH=src python benchmarks/bench_fault_sweep.py
-    PYTHONPATH=src python benchmarks/bench_fault_sweep.py --full-universe --jobs 4
+    PYTHONPATH=src python benchmarks/bench_fault_sweep.py \
+        --profile full --geometry 4x2x1 --jobs 4
 """
 
 from __future__ import annotations
@@ -18,53 +30,88 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
+
+from _harness import Sections, parse_geometry, write_record
 
 from repro.conformance import run_fault_sweep, sweep_faults
 from repro.core.controller import ControllerCapabilities
 from repro.march import library
 
+#: The quick-profile algorithm subset: the shortest library members, so
+#: the scalar side of the gate workload stays in CI-friendly territory
+#: while still spanning both address orders and read/write mixes.
+SHORT_ALGORITHMS = ("MATS", "MATS+", "MATS++", "March X", "March Y")
 
-def sweep_record(
-    caps: ControllerCapabilities,
-    jobs: int,
-    per_kind: int,
-    full: bool,
-) -> dict:
-    """One (geometry, jobs) sweep measurement of the whole library."""
-    tests = [library.get(name) for name in library.ALGORITHMS]
-    faults = sweep_faults(caps, per_kind=per_kind, full=full)
-    report = run_fault_sweep(tests, caps, faults, jobs=jobs)
-    payload = report.to_json()
+#: The quick-profile geometry: >=64 words, where the batch kernel's
+#: advantage is architectural rather than incidental (ISSUE acceptance
+#: floor: >=10x on >=64-word geometries).
+QUICK_GEOMETRY = (64, 1, 1)
+
+
+def measure(tests, caps, faults, engine: str, jobs: int) -> dict:
+    """One (engine, jobs) sweep of the workload → payload + metrics.
+
+    Sub-second measurements (the vector engine on gate-sized
+    workloads) are repeated up to five times and the best wall time
+    kept, so the committed baseline — and the gate's fresh number —
+    are not one scheduler hiccup wide.  The payload is taken from the
+    first run; repeats only refine timing.
+    """
+    payload = None
+    best = None
+    repeats = 0
+    elapsed = 0.0
+    while repeats < 5 and (repeats == 0 or elapsed < 1.0):
+        report = run_fault_sweep(
+            tests, caps, faults, jobs=jobs, engine=engine
+        )
+        if payload is None:
+            payload = report.to_json()
+        if best is None or report.wall_time_s < best.wall_time_s:
+            best = report
+        repeats += 1
+        elapsed += report.wall_time_s
+    timing = best.to_json()["timing"]
     return {
         "payload": payload,
         "record": {
-            "jobs": report.jobs,
-            "wall_time_s": payload["timing"]["wall_time_s"],
-            "runs_per_s": payload["timing"]["runs_per_s"],
-            "shards": payload["timing"]["shards"],
+            "engine": engine,
+            "jobs": best.jobs,
+            "wall_time_s": timing["wall_time_s"],
+            "runs_per_s": timing["runs_per_s"],
+            "fallback_runs": timing["fallback_runs"],
+            "repeats": repeats,
         },
     }
 
 
+def _sans_timing(payload: dict) -> str:
+    return json.dumps(
+        {k: v for k, v in payload.items() if k != "timing"}, sort_keys=True
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--words", type=int, default=4)
-    parser.add_argument("--width", type=int, default=2)
-    parser.add_argument("--ports", type=int, default=1)
+    parser.add_argument(
+        "--profile", choices=("quick", "full"), default="quick",
+        help="quick: short algorithms, stratified faults, jobs=1 "
+        "engines only (the bench-gate workload); full: whole library, "
+        "full universe, all (engine, jobs) combinations (nightly)",
+    )
+    parser.add_argument(
+        "--geometry", metavar="WxBxP", default=None,
+        help="memory geometry (default: 64x1x1 quick, 4x2x1 full)",
+    )
     parser.add_argument(
         "--jobs", type=int, default=0,
-        help="parallel worker count (0 = one per CPU, capped at 4)",
+        help="parallel worker count for the jobs>1 measurements "
+        "(0 = one per CPU, capped at 4; quick profile ignores this)",
     )
     parser.add_argument(
-        "--per-kind", type=int, default=3,
-        help="stratified-sample size per fault kind (quick mode)",
-    )
-    parser.add_argument(
-        "--full-universe", action="store_true",
-        help="sweep the whole spec-expressible universe (the nightly "
-        "workload) instead of a stratified sample",
+        "--per-kind", type=int, default=2,
+        help="stratified-sample size per fault kind (quick profile)",
     )
     parser.add_argument(
         "--out", default="BENCH_fault_sweep.json",
@@ -72,61 +119,80 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    full = args.profile == "full"
     jobs = args.jobs if args.jobs > 0 else min(4, os.cpu_count() or 1)
+    geometry = parse_geometry(
+        args.geometry or ("4x2x1" if full else "64x1x1")
+    )
     caps = ControllerCapabilities(
-        n_words=args.words, width=args.width, ports=args.ports
+        n_words=geometry[0], width=geometry[1], ports=geometry[2]
     )
-    serial = sweep_record(caps, 1, args.per_kind, args.full_universe)
-    parallel = sweep_record(caps, jobs, args.per_kind, args.full_universe)
+    names = list(library.ALGORITHMS) if full else list(SHORT_ALGORITHMS)
+    tests = [library.get(name) for name in names]
+    faults = sweep_faults(caps, per_kind=args.per_kind, full=full)
+    combos = [("scalar", 1), ("vector", 1)]
+    if full:
+        combos += [("scalar", jobs), ("vector", jobs)]
 
-    def sans_timing(payload: dict) -> str:
-        return json.dumps(
-            {k: v for k, v in payload.items() if k != "timing"},
-            sort_keys=True,
-        )
+    sections = Sections()
+    measurements = []
+    for engine, n in combos:
+        with sections.section(f"{engine}@{n}"):
+            measurements.append(measure(tests, caps, faults, engine, n))
 
-    identical = sans_timing(serial["payload"]) == sans_timing(
-        parallel["payload"]
+    reference = _sans_timing(measurements[0]["payload"])
+    identical = all(
+        _sans_timing(m["payload"]) == reference for m in measurements[1:]
     )
-    serial_s = serial["record"]["wall_time_s"]
-    parallel_s = parallel["record"]["wall_time_s"]
-    record = {
-        "benchmark": "fault_sweep",
-        "geometry": [caps.n_words, caps.width, caps.ports],
-        "algorithms": len(library.ALGORITHMS),
-        "universe": "full" if args.full_universe else "stratified",
-        "runs": serial["payload"]["checked"],
-        "ok": serial["payload"]["ok"],
-        "reports_identical_sans_timing": identical,
-        "serial": serial["record"],
-        "parallel": parallel["record"],
-        "speedup": (
-            round(serial_s / parallel_s, 3) if parallel_s > 0 else None
-        ),
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
+    engines = {
+        f"{m['record']['engine']}@{m['record']['jobs']}": m["record"]
+        for m in measurements
     }
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    scalar_rps = engines["scalar@1"]["runs_per_s"]
+    vector_rps = engines["vector@1"]["runs_per_s"]
+    speedup = (
+        round(vector_rps / scalar_rps, 2)
+        if scalar_rps and vector_rps
+        else None
+    )
+    record = write_record(
+        args.out,
+        "fault_sweep",
+        {
+            "profile": args.profile,
+            "geometry": list(geometry),
+            "algorithms": names,
+            "universe": (
+                "full" if full else f"stratified(per_kind={args.per_kind})"
+            ),
+            "runs": measurements[0]["payload"]["checked"],
+            "ok": measurements[0]["payload"]["ok"],
+            "reports_identical_sans_timing": identical,
+            "engines": engines,
+            "vector_speedup": speedup,
+        },
+        sections=sections,
+    )
 
     print(
         f"fault-sweep throughput {tuple(record['geometry'])} "
-        f"({record['universe']} universe, {record['runs']} runs):"
+        f"({record['universe']} universe, {len(names)} algorithms, "
+        f"{record['runs']} runs):"
     )
-    print(
-        f"  jobs=1: {serial_s:.2f} s "
-        f"({serial['record']['runs_per_s']} runs/s)"
-    )
-    print(
-        f"  jobs={jobs}: {parallel_s:.2f} s "
-        f"({parallel['record']['runs_per_s']} runs/s)  "
-        f"speedup {record['speedup']}x"
-    )
+    for key, entry in engines.items():
+        print(
+            f"  {key}: {entry['wall_time_s']:.2f} s "
+            f"({entry['runs_per_s']} runs/s, "
+            f"{entry['fallback_runs']} fallback(s))"
+        )
+    print(f"  vector speedup (jobs=1): {speedup}x")
     print(f"  reports identical (timing aside): {identical}")
     print(f"  wrote {args.out}")
     if not identical:
-        print("error: jobs-independence contract violated", file=sys.stderr)
+        print(
+            "error: engine/jobs determinism contract violated",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

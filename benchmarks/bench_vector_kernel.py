@@ -1,0 +1,145 @@
+"""Lane-kernel microbenchmark: raw batch-evaluation throughput.
+
+``bench_fault_sweep.py`` measures the end-to-end sweep (planning,
+stream verification, report assembly, fallbacks); this benchmark
+isolates the numpy kernel itself — compile one golden stream, build
+one lane spec per spec-expressible fault, evaluate every lane in one
+batched pass — and records **lane-ops per second** (stream ops x
+lanes / kernel seconds), the number the 10-100x end-to-end speedup
+bottoms out on.  Writes ``BENCH_vector_kernel.json`` for the nightly
+``bench-report`` artifact.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_vector_kernel.py
+    PYTHONPATH=src python benchmarks/bench_vector_kernel.py \
+        --geometry 256x1x1 --algorithm "March C+"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _harness import Sections, parse_geometry, timed, write_record
+
+from repro.conformance import GOLDEN_CACHE, sweep_faults
+from repro.core.controller import ControllerCapabilities
+from repro.march import library
+
+#: Default geometry ladder: word-count scaling (64 → 256) plus one
+#: multi-bit multi-port point, all >=64 words (the kernel's target
+#: regime; tiny geometries are dominated by per-op Python dispatch).
+DEFAULT_GEOMETRIES = ("64x1x1", "256x1x1", "64x4x2")
+
+
+def kernel_record(geometry, algorithm: str) -> dict:
+    """One (geometry, algorithm) batched evaluation, each stage timed."""
+    from repro.vector.kernel import evaluate_lanes, state_dtype
+    from repro.vector.ops import compile_stream
+    from repro.vector.semantics import lane_spec
+    from repro.vector.sweep import LANE_BUDGET_BYTES
+
+    caps = ControllerCapabilities(
+        n_words=geometry[0], width=geometry[1], ports=geometry[2]
+    )
+    test = library.get(algorithm)
+    faults = sweep_faults(caps, full=True)
+
+    with timed() as compile_t:
+        stream = GOLDEN_CACHE.get(test, caps)
+        compiled = compile_stream(stream, (1 << caps.width) - 1)
+    with timed() as spec_t:
+        specs = [
+            spec
+            for spec in (
+                lane_spec(fault, caps.n_words, caps.width, caps.ports)
+                for fault in faults
+            )
+            if spec is not None
+        ]
+    # Chunk exactly like the sweep does, so the measured throughput is
+    # the one the end-to-end path sees (state stays cache-friendly).
+    row_bytes = caps.n_words * state_dtype(caps.width)().itemsize
+    chunk = max(1, LANE_BUDGET_BYTES // max(row_bytes, 1) - 1)
+    detecting = 0
+    with timed() as eval_t:
+        for start in range(0, len(specs), chunk):
+            events, _ = evaluate_lanes(
+                compiled, caps.n_words, caps.width,
+                specs[start:start + chunk],
+            )
+            detecting += sum(1 for lane in events if lane)
+    lane_ops = compiled.length * len(specs)
+    return {
+        "geometry": list(geometry),
+        "algorithm": algorithm,
+        "stream_ops": compiled.length,
+        "universe": len(faults),
+        "lanes": len(specs),
+        "unsupported": len(faults) - len(specs),
+        "detecting_lanes": detecting,
+        "compile_s": round(compile_t.seconds, 6),
+        "spec_s": round(spec_t.seconds, 6),
+        "eval_s": round(eval_t.seconds, 6),
+        "lane_ops_per_s": (
+            round(lane_ops / eval_t.seconds) if eval_t.seconds > 0 else None
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="geometry to measure (repeatable; default: "
+        + ", ".join(DEFAULT_GEOMETRIES) + ")",
+    )
+    parser.add_argument(
+        "--algorithm", default="March C",
+        help="library algorithm whose golden stream is evaluated",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_vector_kernel.json",
+        help="output record path (default: BENCH_vector_kernel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.vector import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        print("error: numpy unavailable; kernel benchmark needs it",
+              file=sys.stderr)
+        return 1
+
+    geometries = [
+        parse_geometry(token)
+        for token in (args.geometry or list(DEFAULT_GEOMETRIES))
+    ]
+    sections = Sections()
+    measurements = []
+    for geometry in geometries:
+        with sections.section("x".join(str(part) for part in geometry)):
+            measurements.append(kernel_record(geometry, args.algorithm))
+
+    record = write_record(
+        args.out,
+        "vector_kernel",
+        {"algorithm": args.algorithm, "measurements": measurements},
+        sections=sections,
+    )
+
+    print(f"lane-kernel throughput ({args.algorithm} golden stream):")
+    for m in record["measurements"]:
+        print(
+            f"  {tuple(m['geometry'])}: {m['stream_ops']} ops x "
+            f"{m['lanes']} lanes ({m['unsupported']} unsupported) "
+            f"in {m['eval_s']:.3f} s = {m['lane_ops_per_s']} lane-ops/s, "
+            f"{m['detecting_lanes']} detecting"
+        )
+    print(f"  wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

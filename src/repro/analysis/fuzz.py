@@ -4,7 +4,7 @@ The static verifier is only worth trusting if it agrees with the
 executable semantics on more than the ~10 library algorithms.  This
 module generates random **well-formed** march algorithms (element
 count, operations, address orders, retention pauses) over random small
-geometries and, for every sample, checks three identities:
+geometries and, for every sample, checks these identities:
 
 (a) the microcode abstract interpreter proves termination and its cycle
     count equals the microcode controller's trace length, exactly;
@@ -39,6 +39,13 @@ geometries and, for every sample, checks three identities:
     with the same three-axis shrinker, via
     :func:`repro.conformance.faulty.coverage.
     coverage_disagreement_predicate`.
+(g) sweep-engine equivalence: the identity-(e) sample is re-swept by
+    the numpy batch kernel (:func:`repro.conformance.faulty.
+    run_fault_sweep` with ``engine="vector"``) and the resulting
+    one-run report must agree payload-for-payload — timing aside —
+    with a scalar report built from the identity-(e) response, the
+    cross-engine contract of :class:`repro.conformance.faulty.
+    CrossEngineResult`.  Skipped silently when numpy is unavailable.
 
 Any violation — including the verifier *rejecting* a well-formed
 algorithm, the false-positive direction — is a mismatch.  The
@@ -167,6 +174,8 @@ class SampleResult:
         fault_detected: whether the golden response saw the fault.
         shrunk_faulty: minimal (march, geometry, fault) reproducer of a
             response divergence, or None when identity (e) held.
+        vector_checked: whether identity (g) ran (requires numpy and
+            ``vector_conformance=True``).
         coverage_pairs: certificate-vs-sweep fault pairs cross-checked
             for identity (f) (0 when (f) was off).
         shrunk_coverage: minimal (march, geometry, fault) reproducer of
@@ -187,6 +196,7 @@ class SampleResult:
     fault_spec: Optional[str] = None
     fault_detected: bool = False
     shrunk_faulty: Optional[Dict[str, Any]] = None
+    vector_checked: bool = False
     coverage_pairs: int = 0
     shrunk_coverage: Optional[Dict[str, Any]] = None
 
@@ -209,6 +219,7 @@ class SampleResult:
             "fault_spec": self.fault_spec,
             "fault_detected": self.fault_detected,
             "shrunk_faulty": self.shrunk_faulty,
+            "vector_checked": self.vector_checked,
             "coverage_pairs": self.coverage_pairs,
             "shrunk_coverage": self.shrunk_coverage,
         }
@@ -220,13 +231,15 @@ def check_sample(
     conformance: bool = True,
     fault_conformance: bool = True,
     coverage_conformance: bool = True,
+    vector_conformance: bool = True,
 ) -> SampleResult:
-    """Generate sample ``index`` of corpus ``seed`` and check all six
+    """Generate sample ``index`` of corpus ``seed`` and check all seven
     verifier-vs-simulator identities on it (``conformance=False`` skips
     the behavioural-equivalence identity (d); ``fault_conformance=False``
-    skips the faulty-memory response identity (e);
+    skips the faulty-memory response identity (e) — and with it the
+    sweep-engine identity (g), which reuses (e)'s response;
     ``coverage_conformance=False`` skips the coverage-certificate
-    identity (f))."""
+    identity (f); ``vector_conformance=False`` skips (g) alone)."""
     from repro.analysis.interpreter import Verdict, interpret
     from repro.analysis.progfsm_cfg import interpret_fsm
     from repro.analysis.verifier import verify_fsm_program, verify_program
@@ -322,11 +335,13 @@ def check_sample(
     if conformance:
         _check_conformance_identity(result, test, caps, compress)
 
-    # -- (e), fault-response equivalence -----------------------------------
+    # -- (e)+(g), fault-response and sweep-engine equivalence --------------
     # The fault is drawn from the sample's own RNG *after* the structural
     # draws above, so "{seed}:{index}" alone regenerates the whole triple.
     if fault_conformance:
-        _check_fault_identity(result, test, caps, compress, rng)
+        _check_fault_identity(
+            result, test, caps, compress, rng, vector=vector_conformance
+        )
 
     # -- (f), coverage-certificate equivalence -----------------------------
     if coverage_conformance:
@@ -373,8 +388,9 @@ def _check_fault_identity(
     caps: ControllerCapabilities,
     compress: bool,
     rng: random.Random,
+    vector: bool = True,
 ) -> None:
-    """Identity (e): identical responses to one injected fault.
+    """Identities (e) and (g): one injected fault, every engine agrees.
 
     Draws a single spec-expressible fault from the sample RNG, runs all
     realising architectures' BIST sessions against it and compares fail
@@ -382,6 +398,13 @@ def _check_fault_identity(
     divergence (or a wedged/crashed session) is delta-debugged over
     march items, operations, the fault and the geometry; the minimal
     triple rides in the report.
+
+    When numpy is available (and ``vector`` is on), the scalar response
+    doubles as the oracle for identity (g): it is wrapped into a
+    one-run :class:`~repro.conformance.faulty.FaultSweepReport` and the
+    vector engine must reproduce that report payload — timing aside —
+    from scratch.  No extra scalar run is spent; the (e) result is
+    reused.
     """
     from repro.conformance import (
         check_fault_conformance,
@@ -395,20 +418,66 @@ def _check_fault_identity(
     result.fault_spec = format_fault(fault)
     response = check_fault_conformance(test, caps, fault, compress=compress)
     result.fault_detected = response.detected
-    if response.ok:
+    if not response.ok:
+        result.mismatches.append(
+            "fault-response divergence under "
+            f"{result.fault_spec}: {response.describe_failures()}"
+        )
+        shrunk = shrink_faulty_sample(
+            test,
+            caps,
+            result.fault_spec,
+            fault_response_predicate(compress=compress),
+            max_checks=500,
+        )
+        result.shrunk_faulty = shrunk.to_dict()
+    if vector:
+        _check_vector_identity(result, test, caps, fault, compress, response)
+
+
+def _check_vector_identity(
+    result: SampleResult,
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    fault,
+    compress: bool,
+    response,
+) -> None:
+    """Identity (g): the batch kernel reproduces the scalar sweep report.
+
+    The scalar side costs nothing — identity (e)'s response is folded
+    into a one-run sweep report — so each fuzz sample buys a free
+    cross-engine conformance case on a *random* (march, geometry,
+    fault) triple, far off the curated library the dedicated
+    ``--cross-engine`` sweeps exercise.  Divergences are reported with
+    the first differing payload field; the "{seed}:{index}" sample seed
+    is already a minimal-enough reproducer (one algorithm, one fault),
+    so no shrink pass is run.
+    """
+    from repro.vector import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
         return
-    result.mismatches.append(
-        "fault-response divergence under "
-        f"{result.fault_spec}: {response.describe_failures()}"
+    from repro.conformance.faulty import (
+        CrossEngineResult,
+        FaultSweepReport,
+        run_fault_sweep,
     )
-    shrunk = shrink_faulty_sample(
-        test,
-        caps,
-        result.fault_spec,
-        fault_response_predicate(compress=compress),
-        max_checks=500,
+
+    scalar = FaultSweepReport(
+        geometry=(caps.n_words, caps.width, caps.ports)
     )
-    result.shrunk_faulty = shrunk.to_dict()
+    scalar.add(response)
+    vector = run_fault_sweep(
+        [test], caps, [fault], compress=compress, engine="vector"
+    )
+    result.vector_checked = True
+    cross = CrossEngineResult(scalar=scalar, vector=vector)
+    if not cross.ok:
+        result.mismatches.append(
+            "sweep-engine divergence under "
+            f"{result.fault_spec}: {cross.divergence()}"
+        )
 
 
 def _check_coverage_identity(
@@ -462,6 +531,7 @@ class FuzzReport:
     checked: int = 0
     fsm_compiled: int = 0
     fault_detected: int = 0
+    vector_checked: int = 0
     coverage_pairs: int = 0
     mismatch_count: int = 0
     mismatches: List[Dict[str, Any]] = field(default_factory=list)
@@ -482,6 +552,7 @@ class FuzzReport:
                 else 0.0
             ),
             "fault_detected": self.fault_detected,
+            "vector_checked": self.vector_checked,
             "coverage_pairs": self.coverage_pairs,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
@@ -492,6 +563,7 @@ class FuzzReport:
             f"fuzz: {self.checked}/{self.samples} samples checked "
             f"(seed {self.seed}), {self.fsm_compiled} SM-compilable, "
             f"{self.fault_detected} fault-detecting, "
+            f"{self.vector_checked} vector-cross-checked, "
             f"{self.coverage_pairs} coverage pairs certified, "
             f"{self.mismatch_count} mismatch(es)"
         ]
@@ -531,14 +603,15 @@ class FuzzReport:
 
 
 def _check_batch(
-    args: Tuple[int, int, int, bool, bool, bool]
+    args: Tuple[int, int, int, bool, bool, bool, bool]
 ) -> List[Dict[str, Any]]:
     """Worker entry point: check samples ``start..start+count-1``.
 
     Returns compact per-sample dicts (full detail only for mismatches)
     to keep the inter-process payload small.
     """
-    seed, start, count, conformance, fault_conformance, coverage = args
+    (seed, start, count, conformance, fault_conformance, coverage,
+     vector) = args
     out: List[Dict[str, Any]] = []
     for index in range(start, start + count):
         result = check_sample(
@@ -547,11 +620,13 @@ def _check_batch(
             conformance=conformance,
             fault_conformance=fault_conformance,
             coverage_conformance=coverage,
+            vector_conformance=vector,
         )
         if result.ok:
             out.append({"index": index, "ok": True,
                         "fsm_compiled": result.fsm_compiled,
                         "fault_detected": result.fault_detected,
+                        "vector_checked": result.vector_checked,
                         "coverage_pairs": result.coverage_pairs})
         else:
             payload = result.to_dict()
@@ -567,6 +642,7 @@ def run_fuzz(
     conformance: bool = True,
     fault_conformance: bool = True,
     coverage_conformance: bool = True,
+    vector_conformance: bool = True,
 ) -> FuzzReport:
     """Run the corpus and aggregate a :class:`FuzzReport`.
 
@@ -581,6 +657,9 @@ def run_fuzz(
             a faulty memory (on by default).
         coverage_conformance: check identity (f), coverage-certificate
             vs simulated-sweep agreement (on by default).
+        vector_conformance: check identity (g), scalar-vs-vector sweep
+            report equality on identity (e)'s sample (on by default;
+            no-op without numpy or with ``fault_conformance=False``).
     """
     if samples <= 0:
         raise ValueError(f"need at least one sample, got {samples}")
@@ -591,13 +670,13 @@ def run_fuzz(
     if jobs == 1:
         batches = [
             _check_batch((seed, 0, samples, conformance, fault_conformance,
-                          coverage_conformance))
+                          coverage_conformance, vector_conformance))
         ]
     else:
         chunk = (samples + jobs - 1) // jobs
         work = [
             (seed, start, min(chunk, samples - start), conformance,
-             fault_conformance, coverage_conformance)
+             fault_conformance, coverage_conformance, vector_conformance)
             for start in range(0, samples, chunk)
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -609,6 +688,8 @@ def run_fuzz(
                 report.fsm_compiled += 1
             if entry.get("fault_detected"):
                 report.fault_detected += 1
+            if entry.get("vector_checked"):
+                report.vector_checked += 1
             report.coverage_pairs += entry.get("coverage_pairs", 0)
             if not entry["ok"]:
                 report.mismatch_count += 1

@@ -42,7 +42,9 @@ Commands:
     controllers of both programmable architectures, plus op-for-op
     behavioural equivalence of all three architectures against the
     golden march expansion (``--no-conformance`` to skip) and response
-    equivalence on a randomly faulted memory (``--no-faults`` to skip).
+    equivalence on a randomly faulted memory (``--no-faults`` to skip),
+    cross-checked against the numpy batch sweep engine (``--no-vector``
+    to skip).
     Exits 1 on any mismatch, so CI can gate on it; ``--report FILE``
     writes the JSON artifact (failing samples carry minimised
     reproducers).
@@ -400,6 +402,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         conformance=not args.no_conformance,
         fault_conformance=not args.no_faults,
         coverage_conformance=not args.no_coverage,
+        vector_conformance=not args.no_vector,
     )
     if args.report:
         with open(args.report, "w") as handle:
@@ -470,6 +473,7 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
 
     from repro.conformance import (
         FaultSweepReport,
+        check_cross_engine,
         check_fault_conformance,
         run_fault_sweep,
         run_fault_sweeps,
@@ -488,6 +492,45 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
         # each drawing its own (geometry-dependent) fault population
         # unless --fault pinned one explicitly.
         geometries = [_parse_geometry(token) for token in args.geometry]
+        if args.cross_engine:
+            reports = {
+                engine: run_fault_sweeps(
+                    geometries,
+                    tests,
+                    faults=explicit_faults,
+                    per_kind=args.per_kind,
+                    seed=args.seed,
+                    full=args.full_universe,
+                    compress=compress,
+                    max_ops=args.max_ops,
+                    jobs=jobs,
+                    engine=engine,
+                )
+                for engine in ("scalar", "vector")
+            }
+            identical = (
+                reports["scalar"].to_json(include_timing=False)
+                == reports["vector"].to_json(include_timing=False)
+            )
+            payload = {
+                "ok": identical and reports["scalar"].ok,
+                "identical": identical,
+                "scalar": reports["scalar"].to_json(),
+                "vector": reports["vector"].to_json(),
+            }
+            if args.report:
+                _write_report(args.report, payload)
+            if args.json:
+                print(json.dumps(payload, indent=2))
+            else:
+                print(
+                    "cross-engine multi-geometry sweep: "
+                    + ("IDENTICAL" if identical else "DIVERGED")
+                )
+                for engine in ("scalar", "vector"):
+                    print(f"--- {engine} ---")
+                    print(reports[engine].format())
+            return 0 if payload["ok"] else 1
         report = run_fault_sweeps(
             geometries,
             tests,
@@ -498,6 +541,7 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
             compress=compress,
             max_ops=args.max_ops,
             jobs=jobs,
+            engine=args.engine,
         )
         if args.report:
             _write_report(args.report, report.to_json())
@@ -517,7 +561,19 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
             full=args.full_universe,
         )
     )
-    if len(tests) == 1 and len(faults) == 1:
+    if args.cross_engine:
+        result = check_cross_engine(
+            tests, caps, faults, compress=compress, max_ops=args.max_ops,
+            jobs=jobs,
+        )
+        if args.report:
+            _write_report(args.report, result.to_json())
+        if args.json:
+            print(json.dumps(result.to_json(), indent=2))
+        else:
+            print(result.format())
+        return 0 if result.ok and result.scalar.ok else 1
+    if args.engine == "scalar" and len(tests) == 1 and len(faults) == 1:
         started = time.perf_counter()
         result = check_fault_conformance(
             tests[0], caps, faults[0], compress=compress,
@@ -539,7 +595,7 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
         return 0 if result.ok else 1
     report = run_fault_sweep(
         tests, caps, faults, compress=compress, max_ops=args.max_ops,
-        jobs=jobs,
+        jobs=jobs, engine=args.engine,
     )
     if args.report:
         _write_report(args.report, report.to_json())
@@ -826,6 +882,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip identity (f), static coverage certificate vs "
         "simulated fault sweep",
     )
+    fuzz.add_argument(
+        "--no-vector", action="store_true",
+        help="skip identity (g), scalar-vs-vector sweep-engine report "
+        "equality on the identity-(e) sample (auto-skipped without "
+        "numpy)",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     certify_cmd = commands.add_parser(
@@ -944,6 +1006,20 @@ def build_parser() -> argparse.ArgumentParser:
     conf_faulty.add_argument(
         "--no-compress", action="store_true",
         help="assemble the microcode without REPEAT compression",
+    )
+    conf_faulty.add_argument(
+        "--engine", choices=("scalar", "vector"), default="scalar",
+        help="sweep engine: 'scalar' simulates every run on the Sram "
+        "model (the oracle); 'vector' evaluates fault batches with the "
+        "numpy lane kernel (10-100x faster, identical report payload; "
+        "faults without lane semantics fall back to scalar and are "
+        "counted in timing.fallback_runs)",
+    )
+    conf_faulty.add_argument(
+        "--cross-engine", action="store_true",
+        help="run the sweep through BOTH engines and fail unless the "
+        "reports are byte-identical (timing aside) - conformance "
+        "identity (g)",
     )
     conf_faulty.add_argument(
         "--json", action="store_true", help="machine-readable output"

@@ -27,6 +27,7 @@ from repro.conformance.check import (
 from repro.conformance.faulty import (
     CoverageConformanceResult,
     CoverageDisagreement,
+    CrossEngineResult,
     FailEvent,
     FaultResponseResult,
     FaultSweepReport,
@@ -35,6 +36,7 @@ from repro.conformance.faulty import (
     ResponseBudgetExceeded,
     capture_response,
     check_coverage_conformance,
+    check_cross_engine,
     check_fault_conformance,
     coverage_disagreement_predicate,
     fault_response_predicate,
@@ -77,6 +79,7 @@ __all__ = [
     "CorpusReport",
     "CoverageConformanceResult",
     "CoverageDisagreement",
+    "CrossEngineResult",
     "DEFAULT_CORPUS_DIR",
     "Divergence",
     "FailEvent",
@@ -94,6 +97,7 @@ __all__ = [
     "check_conformance",
     "check_corpus",
     "check_coverage_conformance",
+    "check_cross_engine",
     "check_fault_conformance",
     "conformance_predicate",
     "coverage_disagreement_predicate",

@@ -10,11 +10,14 @@ fail events, fail-log aggregations and diagnosis.  See
 
 from repro.conformance.faulty.check import (
     ArchitectureResponse,
+    CrossEngineResult,
+    ENGINES,
     FaultResponseResult,
     FaultSweepReport,
     MultiGeometrySweepReport,
     RESPONSE_CAPTURES,
     ResponseDivergence,
+    check_cross_engine,
     check_fault_conformance,
     first_fail_divergence,
     run_fault_sweep,
@@ -52,6 +55,8 @@ __all__ = [
     "CANONICAL_SPECS",
     "CoverageConformanceResult",
     "CoverageDisagreement",
+    "CrossEngineResult",
+    "ENGINES",
     "FailEvent",
     "FaultResponseResult",
     "FaultSweepReport",
@@ -64,6 +69,7 @@ __all__ = [
     "ResponseDivergence",
     "capture_response",
     "check_coverage_conformance",
+    "check_cross_engine",
     "check_fault_conformance",
     "coverage_disagreement_predicate",
     "fault_response_predicate",

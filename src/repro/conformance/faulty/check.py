@@ -461,6 +461,8 @@ class FaultSweepReport:
     wall_time_s: float = 0.0
     jobs: int = 1
     shards: List[Dict[str, Any]] = field(default_factory=list)
+    engine: str = "scalar"
+    fallback_runs: int = 0
 
     @property
     def ok(self) -> bool:
@@ -494,21 +496,33 @@ class FaultSweepReport:
                 f"cannot merge sweeps of different geometries: "
                 f"{sorted(geometries)}"
             )
-        merged = cls(geometry=reports[0].geometry)
+        engines = {report.engine for report in reports}
+        if len(engines) > 1:
+            raise ValueError(
+                f"cannot merge sweeps of different engines: {sorted(engines)}"
+            )
+        merged = cls(geometry=reports[0].geometry, engine=reports[0].engine)
         for report in reports:
             merged.checked += report.checked
             merged.detected += report.detected
             merged.skipped_runs += report.skipped_runs
             merged.failures.extend(report.failures)
             merged.shards.extend(report.shards)
+            merged.fallback_runs += report.fallback_runs
         return merged
 
     def format(self) -> str:
+        engine = ""
+        if self.engine != "scalar":
+            engine = (
+                f"  [{self.engine} engine, "
+                f"{self.fallback_runs} scalar fallback(s)]"
+            )
         lines = [
             f"fault-response sweep {self.geometry}: {self.checked} "
             f"(algorithm, fault) runs, {self.detected} detected the "
             f"fault, {self.skipped_runs} skip(s), "
-            f"{len(self.failures)} failure(s)"
+            f"{len(self.failures)} failure(s)" + engine
         ]
         for failure in self.failures:
             lines.append(
@@ -528,6 +542,11 @@ class FaultSweepReport:
             "failures": self.failures,
         }
         if include_timing:
+            # Engine identity and fallback accounting live with the
+            # timing block on purpose: the cross-engine contract is
+            # "payloads without ``timing`` compare equal", and which
+            # engine produced the numbers (and how often it had to ask
+            # the scalar oracle) is execution metadata, not verdict.
             payload["timing"] = {
                 "wall_time_s": round(self.wall_time_s, 6),
                 "jobs": self.jobs,
@@ -537,6 +556,8 @@ class FaultSweepReport:
                     else None
                 ),
                 "shards": self.shards,
+                "engine": self.engine,
+                "fallback_runs": self.fallback_runs,
             }
         return payload
 
@@ -574,6 +595,10 @@ def _sweep_shard(
     return report
 
 
+#: Sweep engines: the scalar oracle and the numpy batch kernel.
+ENGINES: Tuple[str, ...] = ("scalar", "vector")
+
+
 def run_fault_sweep(
     tests: Sequence[MarchTest],
     capabilities: ControllerCapabilities,
@@ -581,6 +606,7 @@ def run_fault_sweep(
     compress: bool = True,
     max_ops: Optional[int] = None,
     jobs: int = 1,
+    engine: str = "scalar",
 ) -> FaultSweepReport:
     """Check every (algorithm, fault) pair; used by CI and the CLI.
 
@@ -595,9 +621,27 @@ def run_fault_sweep(
             (algorithm, fault) product is sharded into ``jobs``
             contiguous chunks and the shard reports merged, so the
             report — timing aside — is independent of ``jobs``.
+        engine: ``scalar`` (per-run :class:`~repro.memory.sram.Sram`
+            simulation, the oracle) or ``vector`` (the numpy batch
+            kernel of :mod:`repro.vector`; needs numpy, falls back to
+            the scalar path per fault/test where lane semantics do not
+            apply, and reports the fallback count).  The report payload
+            (timing aside) is identical for both.
     """
     if jobs <= 0:
         raise ValueError(f"need at least one job, got {jobs}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {list(ENGINES)}")
+    if engine == "vector":
+        from repro.vector import require_numpy
+
+        require_numpy()
+        from repro.vector.sweep import run_vector_fault_sweep
+
+        return run_vector_fault_sweep(
+            tests, capabilities, faults, compress=compress,
+            max_ops=max_ops, jobs=jobs,
+        )
     caps = capabilities
     tests = list(tests)
     faults = list(faults)
@@ -630,6 +674,78 @@ def run_fault_sweep(
     report.jobs = jobs
     report.wall_time_s = time.perf_counter() - started
     return report
+
+
+@dataclass
+class CrossEngineResult:
+    """Differential comparison of the two sweep engines on one input.
+
+    The scalar engine is the oracle; conformance identity (g) in
+    ``docs/TESTING.md`` is that the vector engine's report payload —
+    everything except the ``timing`` block — is byte-identical to it.
+    """
+
+    scalar: FaultSweepReport
+    vector: FaultSweepReport
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.scalar.to_json(include_timing=False)
+            == self.vector.to_json(include_timing=False)
+        )
+
+    def divergence(self) -> Optional[str]:
+        """First differing payload field, or ``None`` when identical."""
+        scalar = self.scalar.to_json(include_timing=False)
+        vector = self.vector.to_json(include_timing=False)
+        for key in scalar:
+            if scalar[key] != vector[key]:
+                return (
+                    f"payload field {key!r}: scalar {scalar[key]!r} != "
+                    f"vector {vector[key]!r}"
+                )
+        return None
+
+    def format(self) -> str:
+        lines = [
+            "cross-engine fault-sweep comparison "
+            f"{self.scalar.geometry}: "
+            + ("IDENTICAL" if self.ok else "DIVERGED"),
+            "  scalar: " + self.scalar.format().splitlines()[0],
+            "  vector: " + self.vector.format().splitlines()[0],
+        ]
+        if not self.ok:
+            lines.append(f"  {self.divergence()}")
+        return "\n".join(lines)
+
+    def to_json(self, include_timing: bool = True) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "divergence": self.divergence(),
+            "scalar": self.scalar.to_json(include_timing=include_timing),
+            "vector": self.vector.to_json(include_timing=include_timing),
+        }
+
+
+def check_cross_engine(
+    tests: Sequence[MarchTest],
+    capabilities: ControllerCapabilities,
+    faults: Sequence[CellFault],
+    compress: bool = True,
+    max_ops: Optional[int] = None,
+    jobs: int = 1,
+) -> CrossEngineResult:
+    """Run one sweep through both engines and compare the payloads."""
+    scalar = run_fault_sweep(
+        tests, capabilities, faults, compress=compress,
+        max_ops=max_ops, jobs=jobs, engine="scalar",
+    )
+    vector = run_fault_sweep(
+        tests, capabilities, faults, compress=compress,
+        max_ops=max_ops, jobs=jobs, engine="vector",
+    )
+    return CrossEngineResult(scalar=scalar, vector=vector)
 
 
 Geometry = Union[Tuple[int, ...], ControllerCapabilities]
@@ -709,6 +825,7 @@ def run_fault_sweeps(
     compress: bool = True,
     max_ops: Optional[int] = None,
     jobs: int = 1,
+    engine: str = "scalar",
 ) -> MultiGeometrySweepReport:
     """Sweep ``tests`` across several memory geometries.
 
@@ -735,7 +852,7 @@ def run_fault_sweeps(
         report.sweeps.append(
             run_fault_sweep(
                 tests, caps, population, compress=compress,
-                max_ops=max_ops, jobs=jobs,
+                max_ops=max_ops, jobs=jobs, engine=engine,
             )
         )
     report.wall_time_s = time.perf_counter() - started

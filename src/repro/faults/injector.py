@@ -40,6 +40,13 @@ class FaultInjector:
         self.memory.detach_all()
         self.memory.reset_state()
         self.memory.attach(fault)
+        # ``reset_state`` above ran before the fault was attached, so it
+        # could not touch *this* fault's dynamic state (disturb counters,
+        # retention idle time).  Reset it explicitly: the documented
+        # contract is that every injected run starts from a power-cycled
+        # defective part, independent of what earlier experiments did to
+        # the same fault object.
+        fault.reset()
         try:
             yield self.memory
         finally:

@@ -17,7 +17,7 @@ modelled by faults that only fire for a given port.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.memory.decoder import AddressDecoder
 from repro.memory.retention import RetentionClock
@@ -184,6 +184,18 @@ class Sram:
     def snapshot(self) -> Sequence[int]:
         """Immutable copy of the physical cell contents."""
         return tuple(self._cells)
+
+    def bit_image(self) -> Tuple[Tuple[int, ...], ...]:
+        """Cell contents as a ``words × width`` bit matrix (LSB first).
+
+        The per-bit view the batch kernel's state array is compared
+        against in the engine-equivalence tests; it also makes word
+        diffs in failure output readable for multi-bit geometries.
+        """
+        return tuple(
+            tuple((word >> bit) & 1 for bit in range(self.width))
+            for word in self._cells
+        )
 
     def __repr__(self) -> str:
         kind = "bit-oriented" if self.width == 1 else f"{self.width}-bit word"

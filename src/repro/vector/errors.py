@@ -1,0 +1,25 @@
+"""Exceptions of the batch fault-sweep kernel.
+
+Kept free of numpy imports so the engine gate in
+:mod:`repro.vector` can expose them even when numpy is absent.
+"""
+
+from __future__ import annotations
+
+
+class EngineUnavailable(RuntimeError):
+    """The vector engine was requested but numpy is not installed."""
+
+
+class UnsupportedFault(ValueError):
+    """A fault has no vector lane semantics (scalar fallback required)."""
+
+
+class VectorEngineError(AssertionError):
+    """The kernel's fault-free reference lane observed a mismatch.
+
+    Lane 0 of every batch carries no fault; the golden expansion read
+    expectations must hold on it exactly.  An event on lane 0 means the
+    kernel's replay of the stream semantics is wrong, so the caller must
+    discard the batch and fall back to the scalar oracle.
+    """

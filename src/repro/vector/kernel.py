@@ -1,0 +1,123 @@
+"""Lane-batched replay of one compiled stream against many faults.
+
+State is a ``(lanes, words)`` array — lane 0 carries no fault and is
+the kernel's built-in self check: the golden expansion's read
+expectations must hold on it exactly, op for op, and any lane-0
+mismatch aborts the batch with :class:`VectorEngineError` so the caller
+falls back to the scalar oracle instead of trusting a broken replay.
+
+Per op the bulk work is one numpy column operation (assign on write,
+compare on read); fault behaviour enters through the word-keyed lane
+entries of :mod:`repro.vector.semantics`, so ops that touch no faulty
+cell cost only the column op regardless of batch size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.vector.errors import VectorEngineError
+from repro.vector.ops import OP_READ, OP_WRITE, CompiledStream
+from repro.vector.semantics import LaneSpec, build_program
+
+#: Word widths the kernel can hold in one unsigned element.
+MAX_WIDTH = 64
+
+#: One recorded mismatch: (op index, observed word).
+LaneEvent = Tuple[int, int]
+
+
+def state_dtype(width: int):
+    """Smallest unsigned element type holding one ``width``-bit word."""
+    if width <= 8:
+        return np.uint8
+    if width <= 16:
+        return np.uint16
+    if width <= 32:
+        return np.uint32
+    if width <= MAX_WIDTH:
+        return np.uint64
+    raise VectorEngineError(f"word width {width} exceeds {MAX_WIDTH} bits")
+
+
+def evaluate_lanes(
+    compiled: CompiledStream,
+    n_words: int,
+    width: int,
+    specs: Sequence[LaneSpec],
+    open_read_value: int = 0,
+) -> Tuple[List[List[LaneEvent]], "np.ndarray"]:
+    """Replay ``compiled`` against one fault lane per spec.
+
+    Returns ``(events, state)``: per-spec lists of ``(op_index,
+    observed)`` read mismatches in detection order, and the final
+    ``(1 + len(specs), n_words)`` state array (row 0 is the fault-free
+    reference — useful to differential tests, ignored by the sweeps).
+
+    Raises:
+        VectorEngineError: the fault-free lane observed a mismatch
+            (kernel defect — the batch result must be discarded).
+    """
+    mask = (1 << width) - 1
+    lanes = 1 + len(specs)
+    state = np.zeros((lanes, n_words), dtype=state_dtype(width))
+    program = build_program(
+        list(specs), first_lane=1, width=width,
+        open_read_value=open_read_value,
+    )
+    for lane, word, bit, value in program.init_bits:
+        if value:
+            state[lane, word] |= 1 << bit
+        else:
+            state[lane, word] &= ~(1 << bit) & mask
+    events: List[List[LaneEvent]] = [[] for _ in range(lanes)]
+    write_entries = program.write_entries
+    read_entries = program.read_entries
+    elapse_entries = program.elapse_entries
+    op_iter = zip(
+        compiled.kinds.tolist(),
+        compiled.ports.tolist(),
+        compiled.addresses.tolist(),
+        compiled.data.tolist(),
+    )
+    for index, (kind, port, address, data) in enumerate(op_iter):
+        if kind == OP_WRITE:
+            entries = write_entries.get(address)
+            if entries is None:
+                state[:, address] = data
+                continue
+            olds = [int(state[entry.lane, address]) for entry in entries]
+            state[:, address] = data
+            for entry, old in zip(entries, olds):
+                entry.on_write(state, port, data, old)
+        elif kind == OP_READ:
+            column = state[:, address]
+            entries = read_entries.get(address)
+            if entries is not None:
+                column = column.copy()
+                for entry in entries:
+                    entry.on_read(state, column, port)
+            if 0 <= data <= mask:
+                mismatched = column != data
+                if not mismatched.any():
+                    continue
+                hit_lanes = np.nonzero(mismatched)[0].tolist()
+            else:
+                # An expectation outside the word mask can never match a
+                # masked observation; record every lane, like the scalar
+                # comparison would.
+                hit_lanes = range(lanes)
+            for lane in hit_lanes:
+                events[lane].append((index, int(column[lane])))
+        else:  # OP_DELAY
+            for entry in elapse_entries:
+                entry.on_elapse(state, data)
+    if events[0]:
+        op_index, observed = events[0][0]
+        raise VectorEngineError(
+            f"fault-free reference lane diverged at op {op_index} "
+            f"({compiled.keys[op_index]}): observed {observed:#x}"
+        )
+    return events[1:], state

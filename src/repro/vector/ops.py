@@ -1,0 +1,103 @@
+"""Golden-stream compilation into flat op arrays.
+
+The batch kernel replays one attributed operation stream against many
+fault lanes; the per-op Python dispatch cost is paid once for the whole
+batch, so the stream is compiled ahead of time into parallel flat
+arrays — op kind, port, address, data — plus the normalised comparison
+keys (for verifying an architecture's stream against the golden one
+without recompiling) and the owner strings (for reconstructing
+attributed :class:`~repro.conformance.faulty.events.FailEvent`
+records).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.conformance.trace import AttributedOp, NormalizedOp
+
+#: Op-kind codes of the compiled representation.
+OP_WRITE = 0
+OP_READ = 1
+OP_DELAY = 2
+
+
+class CompiledStream:
+    """One attributed stream as flat, lane-replayable op arrays.
+
+    Attributes:
+        length: number of operations.
+        kinds / ports / addresses / data: parallel flat arrays; ``data``
+            holds the (masked) written value for writes, the *raw*
+            expected word for reads — expectations are compared as the
+            source emitted them, exactly like the scalar capture — and
+            the duration for delays.
+        keys: normalised comparison keys, op-for-op (the
+            :func:`repro.conformance.trace.normalize` of each op).
+        owners: owning program location per op, for event attribution.
+    """
+
+    __slots__ = ("length", "kinds", "ports", "addresses", "data",
+                 "keys", "owners")
+
+    def __init__(
+        self,
+        kinds: "np.ndarray",
+        ports: "np.ndarray",
+        addresses: "np.ndarray",
+        data: "np.ndarray",
+        keys: List[NormalizedOp],
+        owners: List[str],
+    ) -> None:
+        self.length = len(keys)
+        self.kinds = kinds
+        self.ports = ports
+        self.addresses = addresses
+        self.data = data
+        self.keys = keys
+        self.owners = owners
+
+
+def compile_stream(
+    stream: Sequence[AttributedOp], word_mask: int
+) -> CompiledStream:
+    """Compile ``stream`` for batch replay.
+
+    Written values are masked to the word width here (the scalar memory
+    masks on entry to :meth:`~repro.memory.sram.Sram.write`); read
+    expectations are kept raw so an out-of-range expectation mismatches
+    every lane exactly as it does against the scalar wired-AND.
+    """
+    kinds: List[int] = []
+    ports: List[int] = []
+    addresses: List[int] = []
+    data: List[int] = []
+    keys: List[NormalizedOp] = []
+    owners: List[str] = []
+    for entry in stream:
+        op = entry.op
+        if op.is_delay:
+            kinds.append(OP_DELAY)
+            addresses.append(0)
+            data.append(op.delay)
+        elif op.is_write:
+            kinds.append(OP_WRITE)
+            addresses.append(op.address)
+            data.append(op.value & word_mask)
+        else:
+            kinds.append(OP_READ)
+            addresses.append(op.address)
+            data.append(op.expected)
+        ports.append(op.port)
+        keys.append(entry.key)
+        owners.append(entry.owner)
+    return CompiledStream(
+        kinds=np.asarray(kinds, dtype=np.int8),
+        ports=np.asarray(ports, dtype=np.int32),
+        addresses=np.asarray(addresses, dtype=np.int32),
+        data=np.asarray(data, dtype=np.int64),
+        keys=keys,
+        owners=owners,
+    )

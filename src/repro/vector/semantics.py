@@ -1,0 +1,522 @@
+"""Per-lane fault semantics for the batch kernel.
+
+Each supported fault stratum is translated from its
+:meth:`~repro.faults.base.CellFault.vector_lane` tuple into a small
+*lane entry* object registered in per-word dispatch tables.  The kernel
+performs the bulk, lane-parallel column work (assign on write, compare
+on read); entries run only for ops that touch their registered word, so
+a fault whose cell the current op does not address costs nothing.
+
+Every entry owns exactly one lane (the sweeps inject one fault per
+run — the single-fault assumption of the functional models), which is
+what makes the per-entry fixups safe: no two entries ever contend for
+the same lane's state, so hook ordering between faults never arises.
+
+The semantics here mirror the scalar hooks of :mod:`repro.faults`
+*op-for-op*; the cross-engine conformance identity (``docs/TESTING.md``)
+and the per-stratum equivalence tests hold the two implementations
+together.  :func:`lane_spec` additionally validates parameter ranges —
+anything the lane model cannot represent exactly (out-of-range cell,
+unknown stratum, subclassed fault) returns ``None`` and the sweep falls
+back to the scalar oracle for that fault.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.vector.errors import UnsupportedFault
+
+
+def _with_bit(value: int, bit: int, bit_value: int) -> int:
+    if bit_value:
+        return value | (1 << bit)
+    return value & ~(1 << bit)
+
+
+#: A validated lane spec: the ``vector_lane()`` tuple of one fault.
+LaneSpec = Tuple
+
+
+def lane_spec(fault, n_words: int, width: int, ports: int) -> Optional[LaneSpec]:
+    """The validated vector-lane spec of ``fault``, or ``None``.
+
+    ``None`` means "no exact lane semantics" — the caller must run this
+    fault through the scalar path.  Validation is strict: a parameter
+    outside the geometry (which would make the scalar run crash or touch
+    bits beyond the word mask) disqualifies the fault rather than being
+    clamped, so the scalar oracle keeps authority over every edge case.
+    """
+    try:
+        spec = fault.vector_lane()
+    except Exception:
+        return None
+    if spec is None:
+        return None
+    stratum = spec[0]
+    checker = _VALIDATORS.get(stratum)
+    if checker is None:
+        return None
+    return spec if checker(spec, n_words, width, ports) else None
+
+
+def _cell_ok(word: int, bit: int, n_words: int, width: int) -> bool:
+    return 0 <= word < n_words and 0 <= bit < width
+
+
+def _v_cell_value(spec, n_words, width, ports):
+    _, word, bit, value = spec
+    return _cell_ok(word, bit, n_words, width) and value in (0, 1)
+
+
+def _v_transition(spec, n_words, width, ports):
+    _, word, bit, rising = spec
+    return _cell_ok(word, bit, n_words, width) and isinstance(rising, bool)
+
+
+def _v_coupling(spec, n_words, width, ports):
+    aw, ab, vw, vb = spec[1:5]
+    return (
+        _cell_ok(aw, ab, n_words, width)
+        and _cell_ok(vw, vb, n_words, width)
+        and (aw, ab) != (vw, vb)
+    )
+
+
+def _v_coupling_id(spec, n_words, width, ports):
+    return _v_coupling(spec, n_words, width, ports) and spec[6] in (0, 1)
+
+
+def _v_coupling_state(spec, n_words, width, ports):
+    return (
+        _v_coupling(spec, n_words, width, ports)
+        and spec[5] in (0, 1)
+        and spec[6] in (0, 1)
+    )
+
+
+def _v_stuck_open(spec, n_words, width, ports):
+    _, word, bit, weak, threshold = spec
+    return (
+        _cell_ok(word, bit, n_words, width)
+        and weak in (0, 1)
+        and threshold >= 1
+    )
+
+
+def _v_retention(spec, n_words, width, ports):
+    _, word, bit, from_value, decay = spec
+    return (
+        _cell_ok(word, bit, n_words, width)
+        and from_value in (0, 1)
+        and decay > 0
+    )
+
+
+def _v_port_open(spec, n_words, width, ports):
+    _, port, word, bit, open_value = spec
+    return (
+        0 <= port < ports
+        and _cell_ok(word, bit, n_words, width)
+        and open_value in (0, 1)
+    )
+
+
+def _v_decoder(spec, n_words, width, ports):
+    _, address, targets = spec
+    if not 0 <= address < n_words:
+        return False
+    return all(0 <= target < n_words for target in targets)
+
+
+_VALIDATORS = {
+    "stuck_at": _v_cell_value,
+    "transition": _v_transition,
+    "coupling_inversion": _v_coupling,
+    "coupling_idempotent": _v_coupling_id,
+    "coupling_state": _v_coupling_state,
+    "read_incorrect": _v_cell_value,
+    "read_destructive": _v_cell_value,
+    "read_deceptive": _v_cell_value,
+    "stuck_open": _v_stuck_open,
+    "retention": _v_retention,
+    "port_open": _v_port_open,
+    "decoder": _v_decoder,
+}
+
+#: Strata the kernel evaluates natively (everything else falls back).
+SUPPORTED_STRATA = frozenset(_VALIDATORS)
+
+
+# -- lane entries ------------------------------------------------------------
+#
+# Hook points, mirroring the scalar access paths:
+#   on_write(state, port, value, old)  -- registered per written word;
+#       runs *after* the bulk column assign, with ``old`` the lane's
+#       pre-assign word (gathered by the kernel).
+#   on_read(state, observed, port)     -- registered per read word;
+#       mutates ``observed[lane]`` (a copy of the column) and/or the
+#       stored state, exactly like the scalar read filters.
+#   on_elapse(state, duration)         -- global, for retention decay.
+
+
+class _Entry:
+    __slots__ = ("lane",)
+
+    def __init__(self, lane: int) -> None:
+        self.lane = lane
+
+
+class SafWrite(_Entry):
+    """SAF: writes to the stuck cell keep the stuck bit."""
+
+    __slots__ = ("word", "bit", "value")
+
+    def __init__(self, lane, word, bit, value):
+        super().__init__(lane)
+        self.word, self.bit, self.value = word, bit, value
+
+    def on_write(self, state, port, value, old):
+        state[self.lane, self.word] = _with_bit(value, self.bit, self.value)
+
+
+class TfWrite(_Entry):
+    """TF: the failing transition leaves the bit at its old level."""
+
+    __slots__ = ("word", "bit", "rising")
+
+    def __init__(self, lane, word, bit, rising):
+        super().__init__(lane)
+        self.word, self.bit, self.rising = word, bit, rising
+
+    def on_write(self, state, port, value, old):
+        before = (old >> self.bit) & 1
+        after = (value >> self.bit) & 1
+        if self.rising and before == 0 and after == 1:
+            state[self.lane, self.word] = _with_bit(value, self.bit, 0)
+        elif not self.rising and before == 1 and after == 0:
+            state[self.lane, self.word] = _with_bit(value, self.bit, 1)
+
+
+class PafAccess(_Entry):
+    """PAF: one port's writes miss the cell bit, its reads float."""
+
+    __slots__ = ("port", "word", "bit", "open_value")
+
+    def __init__(self, lane, port, word, bit, open_value):
+        super().__init__(lane)
+        self.port, self.word, self.bit = port, word, bit
+        self.open_value = open_value
+
+    def on_write(self, state, port, value, old):
+        if port == self.port:
+            state[self.lane, self.word] = _with_bit(
+                value, self.bit, (old >> self.bit) & 1
+            )
+
+    def on_read(self, state, observed, port):
+        if port == self.port:
+            observed[self.lane] = _with_bit(
+                int(observed[self.lane]), self.bit, self.open_value
+            )
+
+
+class SofLane(_Entry):
+    """SOF: reads of the weak value disturb; a write restores the node.
+
+    The flip lands in the stored state only — the detecting read still
+    observes the pre-collapse value, like the scalar model (the sense
+    amplifier fired before the node collapsed).
+    """
+
+    __slots__ = ("word", "bit", "weak", "threshold", "disturbs")
+
+    def __init__(self, lane, word, bit, weak, threshold):
+        super().__init__(lane)
+        self.word, self.bit = word, bit
+        self.weak, self.threshold = weak, threshold
+        self.disturbs = 0
+
+    def on_write(self, state, port, value, old):
+        self.disturbs = 0
+
+    def on_read(self, state, observed, port):
+        if (int(state[self.lane, self.word]) >> self.bit) & 1 != self.weak:
+            return
+        self.disturbs += 1
+        if self.disturbs >= self.threshold:
+            state[self.lane, self.word] = _with_bit(
+                int(state[self.lane, self.word]), self.bit, self.weak ^ 1
+            )
+            self.disturbs = 0
+
+
+class DrfLane(_Entry):
+    """DRF: idle time decays the held value; any access refreshes it."""
+
+    __slots__ = ("word", "bit", "from_value", "decay", "idle")
+
+    def __init__(self, lane, word, bit, from_value, decay):
+        super().__init__(lane)
+        self.word, self.bit = word, bit
+        self.from_value, self.decay = from_value, decay
+        self.idle = 0
+
+    def on_write(self, state, port, value, old):
+        self.idle = 0
+
+    def on_read(self, state, observed, port):
+        self.idle = 0
+
+    def on_elapse(self, state, duration):
+        stored = (int(state[self.lane, self.word]) >> self.bit) & 1
+        if stored != self.from_value:
+            self.idle = 0
+            return
+        self.idle += duration
+        if self.idle >= self.decay:
+            state[self.lane, self.word] = _with_bit(
+                int(state[self.lane, self.word]), self.bit, self.from_value ^ 1
+            )
+            self.idle = 0
+
+
+class CouplingWrite(_Entry):
+    """CFin/CFid: an aggressor transition disturbs the victim cell.
+
+    Registered on the *aggressor* word; the victim update reads the
+    post-assign state, matching the scalar ``on_any_write`` ordering
+    (cells are committed before coupling triggers fire), which is what
+    keeps intra-word aggressor/victim pairs exact.
+    """
+
+    __slots__ = ("agg_bit", "vic_word", "vic_bit", "rising", "forced")
+
+    def __init__(self, lane, agg_bit, vic_word, vic_bit, rising, forced):
+        super().__init__(lane)
+        self.agg_bit, self.rising = agg_bit, rising
+        self.vic_word, self.vic_bit = vic_word, vic_bit
+        self.forced = forced  # None = inversion (CFin)
+
+    def on_write(self, state, port, value, old):
+        before = (old >> self.agg_bit) & 1
+        after = (value >> self.agg_bit) & 1
+        if self.rising:
+            if not (before == 0 and after == 1):
+                return
+        elif not (before == 1 and after == 0):
+            return
+        current = int(state[self.lane, self.vic_word])
+        forced = self.forced
+        if forced is None:
+            forced = ((current >> self.vic_bit) & 1) ^ 1
+        state[self.lane, self.vic_word] = _with_bit(
+            current, self.vic_bit, forced
+        )
+
+
+class CfstRead(_Entry):
+    """CFst: the victim's bit line is distorted while the aggressor
+    holds the coupling state (stored value recovers — read-time only)."""
+
+    __slots__ = ("agg_word", "agg_bit", "vic_bit", "agg_state", "forced")
+
+    def __init__(self, lane, agg_word, agg_bit, vic_bit, agg_state, forced):
+        super().__init__(lane)
+        self.agg_word, self.agg_bit = agg_word, agg_bit
+        self.vic_bit, self.agg_state, self.forced = vic_bit, agg_state, forced
+
+    def on_read(self, state, observed, port):
+        aggressor = (int(state[self.lane, self.agg_word]) >> self.agg_bit) & 1
+        if aggressor == self.agg_state:
+            observed[self.lane] = _with_bit(
+                int(observed[self.lane]), self.vic_bit, self.forced
+            )
+
+
+class IrfRead(_Entry):
+    """IRF: reads of the sensitising state lie; the cell is untouched."""
+
+    __slots__ = ("bit", "state_value")
+
+    def __init__(self, lane, bit, state_value):
+        super().__init__(lane)
+        self.bit, self.state_value = bit, state_value
+
+    def on_read(self, state, observed, port):
+        value = int(observed[self.lane])
+        if (value >> self.bit) & 1 == self.state_value:
+            observed[self.lane] = _with_bit(
+                value, self.bit, self.state_value ^ 1
+            )
+
+
+class RdfRead(_Entry):
+    """RDF: the read flips the cell and returns the flipped value."""
+
+    __slots__ = ("word", "bit", "state_value")
+
+    def __init__(self, lane, word, bit, state_value):
+        super().__init__(lane)
+        self.word, self.bit, self.state_value = word, bit, state_value
+
+    def on_read(self, state, observed, port):
+        value = int(observed[self.lane])
+        if (value >> self.bit) & 1 == self.state_value:
+            flipped = _with_bit(value, self.bit, self.state_value ^ 1)
+            state[self.lane, self.word] = flipped
+            observed[self.lane] = flipped
+
+
+class DrdfRead(_Entry):
+    """DRDF: the read flips the cell but returns the correct old value."""
+
+    __slots__ = ("word", "bit", "state_value")
+
+    def __init__(self, lane, word, bit, state_value):
+        super().__init__(lane)
+        self.word, self.bit, self.state_value = word, bit, state_value
+
+    def on_read(self, state, observed, port):
+        value = int(observed[self.lane])
+        if (value >> self.bit) & 1 == self.state_value:
+            state[self.lane, self.word] = _with_bit(
+                value, self.bit, self.state_value ^ 1
+            )
+
+
+class DecoderLane(_Entry):
+    """AF1–AF4: one logical address decodes to ``targets`` cells.
+
+    Writes land in every target (and *not* in the address's own cell
+    unless it is a target); reads observe the wired-AND of the targets,
+    or the open-bit-line value when there are none.
+    """
+
+    __slots__ = ("address", "targets", "open_value", "mask")
+
+    def __init__(self, lane, address, targets, open_value, mask):
+        super().__init__(lane)
+        self.address = address
+        self.targets = tuple(targets)
+        self.open_value = open_value
+        self.mask = mask
+
+    def on_write(self, state, port, value, old):
+        if self.address not in self.targets:
+            state[self.lane, self.address] = old
+        for target in self.targets:
+            state[self.lane, target] = value
+
+    def on_read(self, state, observed, port):
+        if not self.targets:
+            observed[self.lane] = self.open_value
+            return
+        accumulated = self.mask
+        for target in self.targets:
+            accumulated &= int(state[self.lane, target])
+        observed[self.lane] = accumulated
+
+
+class LaneProgram:
+    """Dispatch tables of one batch: entries keyed by accessed word.
+
+    Attributes:
+        init_bits: ``(lane, word, bit, value)`` power-on effects (SAF
+            holds its node at the stuck level from power-on).
+        write_entries / read_entries: word-keyed entry lists; the kernel
+            gathers each write entry's ``old`` lane word before the bulk
+            assign and calls the hooks after it.
+        elapse_entries: entries with idle-time behaviour.
+    """
+
+    __slots__ = ("init_bits", "write_entries", "read_entries",
+                 "elapse_entries")
+
+    def __init__(self) -> None:
+        self.init_bits: List[Tuple[int, int, int, int]] = []
+        self.write_entries: Dict[int, List] = {}
+        self.read_entries: Dict[int, List] = {}
+        self.elapse_entries: List = []
+
+    def _on_write(self, word: int, entry) -> None:
+        self.write_entries.setdefault(word, []).append(entry)
+
+    def _on_read(self, word: int, entry) -> None:
+        self.read_entries.setdefault(word, []).append(entry)
+
+
+def build_program(
+    specs: List[LaneSpec],
+    first_lane: int,
+    width: int,
+    open_read_value: int,
+) -> LaneProgram:
+    """Translate validated lane specs into a :class:`LaneProgram`.
+
+    ``specs[i]`` owns lane ``first_lane + i`` (lane 0 is the kernel's
+    fault-free reference and owns nothing).
+    """
+    mask = (1 << width) - 1
+    program = LaneProgram()
+    for offset, spec in enumerate(specs):
+        lane = first_lane + offset
+        stratum = spec[0]
+        if stratum == "stuck_at":
+            _, word, bit, value = spec
+            program.init_bits.append((lane, word, bit, value))
+            program._on_write(word, SafWrite(lane, word, bit, value))
+            # No read entry: the stored bit is pinned at power-on and by
+            # every write filter, so reads observe the stuck level from
+            # the state array itself.
+        elif stratum == "transition":
+            _, word, bit, rising = spec
+            program._on_write(word, TfWrite(lane, word, bit, rising))
+        elif stratum == "coupling_inversion":
+            _, aw, ab, vw, vb, rising = spec
+            program._on_write(aw, CouplingWrite(lane, ab, vw, vb, rising, None))
+        elif stratum == "coupling_idempotent":
+            _, aw, ab, vw, vb, rising, forced = spec
+            program._on_write(
+                aw, CouplingWrite(lane, ab, vw, vb, rising, forced)
+            )
+        elif stratum == "coupling_state":
+            _, aw, ab, vw, vb, agg_state, forced = spec
+            program._on_read(
+                vw, CfstRead(lane, aw, ab, vb, agg_state, forced)
+            )
+        elif stratum == "read_incorrect":
+            _, word, bit, state_value = spec
+            program._on_read(word, IrfRead(lane, bit, state_value))
+        elif stratum == "read_destructive":
+            _, word, bit, state_value = spec
+            program._on_read(word, RdfRead(lane, word, bit, state_value))
+        elif stratum == "read_deceptive":
+            _, word, bit, state_value = spec
+            program._on_read(word, DrdfRead(lane, word, bit, state_value))
+        elif stratum == "stuck_open":
+            _, word, bit, weak, threshold = spec
+            entry = SofLane(lane, word, bit, weak, threshold)
+            program._on_write(word, entry)
+            program._on_read(word, entry)
+        elif stratum == "retention":
+            _, word, bit, from_value, decay = spec
+            entry = DrfLane(lane, word, bit, from_value, decay)
+            program._on_write(word, entry)
+            program._on_read(word, entry)
+            program.elapse_entries.append(entry)
+        elif stratum == "port_open":
+            _, port, word, bit, open_value = spec
+            entry = PafAccess(lane, port, word, bit, open_value)
+            program._on_write(word, entry)
+            program._on_read(word, entry)
+        elif stratum == "decoder":
+            _, address, targets = spec
+            entry = DecoderLane(
+                lane, address, targets, open_read_value & mask, mask
+            )
+            program._on_write(address, entry)
+            program._on_read(address, entry)
+        else:  # pragma: no cover - lane_spec() filters unknown strata
+            raise UnsupportedFault(f"unknown lane stratum {stratum!r}")
+    return program
