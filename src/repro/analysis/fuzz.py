@@ -46,6 +46,15 @@ geometries and, for every sample, checks these identities:
     with a scalar report built from the identity-(e) response, the
     cross-engine contract of :class:`repro.conformance.faulty.
     CrossEngineResult`.  Skipped silently when numpy is unavailable.
+(h) in-field session identity: a deterministic in-field conformance
+    session (:func:`repro.conformance.build_infield_plan` on the
+    sample's geometry, seeded from the sample) run on a fault-free
+    memory must preserve every word of seeded user data and raise zero
+    fail events; the same session with a stuck-at fault injected
+    mid-stream at a transparent-slot boundary must detect it, with the
+    first fail event attributed to that slot's owner.  This identity is
+    independent of the sampled march — it pins the transparent
+    scheduler itself.
 
 Any violation — including the verifier *rejecting* a well-formed
 algorithm, the false-positive direction — is a mismatch.  The
@@ -181,6 +190,8 @@ class SampleResult:
         shrunk_coverage: minimal (march, geometry, fault) reproducer of
             a certificate-vs-sweep disagreement, or None when identity
             (f) held.
+        infield_checked: whether identity (h) ran — the fault-free and
+            mid-stream-injection in-field session pair.
     """
 
     index: int
@@ -199,6 +210,7 @@ class SampleResult:
     vector_checked: bool = False
     coverage_pairs: int = 0
     shrunk_coverage: Optional[Dict[str, Any]] = None
+    infield_checked: bool = False
 
     @property
     def ok(self) -> bool:
@@ -222,6 +234,7 @@ class SampleResult:
             "vector_checked": self.vector_checked,
             "coverage_pairs": self.coverage_pairs,
             "shrunk_coverage": self.shrunk_coverage,
+            "infield_checked": self.infield_checked,
         }
 
 
@@ -232,14 +245,17 @@ def check_sample(
     fault_conformance: bool = True,
     coverage_conformance: bool = True,
     vector_conformance: bool = True,
+    infield_conformance: bool = True,
 ) -> SampleResult:
-    """Generate sample ``index`` of corpus ``seed`` and check all seven
+    """Generate sample ``index`` of corpus ``seed`` and check all eight
     verifier-vs-simulator identities on it (``conformance=False`` skips
     the behavioural-equivalence identity (d); ``fault_conformance=False``
     skips the faulty-memory response identity (e) — and with it the
     sweep-engine identity (g), which reuses (e)'s response;
     ``coverage_conformance=False`` skips the coverage-certificate
-    identity (f); ``vector_conformance=False`` skips (g) alone)."""
+    identity (f); ``vector_conformance=False`` skips (g) alone;
+    ``infield_conformance=False`` skips the in-field session identity
+    (h))."""
     from repro.analysis.interpreter import Verdict, interpret
     from repro.analysis.progfsm_cfg import interpret_fsm
     from repro.analysis.verifier import verify_fsm_program, verify_program
@@ -346,6 +362,14 @@ def check_sample(
     # -- (f), coverage-certificate equivalence -----------------------------
     if coverage_conformance:
         _check_coverage_identity(result, test, caps, index)
+
+    # -- (h), in-field session identity ------------------------------------
+    # Drawn from a derived RNG so the session is deterministic in the
+    # sample seed regardless of which other identities are enabled.
+    if infield_conformance:
+        _check_infield_identity(
+            result, caps, random.Random(f"{sample_seed}:infield")
+        )
     return result
 
 
@@ -522,6 +546,68 @@ def _check_coverage_identity(
         result.shrunk_coverage = shrunk.to_dict()
 
 
+def _check_infield_identity(
+    result: SampleResult,
+    caps: ControllerCapabilities,
+    rng: random.Random,
+) -> None:
+    """Identity (h): the in-field scheduler preserves data and detects.
+
+    Builds the deterministic in-field plan for the sample's geometry
+    (default transparent trio, a per-sample scheduler seed) and runs it
+    twice: on a fault-free memory, where every checkpoint must verify
+    bit-identically and the event log must stay empty, and with a
+    stuck-at fault injected at a randomly chosen transparent-slot
+    boundary, where the session must detect the defect and attribute
+    the first fail event to that slot.
+    """
+    from repro.conformance.infield import (
+        build_infield_plan,
+        run_infield_session,
+    )
+    from repro.faults.spec import parse_fault
+    from repro.memory.sram import Sram
+
+    plan = build_infield_plan(caps, seed=rng.randrange(2**16))
+
+    clean = run_infield_session(
+        plan, Sram(caps.n_words, width=caps.width, ports=caps.ports)
+    )
+    if clean.events:
+        result.mismatches.append(
+            "in-field session raised fail events on a fault-free "
+            f"memory: first {clean.events[0]}"
+        )
+    if not clean.user_data_preserved:
+        bad = [c.checkpoint.slot for c in clean.checkpoints if not c.ok]
+        result.mismatches.append(
+            "in-field session corrupted seeded user data "
+            f"(failing checkpoint slot(s): {bad})"
+        )
+
+    checkpoint = rng.choice(plan.checkpoints)
+    word = rng.randrange(caps.n_words)
+    bit = rng.randrange(caps.width)
+    spec = f"saf:{word}:{bit}:{rng.randint(0, 1)}"
+    faulty = run_infield_session(
+        plan,
+        Sram(caps.n_words, width=caps.width, ports=caps.ports),
+        inject=(parse_fault(spec), checkpoint.start_index),
+    )
+    if not faulty.detected:
+        result.mismatches.append(
+            f"in-field session missed {spec} injected at slot "
+            f"{checkpoint.slot} boundary (op {checkpoint.start_index})"
+        )
+    elif not faulty.events[0].owner.startswith(f"slot {checkpoint.slot} "):
+        result.mismatches.append(
+            f"in-field detection of {spec} misattributed: expected "
+            f"slot {checkpoint.slot}, first event owned by "
+            f"{faulty.events[0].owner!r}"
+        )
+    result.infield_checked = True
+
+
 @dataclass
 class FuzzReport:
     """Aggregated outcome of one corpus run."""
@@ -533,6 +619,7 @@ class FuzzReport:
     fault_detected: int = 0
     vector_checked: int = 0
     coverage_pairs: int = 0
+    infield_checked: int = 0
     mismatch_count: int = 0
     mismatches: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -554,6 +641,7 @@ class FuzzReport:
             "fault_detected": self.fault_detected,
             "vector_checked": self.vector_checked,
             "coverage_pairs": self.coverage_pairs,
+            "infield_checked": self.infield_checked,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
         }
@@ -565,6 +653,7 @@ class FuzzReport:
             f"{self.fault_detected} fault-detecting, "
             f"{self.vector_checked} vector-cross-checked, "
             f"{self.coverage_pairs} coverage pairs certified, "
+            f"{self.infield_checked} in-field sessions, "
             f"{self.mismatch_count} mismatch(es)"
         ]
         for entry in self.mismatches:
@@ -603,7 +692,7 @@ class FuzzReport:
 
 
 def _check_batch(
-    args: Tuple[int, int, int, bool, bool, bool, bool]
+    args: Tuple[int, int, int, bool, bool, bool, bool, bool]
 ) -> List[Dict[str, Any]]:
     """Worker entry point: check samples ``start..start+count-1``.
 
@@ -611,7 +700,7 @@ def _check_batch(
     to keep the inter-process payload small.
     """
     (seed, start, count, conformance, fault_conformance, coverage,
-     vector) = args
+     vector, infield) = args
     out: List[Dict[str, Any]] = []
     for index in range(start, start + count):
         result = check_sample(
@@ -621,13 +710,15 @@ def _check_batch(
             fault_conformance=fault_conformance,
             coverage_conformance=coverage,
             vector_conformance=vector,
+            infield_conformance=infield,
         )
         if result.ok:
             out.append({"index": index, "ok": True,
                         "fsm_compiled": result.fsm_compiled,
                         "fault_detected": result.fault_detected,
                         "vector_checked": result.vector_checked,
-                        "coverage_pairs": result.coverage_pairs})
+                        "coverage_pairs": result.coverage_pairs,
+                        "infield_checked": result.infield_checked})
         else:
             payload = result.to_dict()
             payload["ok"] = False
@@ -643,6 +734,7 @@ def run_fuzz(
     fault_conformance: bool = True,
     coverage_conformance: bool = True,
     vector_conformance: bool = True,
+    infield_conformance: bool = True,
 ) -> FuzzReport:
     """Run the corpus and aggregate a :class:`FuzzReport`.
 
@@ -660,6 +752,8 @@ def run_fuzz(
         vector_conformance: check identity (g), scalar-vs-vector sweep
             report equality on identity (e)'s sample (on by default;
             no-op without numpy or with ``fault_conformance=False``).
+        infield_conformance: check identity (h), the fault-free and
+            mid-stream-injection in-field session pair (on by default).
     """
     if samples <= 0:
         raise ValueError(f"need at least one sample, got {samples}")
@@ -670,13 +764,15 @@ def run_fuzz(
     if jobs == 1:
         batches = [
             _check_batch((seed, 0, samples, conformance, fault_conformance,
-                          coverage_conformance, vector_conformance))
+                          coverage_conformance, vector_conformance,
+                          infield_conformance))
         ]
     else:
         chunk = (samples + jobs - 1) // jobs
         work = [
             (seed, start, min(chunk, samples - start), conformance,
-             fault_conformance, coverage_conformance, vector_conformance)
+             fault_conformance, coverage_conformance, vector_conformance,
+             infield_conformance)
             for start in range(0, samples, chunk)
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -691,6 +787,8 @@ def run_fuzz(
             if entry.get("vector_checked"):
                 report.vector_checked += 1
             report.coverage_pairs += entry.get("coverage_pairs", 0)
+            if entry.get("infield_checked"):
+                report.infield_checked += 1
             if not entry["ok"]:
                 report.mismatch_count += 1
                 report.mismatches.append(

@@ -44,7 +44,8 @@ Commands:
     golden march expansion (``--no-conformance`` to skip) and response
     equivalence on a randomly faulted memory (``--no-faults`` to skip),
     cross-checked against the numpy batch sweep engine (``--no-vector``
-    to skip).
+    to skip), plus an in-field transparent-session identity
+    (``--no-infield`` to skip).
     Exits 1 on any mismatch, so CI can gate on it; ``--report FILE``
     writes the JSON artifact (failing samples carry minimised
     reproducers).
@@ -56,8 +57,11 @@ Commands:
     events, fail-log aggregations and diagnosis (``--fault SPEC``, or a
     stratified/``--full-universe`` sweep of the standard fault
     universe; ``--jobs N`` shards the sweep over worker processes with
-    a jobs-independent report, and repeatable ``--geometry WxBxP``
-    flags sweep several memory geometries into one sectioned report);
+    a jobs-independent report, repeatable ``--geometry WxBxP`` flags
+    sweep several memory geometries into one sectioned report, and
+    ``--mode concurrent|infield`` switches the stimulus regime to the
+    same-cycle dual-port expansion or a deterministic in-field
+    transparent session);
     ``shrink`` delta-debugs a failing sample (``--sample
     SEED:INDEX`` from a fuzz report, or ``--notation``) to a minimal
     reproducer — with ``--fault SPEC`` the shrink runs over all three
@@ -403,6 +407,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fault_conformance=not args.no_faults,
         coverage_conformance=not args.no_coverage,
         vector_conformance=not args.no_vector,
+        infield_conformance=not args.no_infield,
     )
     if args.report:
         with open(args.report, "w") as handle:
@@ -505,6 +510,7 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
                     max_ops=args.max_ops,
                     jobs=jobs,
                     engine=engine,
+                    mode=args.mode,
                 )
                 for engine in ("scalar", "vector")
             }
@@ -542,6 +548,7 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
             max_ops=args.max_ops,
             jobs=jobs,
             engine=args.engine,
+            mode=args.mode,
         )
         if args.report:
             _write_report(args.report, report.to_json())
@@ -559,12 +566,13 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
             per_kind=args.per_kind,
             seed=args.seed,
             full=args.full_universe,
+            mode=args.mode,
         )
     )
     if args.cross_engine:
         result = check_cross_engine(
             tests, caps, faults, compress=compress, max_ops=args.max_ops,
-            jobs=jobs,
+            jobs=jobs, mode=args.mode,
         )
         if args.report:
             _write_report(args.report, result.to_json())
@@ -577,7 +585,7 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
         started = time.perf_counter()
         result = check_fault_conformance(
             tests[0], caps, faults[0], compress=compress,
-            max_ops=args.max_ops,
+            max_ops=args.max_ops, mode=args.mode,
         )
         if args.report:
             # A one-run sweep JSON, so --report behaves identically
@@ -595,7 +603,7 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
         return 0 if result.ok else 1
     report = run_fault_sweep(
         tests, caps, faults, compress=compress, max_ops=args.max_ops,
-        jobs=jobs, engine=args.engine,
+        jobs=jobs, engine=args.engine, mode=args.mode,
     )
     if args.report:
         _write_report(args.report, report.to_json())
@@ -693,20 +701,21 @@ def _shrink_faulty(
     )
 
     fault_spec = args.fault
+    mode = getattr(args, "mode", "sequential")
     initial = check_fault_conformance(
-        test, caps, parse_fault(fault_spec), compress=compress
+        test, caps, parse_fault(fault_spec), compress=compress, mode=mode
     )
     if initial.ok:
         print(
             f"sample's fault response conforms on {initial.geometry} "
-            f"under {fault_spec} — nothing to shrink"
+            f"under {fault_spec} [{mode} mode] — nothing to shrink"
         )
         return 1
     shrunk = shrink_faulty_sample(
         test,
         caps,
         fault_spec,
-        fault_response_predicate(compress=compress),
+        fault_response_predicate(compress=compress, mode=mode),
     )
     if args.json:
         payload = shrunk.to_dict()
@@ -723,6 +732,7 @@ def _shrink_faulty(
             shrunk.capabilities,
             parse_fault(shrunk.fault_spec),
             compress=compress,
+            mode=mode,
         )
         print(final.format())
     return 0
@@ -888,6 +898,11 @@ def build_parser() -> argparse.ArgumentParser:
         "equality on the identity-(e) sample (auto-skipped without "
         "numpy)",
     )
+    fuzz.add_argument(
+        "--no-infield", action="store_true",
+        help="skip identity (h), the fault-free and mid-stream-"
+        "injection in-field transparent session pair",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     certify_cmd = commands.add_parser(
@@ -1008,6 +1023,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="assemble the microcode without REPEAT compression",
     )
     conf_faulty.add_argument(
+        "--mode", choices=("sequential", "concurrent", "infield"),
+        default="sequential",
+        help="stimulus regime: 'sequential' is the architecture "
+        "differential on the golden expansion; 'concurrent' replays "
+        "the same-cycle dual-port expansion (multi-port geometries "
+        "additionally sweep the PAFc/CFxp concurrency stratum); "
+        "'infield' replays a deterministic in-field transparent "
+        "session built from the algorithm's transparent variant",
+    )
+    conf_faulty.add_argument(
         "--engine", choices=("scalar", "vector"), default="scalar",
         help="sweep engine: 'scalar' simulates every run on the Sram "
         "model (the oracle); 'vector' evaluates fault batches with the "
@@ -1075,6 +1100,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault", metavar="SPEC",
         help="shrink a fault-response failure instead: delta-debug "
         "(march, geometry, fault spec) over all three axes",
+    )
+    conf_shrink.add_argument(
+        "--mode", choices=("sequential", "concurrent", "infield"),
+        default="sequential",
+        help="stimulus regime the --fault predicate re-checks under "
+        "(see 'run-faulty --mode')",
     )
     conf_shrink.add_argument(
         "--json", action="store_true", help="machine-readable output"

@@ -18,6 +18,7 @@ Public surface:
 from repro.conformance.check import (
     ARCHITECTURES,
     ArchitectureResult,
+    CONCURRENT_CACHE,
     ConformanceResult,
     GOLDEN_CACHE,
     GoldenTraceCache,
@@ -32,19 +33,33 @@ from repro.conformance.faulty import (
     FaultResponseResult,
     FaultSweepReport,
     FaultyShrinkResult,
+    MODES,
     MultiGeometrySweepReport,
     ResponseBudgetExceeded,
+    capture_cycle_response,
     capture_response,
     check_coverage_conformance,
     check_cross_engine,
     check_fault_conformance,
     coverage_disagreement_predicate,
+    fault_detection_predicate,
     fault_response_predicate,
     random_fault,
     run_fault_sweep,
     run_fault_sweeps,
     shrink_faulty_sample,
     sweep_faults,
+)
+from repro.conformance.infield import (
+    DEFAULT_INFIELD_TESTS,
+    Checkpoint,
+    CheckpointResult,
+    InFieldPlan,
+    InFieldResult,
+    build_infield_plan,
+    cached_infield_plan,
+    fault_free_session,
+    run_infield_session,
 )
 from repro.conformance.corpus import (
     DEFAULT_CORPUS_DIR,
@@ -62,25 +77,34 @@ from repro.conformance.shrink import (
     shrink_sample,
 )
 from repro.conformance.trace import (
+    AttributedCycle,
     AttributedOp,
+    concurrent_trace,
+    format_cycle,
     format_normalized,
     fsm_trace,
     golden_trace,
     hardwired_trace,
     microcode_trace,
     normalize,
+    normalize_cycle,
 )
 
 __all__ = [
     "ARCHITECTURES",
     "ArchitectureResult",
+    "AttributedCycle",
     "AttributedOp",
+    "CONCURRENT_CACHE",
+    "Checkpoint",
+    "CheckpointResult",
     "ConformanceResult",
     "CorpusReport",
     "CoverageConformanceResult",
     "CoverageDisagreement",
     "CrossEngineResult",
     "DEFAULT_CORPUS_DIR",
+    "DEFAULT_INFIELD_TESTS",
     "Divergence",
     "FailEvent",
     "FaultResponseResult",
@@ -89,32 +113,44 @@ __all__ = [
     "GOLDEN_CACHE",
     "GOLDEN_GEOMETRIES",
     "GoldenTraceCache",
+    "InFieldPlan",
+    "InFieldResult",
+    "MODES",
     "MultiGeometrySweepReport",
     "ResponseBudgetExceeded",
     "STREAM_BUILDERS",
     "ShrinkResult",
+    "build_infield_plan",
+    "cached_infield_plan",
+    "capture_cycle_response",
     "capture_response",
     "check_conformance",
     "check_corpus",
     "check_coverage_conformance",
     "check_cross_engine",
     "check_fault_conformance",
+    "concurrent_trace",
     "conformance_predicate",
     "coverage_disagreement_predicate",
+    "fault_detection_predicate",
+    "fault_free_session",
     "fault_response_predicate",
     "first_divergence",
+    "format_cycle",
     "format_normalized",
     "fsm_trace",
     "golden_trace",
     "hardwired_trace",
     "microcode_trace",
     "normalize",
+    "normalize_cycle",
     "promote_from_report",
     "random_fault",
     "record_golden",
     "record_regression",
     "run_fault_sweep",
     "run_fault_sweeps",
+    "run_infield_session",
     "shrink_faulty_sample",
     "shrink_sample",
     "sweep_faults",

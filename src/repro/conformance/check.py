@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.conformance.divergence import Divergence, first_divergence
 from repro.conformance.trace import (
     AttributedOp,
+    concurrent_trace,
     fsm_trace,
     golden_trace,
     hardwired_trace,
@@ -55,10 +56,16 @@ class GoldenTraceCache:
     immutable attributed streams shared between callers; nobody
     mutates them.  ``hits``/``misses`` are exposed for the perf
     regression test.
+
+    ``builder`` is the trace expander the cache memoises — the
+    sequential :func:`~repro.conformance.trace.golden_trace` by default;
+    :data:`CONCURRENT_CACHE` memoises the concurrent cycle traces with
+    the same keying and eviction.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 128, builder=golden_trace) -> None:
         self.maxsize = maxsize
+        self.builder = builder
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Tuple[str, int, int, int], List[AttributedOp]]" = (
@@ -75,7 +82,7 @@ class GoldenTraceCache:
             self.hits += 1
             return cached
         self.misses += 1
-        entry = golden_trace(test, caps)
+        entry = self.builder(test, caps)
         self._entries[key] = entry
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -93,6 +100,10 @@ class GoldenTraceCache:
 #: Process-wide golden-expansion memo (fuzz workers each get their own
 #: copy via fork/spawn, so there is no cross-sample interference).
 GOLDEN_CACHE = GoldenTraceCache()
+
+#: Same memo for the concurrent golden *cycle* streams
+#: (:func:`~repro.conformance.trace.concurrent_trace`).
+CONCURRENT_CACHE = GoldenTraceCache(builder=concurrent_trace)
 
 
 @dataclass

@@ -30,6 +30,10 @@ Op encoding (stable, documented in ``docs/TESTING.md``)::
     w <port> <address> <value>      write
     r <port> <address> <expected>   read
     d <port> <delay>                retention pause
+
+Concurrent stream entries encode one *cycle* per line: the same-cycle
+sub-operations in ascending port order joined by ``" | "``, e.g.
+``w 0 2 1 | r 1 2 0``.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.conformance.check import ARCHITECTURES, check_conformance
 from repro.conformance.trace import golden_trace
 from repro.core.controller import ControllerCapabilities
+from repro.march.concurrent import CycleOps, expand_concurrent
 from repro.march.notation import format_test, parse_test
 from repro.march.simulator import MemoryOperation
 from repro.march.test import MarchTest
@@ -76,6 +81,23 @@ def encode_op(op: MemoryOperation) -> str:
     if op.is_write:
         return f"w {op.port} {op.address} {op.value}"
     return f"r {op.port} {op.address} {op.expected}"
+
+
+def encode_cycle(cycle: "CycleOps") -> str:
+    """One-line encoding of a same-cycle op group (``" | "``-joined)."""
+    return " | ".join(encode_op(op) for op in cycle)
+
+
+def decode_cycle(text: str) -> "CycleOps":
+    """Inverse of :func:`encode_cycle`."""
+    return CycleOps([decode_op(part) for part in text.split(" | ")])
+
+
+def encode_stream_item(item: Any) -> str:
+    """Encode either a plain operation or a :class:`CycleOps` group."""
+    if isinstance(item, CycleOps):
+        return encode_cycle(item)
+    return encode_op(item)
 
 
 def decode_op(text: str) -> MemoryOperation:
@@ -252,6 +274,49 @@ def _classic_stream_builder(generator: str):
     return build
 
 
+def _concurrent_stream_builder(algorithm: str):
+    """Stream builder for the concurrent dual-port expansion.
+
+    Yields :class:`~repro.march.concurrent.CycleOps` groups (encoded
+    one cycle per line), pinning both the base-port march and the
+    companion-port read expectations of
+    :func:`repro.march.concurrent.expand_concurrent`.
+    """
+
+    def build(caps: ControllerCapabilities) -> List[CycleOps]:
+        from repro.march import library
+
+        return list(
+            expand_concurrent(
+                library.get(algorithm),
+                caps.n_words,
+                width=caps.width,
+                ports=caps.ports,
+            )
+        )
+
+    return build
+
+
+def _infield_stream_builder():
+    """Stream builder for the deterministic in-field session plan.
+
+    Pins the full seed + traffic + transparent-slot operation stream of
+    :func:`repro.conformance.infield.build_infield_plan` with the
+    default test trio and ``seed=0``, so any edit to the scheduler, the
+    traffic RNG discipline or the transparent rebasing fails CI with a
+    first-divergence report.
+    """
+
+    def build(caps: ControllerCapabilities) -> List[MemoryOperation]:
+        from repro.conformance.infield import build_infield_plan
+
+        plan = build_infield_plan(caps, seed=0)
+        return [entry.op for entry in plan.stream]
+
+    return build
+
+
 #: Named deterministic operation-stream generators the ``streams/``
 #: corpus is pinned against.  Each maps a geometry to the exact stream;
 #: corpus-check regenerates and compares, so any behavioural edit to a
@@ -267,6 +332,9 @@ STREAM_GENERATORS: Dict[str, Any] = {
     "transparent-mats+": _transparent_stream_builder("MATS+"),
     "transparent-march-c": _transparent_stream_builder("March C"),
     "transparent-march-y": _transparent_stream_builder("March Y"),
+    "concurrent-mats+": _concurrent_stream_builder("MATS+"),
+    "concurrent-march-c": _concurrent_stream_builder("March C"),
+    "infield-session": _infield_stream_builder(),
 }
 
 #: Geometry grid of the stream corpus.  The O(N²) classical tests keep
@@ -282,7 +350,8 @@ def build_stream_entry(
     words, width, ports = geometry
     caps = ControllerCapabilities(n_words=words, width=width, ports=ports)
     encoded = [
-        encode_op(op) for op in STREAM_GENERATORS[generator](caps)
+        encode_stream_item(item)
+        for item in STREAM_GENERATORS[generator](caps)
     ]
     return {
         "schema": SCHEMA,
@@ -322,13 +391,20 @@ def record_regression(
     compress: bool = True,
     provenance: Optional[Dict[str, Any]] = None,
     fault: Optional[str] = None,
+    mode: Optional[str] = None,
+    expect_detected: Optional[bool] = None,
 ) -> pathlib.Path:
     """Check in one minimised reproducer as a regression entry.
 
     ``fault`` (a :mod:`repro.faults.spec` string) additionally pins the
     differential *fault-response* under that injected fault — the
     corpus checker re-runs the full faulty differential for such
-    entries.
+    entries.  ``mode`` selects the stimulus regime the fault response
+    is re-checked under (one of
+    :data:`repro.conformance.faulty.check.MODES`; ``None`` means
+    sequential), and ``expect_detected`` additionally pins the
+    *detection* verdict — e.g. a concurrent-only fault promoted from a
+    shrunk reproducer stays detected by the dual-port stimulus forever.
     """
     test = parse_test(notation, name=name)
     entry = build_entry(
@@ -338,11 +414,24 @@ def record_regression(
         provenance=provenance,
         compress=compress,
     )
+    if mode is not None:
+        from repro.conformance.faulty.check import MODES
+
+        if mode not in MODES:
+            raise CorpusError(
+                f"unknown regression mode {mode!r} (expected one of "
+                f"{'/'.join(MODES)})"
+            )
+        entry["mode"] = mode
     if fault is not None:
         from repro.faults.spec import parse_fault
 
         parse_fault(fault)  # validate before committing
         entry["fault"] = fault
+        if expect_detected is not None:
+            entry["expect_detected"] = bool(expect_detected)
+    elif expect_detected is not None:
+        raise CorpusError("expect_detected requires a fault spec")
     path = _entry_path(root, "regression", name, tuple(geometry))
     return write_entry(path, entry)
 
@@ -555,7 +644,10 @@ def _check_stream_entry(
     words, width, ports = entry["geometry"]
     caps = ControllerCapabilities(n_words=words, width=width, ports=ports)
     try:
-        fresh = [encode_op(op) for op in STREAM_GENERATORS[generator](caps)]
+        fresh = [
+            encode_stream_item(item)
+            for item in STREAM_GENERATORS[generator](caps)
+        ]
     except Exception as error:
         problem(f"stream generator {generator!r} crashed: {error}")
         return
@@ -592,18 +684,33 @@ def _check_fault_entry(
     except FaultSpecError as error:
         problem(f"bad fault spec in corpus entry: {error}")
         return
-    response = check_fault_conformance(
-        test,
-        caps,
-        fault,
-        architectures=architectures,
-        compress=bool(entry.get("compress", True)),
-    )
+    mode = entry.get("mode", "sequential")
+    try:
+        response = check_fault_conformance(
+            test,
+            caps,
+            fault,
+            architectures=architectures,
+            compress=bool(entry.get("compress", True)),
+            mode=mode,
+        )
+    except ValueError as error:
+        problem(f"fault-response re-check failed: {error}")
+        return
     if not response.ok:
         problem(
-            f"fault-response regression under {entry['fault']}: "
-            + response.describe_failures()
+            f"fault-response regression under {entry['fault']} "
+            f"[{mode} mode]: " + response.describe_failures()
         )
+    expect_detected = entry.get("expect_detected")
+    if expect_detected is not None and response.ok:
+        if response.detected != bool(expect_detected):
+            problem(
+                f"detection verdict drifted under {entry['fault']} "
+                f"[{mode} mode]: corpus pins detected="
+                f"{bool(expect_detected)}, harness now reports "
+                f"detected={response.detected}"
+            )
 
 
 def check_corpus(root: pathlib.Path) -> CorpusReport:

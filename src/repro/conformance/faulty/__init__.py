@@ -14,6 +14,7 @@ from repro.conformance.faulty.check import (
     ENGINES,
     FaultResponseResult,
     FaultSweepReport,
+    MODES,
     MultiGeometrySweepReport,
     RESPONSE_CAPTURES,
     ResponseDivergence,
@@ -27,6 +28,7 @@ from repro.conformance.faulty.events import (
     FailEvent,
     ResponseBudgetExceeded,
     ResponseCapture,
+    capture_cycle_response,
     capture_response,
 )
 from repro.conformance.faulty.coverage import (
@@ -45,6 +47,7 @@ from repro.conformance.faulty.shrink import (
     CANONICAL_SPECS,
     FaultyPredicate,
     FaultyShrinkResult,
+    fault_detection_predicate,
     fault_response_predicate,
     shrink_faulty_sample,
     simpler_fault_specs,
@@ -62,16 +65,19 @@ __all__ = [
     "FaultSweepReport",
     "FaultyPredicate",
     "FaultyShrinkResult",
+    "MODES",
     "MultiGeometrySweepReport",
     "RESPONSE_CAPTURES",
     "ResponseBudgetExceeded",
     "ResponseCapture",
     "ResponseDivergence",
+    "capture_cycle_response",
     "capture_response",
     "check_coverage_conformance",
     "check_cross_engine",
     "check_fault_conformance",
     "coverage_disagreement_predicate",
+    "fault_detection_predicate",
     "fault_response_predicate",
     "first_fail_divergence",
     "random_fault",

@@ -36,11 +36,17 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.conformance.check import ARCHITECTURES, GOLDEN_CACHE, STREAM_BUILDERS
+from repro.conformance.check import (
+    ARCHITECTURES,
+    CONCURRENT_CACHE,
+    GOLDEN_CACHE,
+    STREAM_BUILDERS,
+)
 from repro.conformance.faulty.events import (
     FailEvent,
     ResponseBudgetExceeded,
     ResponseCapture,
+    capture_cycle_response,
     capture_response,
     format_fail,
 )
@@ -69,6 +75,21 @@ RESPONSE_CAPTURES = {architecture: capture_response
 
 #: The comparison layers, most precise first.
 LAYERS: Tuple[str, ...] = ("events", "faillog", "diagnosis")
+
+#: Stimulus regimes the fault-response harness can drive.
+#:
+#: * ``sequential`` — the classic one-port-at-a-time golden expansion,
+#:   differentially compared across the three controller architectures.
+#: * ``concurrent`` — the same-cycle dual-port cycle stream of
+#:   :func:`repro.march.concurrent.expand_concurrent`.  None of the
+#:   paper's controllers realises it (their port loops are sequential by
+#:   construction), so the differential partner is a *replay*: a second
+#:   independent capture on a freshly injected memory, proving the
+#:   response is a deterministic function of (stimulus, fault).
+#: * ``infield`` — the deterministic in-field transparent session of
+#:   :mod:`repro.conformance.infield`, with the given algorithm's
+#:   transparent variant as the test slot; compared replay-style too.
+MODES: Tuple[str, ...] = ("sequential", "concurrent", "infield")
 
 
 @dataclass(frozen=True)
@@ -202,6 +223,7 @@ class FaultResponseResult:
     compress: bool
     golden_events: int = 0
     responses: List[ArchitectureResponse] = field(default_factory=list)
+    mode: str = "sequential"
 
     @property
     def ok(self) -> bool:
@@ -231,8 +253,10 @@ class FaultResponseResult:
         return "; ".join(parts)
 
     def format(self) -> str:
+        regime = "" if self.mode == "sequential" else f" [{self.mode} mode]"
         lines = [
-            f"fault-response conformance {self.geometry}: {self.notation}",
+            f"fault-response conformance {self.geometry}{regime}: "
+            f"{self.notation}",
             f"  fault: {self.fault}"
             + (f"  [{self.fault_spec}]" if self.fault_spec else ""),
             f"  golden response: {self.golden_events} fail event(s)"
@@ -266,6 +290,7 @@ class FaultResponseResult:
             "fault": self.fault,
             "fault_spec": self.fault_spec,
             "compress": self.compress,
+            "mode": self.mode,
             "golden_events": self.golden_events,
             "detected": self.detected,
             "ok": self.ok,
@@ -301,6 +326,100 @@ def _diagnose(
     ]
 
 
+def _check_replay_conformance(
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    fault: CellFault,
+    compress: bool,
+    max_ops: Optional[int],
+    mode: str,
+    infield_seed: int,
+) -> FaultResponseResult:
+    """Replay-style conformance for the non-sequential regimes.
+
+    The concurrent and in-field stimuli have no controller realisation
+    to compare against (the paper's architectures are sequential by
+    construction), so the differential partner is a second independent
+    capture on a freshly injected memory: any dynamic fault state or
+    cell contents leaking across the injector boundary — or any
+    non-determinism in the stimulus itself — surfaces as a replay
+    divergence on the events or fail-log layer.  The diagnosis layer is
+    not compared: the classifier's op-index model is the sequential
+    golden stream.
+    """
+    from repro.conformance.infield import cached_infield_plan
+
+    result = FaultResponseResult(
+        notation=format_test(test),
+        geometry=(caps.n_words, caps.width, caps.ports),
+        fault=fault.describe(),
+        fault_spec=format_fault(fault),
+        compress=compress,
+        mode=mode,
+    )
+    response = ArchitectureResponse(architecture="replay")
+    result.responses.append(response)
+    if mode == "concurrent":
+        stream = CONCURRENT_CACHE.get(test, caps)
+        capture_fn = capture_cycle_response
+    else:
+        try:
+            plan = cached_infield_plan(
+                caps, seed=infield_seed, tests=(test,)
+            )
+        except ValueError as error:
+            response.status = "skipped"
+            response.detail = f"no transparent variant: {error}"
+            return result
+        stream = plan.stream
+        capture_fn = capture_response
+    budget = (
+        max_ops
+        if max_ops is not None
+        else DEFAULT_BUDGET_FACTOR * max(len(stream), 1)
+    )
+    injector = FaultInjector(
+        Sram(caps.n_words, width=caps.width, ports=caps.ports)
+    )
+    with injector.injected(fault) as memory:
+        golden = capture_fn(stream, memory, max_ops=budget)
+    result.golden_events = len(golden.events)
+    golden_cells = golden.log(test.name).failing_cells()
+
+    try:
+        with injector.injected(fault) as memory:
+            capture = capture_fn(stream, memory, max_ops=budget)
+    except ResponseBudgetExceeded as error:
+        response.status = "error"
+        response.detail = f"wedged replay session: {error}"
+        return result
+    except Exception as error:
+        response.status = "error"
+        response.detail = (
+            f"replay session crashed: {type(error).__name__}: {error}"
+        )
+        return result
+    response.ops_applied = capture.ops_applied
+    response.event_count = len(capture.events)
+    response.failing_cells = capture.log(test.name).failing_cells()
+
+    divergence = first_fail_divergence(
+        golden.events, capture.events, "replay"
+    )
+    if divergence is not None:
+        response.status = "diverged"
+        response.layer = "events"
+        response.divergence = divergence
+    elif response.failing_cells != golden_cells:
+        response.status = "diverged"
+        response.layer = "faillog"
+        response.mismatch = (
+            f"failing cells {response.failing_cells} != golden "
+            f"{golden_cells}"
+        )
+    return result
+
+
 def check_fault_conformance(
     test: MarchTest,
     capabilities: ControllerCapabilities,
@@ -308,6 +427,8 @@ def check_fault_conformance(
     architectures: Sequence[str] = ARCHITECTURES,
     compress: bool = True,
     max_ops: Optional[int] = None,
+    mode: str = "sequential",
+    infield_seed: int = 0,
 ) -> FaultResponseResult:
     """Differentially test the architectures' responses to ``fault``.
 
@@ -316,10 +437,15 @@ def check_fault_conformance(
         capabilities: memory geometry all controllers target.
         fault: the single fault injected for every run (state is reset
             between runs by the injector).
-        architectures: subset of :data:`ARCHITECTURES` to compare.
+        architectures: subset of :data:`ARCHITECTURES` to compare
+            (sequential mode only).
         compress: microcode REPEAT compression.
         max_ops: per-run op budget; defaults to
             :data:`DEFAULT_BUDGET_FACTOR` × the golden stream length.
+        mode: stimulus regime (see :data:`MODES`).  The non-sequential
+            regimes compare golden against an independent replay
+            instead of the controller architectures.
+        infield_seed: session seed for ``mode="infield"``.
 
     Returns:
         A :class:`FaultResponseResult`; ``.ok`` means every compared
@@ -329,6 +455,12 @@ def check_fault_conformance(
     from repro.core.progfsm.compiler import CompileError
 
     caps = capabilities
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {list(MODES)}")
+    if mode != "sequential":
+        return _check_replay_conformance(
+            test, caps, fault, compress, max_ops, mode, infield_seed
+        )
     unknown = set(architectures) - set(ARCHITECTURES)
     if unknown:
         raise ValueError(
@@ -463,6 +595,7 @@ class FaultSweepReport:
     shards: List[Dict[str, Any]] = field(default_factory=list)
     engine: str = "scalar"
     fallback_runs: int = 0
+    mode: str = "sequential"
 
     @property
     def ok(self) -> bool:
@@ -501,7 +634,16 @@ class FaultSweepReport:
             raise ValueError(
                 f"cannot merge sweeps of different engines: {sorted(engines)}"
             )
-        merged = cls(geometry=reports[0].geometry, engine=reports[0].engine)
+        modes = {report.mode for report in reports}
+        if len(modes) > 1:
+            raise ValueError(
+                f"cannot merge sweeps of different modes: {sorted(modes)}"
+            )
+        merged = cls(
+            geometry=reports[0].geometry,
+            engine=reports[0].engine,
+            mode=reports[0].mode,
+        )
         for report in reports:
             merged.checked += report.checked
             merged.detected += report.detected
@@ -518,8 +660,9 @@ class FaultSweepReport:
                 f"  [{self.engine} engine, "
                 f"{self.fallback_runs} scalar fallback(s)]"
             )
+        regime = "" if self.mode == "sequential" else f" [{self.mode} mode]"
         lines = [
-            f"fault-response sweep {self.geometry}: {self.checked} "
+            f"fault-response sweep {self.geometry}{regime}: {self.checked} "
             f"(algorithm, fault) runs, {self.detected} detected the "
             f"fault, {self.skipped_runs} skip(s), "
             f"{len(self.failures)} failure(s)" + engine
@@ -535,6 +678,7 @@ class FaultSweepReport:
     def to_json(self, include_timing: bool = True) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "geometry": list(self.geometry),
+            "mode": self.mode,
             "checked": self.checked,
             "detected": self.detected,
             "skipped_runs": self.skipped_runs,
@@ -564,7 +708,7 @@ class FaultSweepReport:
 
 def _sweep_shard(
     args: Tuple[int, Sequence[MarchTest], ControllerCapabilities,
-                Sequence[CellFault], int, int, bool, Optional[int]]
+                Sequence[CellFault], int, int, bool, Optional[int], str]
 ) -> FaultSweepReport:
     """Worker entry point: check product pairs ``start..start+count-1``.
 
@@ -574,17 +718,18 @@ def _sweep_shard(
     merged failure list matches the serial one.
     """
     (shard_index, tests, caps, faults, start, count, compress,
-     max_ops) = args
+     max_ops, mode) = args
     started = time.perf_counter()
     report = FaultSweepReport(
-        geometry=(caps.n_words, caps.width, caps.ports)
+        geometry=(caps.n_words, caps.width, caps.ports), mode=mode
     )
     for index in range(start, start + count):
         test = tests[index // len(faults)]
         fault = faults[index % len(faults)]
         report.add(
             check_fault_conformance(
-                test, caps, fault, compress=compress, max_ops=max_ops
+                test, caps, fault, compress=compress, max_ops=max_ops,
+                mode=mode,
             )
         )
     report.shards = [{
@@ -607,6 +752,7 @@ def run_fault_sweep(
     max_ops: Optional[int] = None,
     jobs: int = 1,
     engine: str = "scalar",
+    mode: str = "sequential",
 ) -> FaultSweepReport:
     """Check every (algorithm, fault) pair; used by CI and the CLI.
 
@@ -627,12 +773,19 @@ def run_fault_sweep(
             the scalar path per fault/test where lane semantics do not
             apply, and reports the fallback count).  The report payload
             (timing aside) is identical for both.
+        mode: stimulus regime (see :data:`MODES`).  The vector kernel
+            has no same-cycle lane semantics yet, so non-sequential
+            modes under ``engine="vector"`` take the counted scalar
+            fallback: the whole sweep runs on the scalar oracle and
+            every run is accounted in ``fallback_runs``.
     """
     if jobs <= 0:
         raise ValueError(f"need at least one job, got {jobs}")
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {list(ENGINES)}")
-    if engine == "vector":
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {list(MODES)}")
+    if engine == "vector" and mode == "sequential":
         from repro.vector import require_numpy
 
         require_numpy()
@@ -649,11 +802,11 @@ def run_fault_sweep(
     started = time.perf_counter()
     if total == 0:
         report = FaultSweepReport(
-            geometry=(caps.n_words, caps.width, caps.ports)
+            geometry=(caps.n_words, caps.width, caps.ports), mode=mode
         )
     elif min(jobs, total) == 1:
         report = _sweep_shard(
-            (0, tests, caps, faults, 0, total, compress, max_ops)
+            (0, tests, caps, faults, 0, total, compress, max_ops, mode)
         )
     else:
         jobs = min(jobs, total)
@@ -666,11 +819,16 @@ def run_fault_sweep(
         chunk = (total + shards - 1) // shards
         work = [
             (shard, tests, caps, faults, start,
-             min(chunk, total - start), compress, max_ops)
+             min(chunk, total - start), compress, max_ops, mode)
             for shard, start in enumerate(range(0, total, chunk))
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             report = FaultSweepReport.merge(list(pool.map(_sweep_shard, work)))
+    if engine == "vector":
+        # Counted whole-sweep fallback: the caller asked for the vector
+        # engine but the regime has no lane semantics — never silently.
+        report.engine = "vector"
+        report.fallback_runs = report.checked
     report.jobs = jobs
     report.wall_time_s = time.perf_counter() - started
     return report
@@ -735,15 +893,21 @@ def check_cross_engine(
     compress: bool = True,
     max_ops: Optional[int] = None,
     jobs: int = 1,
+    mode: str = "sequential",
 ) -> CrossEngineResult:
-    """Run one sweep through both engines and compare the payloads."""
+    """Run one sweep through both engines and compare the payloads.
+
+    For non-sequential modes the vector sweep is the counted scalar
+    fallback, so the comparison degenerates to a replay determinism
+    check — still a meaningful payload-equality assertion.
+    """
     scalar = run_fault_sweep(
         tests, capabilities, faults, compress=compress,
-        max_ops=max_ops, jobs=jobs, engine="scalar",
+        max_ops=max_ops, jobs=jobs, engine="scalar", mode=mode,
     )
     vector = run_fault_sweep(
         tests, capabilities, faults, compress=compress,
-        max_ops=max_ops, jobs=jobs, engine="vector",
+        max_ops=max_ops, jobs=jobs, engine="vector", mode=mode,
     )
     return CrossEngineResult(scalar=scalar, vector=vector)
 
@@ -826,15 +990,18 @@ def run_fault_sweeps(
     max_ops: Optional[int] = None,
     jobs: int = 1,
     engine: str = "scalar",
+    mode: str = "sequential",
 ) -> MultiGeometrySweepReport:
     """Sweep ``tests`` across several memory geometries.
 
     When ``faults`` is ``None`` each geometry draws its own population
     with :func:`~repro.conformance.faulty.sampling.sweep_faults` (the
     universe depends on the geometry — bigger memories have more cells
-    to couple, multi-port ones gain the port-fault stratum); an explicit
-    ``faults`` sequence is reused verbatim for every geometry.
-    Geometries run in sequence, each internally sharded over ``jobs``.
+    to couple, multi-port ones gain the port-fault stratum, and
+    concurrent-mode sweeps of multi-port geometries add the
+    concurrency-sensitised stratum); an explicit ``faults`` sequence is
+    reused verbatim for every geometry.  Geometries run in sequence,
+    each internally sharded over ``jobs``.
     """
     from repro.conformance.faulty.sampling import sweep_faults
 
@@ -847,12 +1014,14 @@ def run_fault_sweeps(
         population = (
             list(faults)
             if faults is not None
-            else sweep_faults(caps, per_kind=per_kind, seed=seed, full=full)
+            else sweep_faults(
+                caps, per_kind=per_kind, seed=seed, full=full, mode=mode
+            )
         )
         report.sweeps.append(
             run_fault_sweep(
                 tests, caps, population, compress=compress,
-                max_ops=max_ops, jobs=jobs, engine=engine,
+                max_ops=max_ops, jobs=jobs, engine=engine, mode=mode,
             )
         )
     report.wall_time_s = time.perf_counter() - started

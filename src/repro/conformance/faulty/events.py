@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.conformance.trace import AttributedOp
+from repro.conformance.trace import AttributedCycle, AttributedOp
 from repro.diagnostics.faillog import FailLog
 from repro.march.simulator import Failure
 
@@ -161,6 +161,47 @@ def capture_response(
             memory.write(op.port, op.address, op.value)
         else:
             observed = memory.read(op.port, op.address)
+            if observed != op.expected:
+                capture.events.append(
+                    FailEvent(
+                        op_index=index,
+                        port=op.port,
+                        address=op.address,
+                        expected=op.expected,
+                        observed=observed,
+                        owner=entry.owner,
+                    )
+                )
+    return capture
+
+
+def capture_cycle_response(
+    stream: Sequence[AttributedCycle],
+    memory,
+    max_ops: Optional[int] = None,
+) -> ResponseCapture:
+    """Apply an attributed *cycle* stream to ``memory``.
+
+    The concurrent analogue of :func:`capture_response`: each
+    :class:`~repro.march.concurrent.CycleOps` group is applied
+    atomically via :meth:`~repro.memory.sram.Sram.cycle`, and every
+    mismatching read of a cycle yields one :class:`FailEvent` carrying
+    the **cycle** index as ``op_index`` (ascending port order within a
+    cycle).  The budget counts cycles.
+    """
+    capture = ResponseCapture()
+    for index, entry in enumerate(stream):
+        if max_ops is not None and capture.ops_applied >= max_ops:
+            raise ResponseBudgetExceeded(
+                f"cycle budget of {max_ops} exceeded after "
+                f"{capture.ops_applied} cycle(s)"
+            )
+        capture.ops_applied += 1
+        observed_by_port = memory.cycle(entry.cycle.ops)
+        for op in entry.cycle.ops:
+            if not op.is_read:
+                continue
+            observed = observed_by_port[op.port]
             if observed != op.expected:
                 capture.events.append(
                     FailEvent(

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.controller import ControllerCapabilities
 from repro.faults.base import CellFault
+from repro.faults.concurrent import concurrent_fault_universe
 from repro.faults.spec import format_fault, parse_fault
 from repro.faults.universe import FaultUniverse, standard_universe
 
@@ -64,6 +65,7 @@ def sweep_faults(
     per_kind: int = 3,
     seed: int = 0,
     full: bool = False,
+    mode: str = "sequential",
 ) -> List[CellFault]:
     """The fault population for a CI sweep of ``capabilities``.
 
@@ -74,6 +76,14 @@ def sweep_faults(
     include the port-access (PAF) stratum: the universe is built with
     ``capabilities.ports``, so the faults only per-port repetition can
     catch are actually swept.
+
+    ``mode="concurrent"`` on a multi-port geometry additionally sweeps
+    the concurrency-sensitised stratum
+    (:func:`repro.faults.concurrent.concurrent_fault_universe` — PAFc
+    and CFxp).  Those faults are *not* part of the standard universe:
+    they are invisible to sequential stimuli by construction, so adding
+    them to the sequential sweep (or the static coverage prover's
+    cross-check) would only record guaranteed misses.
     """
     universe = standard_universe(
         capabilities.n_words,
@@ -81,6 +91,16 @@ def sweep_faults(
         include_npsf=False,
         ports=capabilities.ports,
     )
+    if mode == "concurrent" and capabilities.ports > 1:
+        universe = FaultUniverse(
+            name=f"{universe.name} + concurrent",
+            faults=list(universe.faults)
+            + concurrent_fault_universe(
+                capabilities.n_words,
+                capabilities.width,
+                capabilities.ports,
+            ),
+        )
     if full:
         return spec_expressible(universe.faults)
     return stratified_sample(universe, per_kind=per_kind, seed=seed)

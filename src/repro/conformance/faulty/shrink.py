@@ -76,13 +76,15 @@ def fault_response_predicate(
     architectures: Optional[Sequence[str]] = None,
     compress: bool = True,
     max_ops: Optional[int] = None,
+    mode: str = "sequential",
 ) -> FaultyPredicate:
     """The standard predicate: some architecture's *response* diverges.
 
     A candidate triple reproduces when
     :func:`~repro.conformance.faulty.check.check_fault_conformance`
     reports a divergence or a classified error on at least one of
-    ``architectures``.  Malformed candidates (unparseable spec, a
+    ``architectures`` (in the non-sequential ``mode`` regimes: when the
+    replay diverges).  Malformed candidates (unparseable spec, a
     mutated march the assembler rejects) count as *not* reproducing.
     """
     from repro.conformance.check import ARCHITECTURES
@@ -102,10 +104,51 @@ def fault_response_predicate(
                 architectures=selected,
                 compress=compress,
                 max_ops=max_ops,
+                mode=mode,
             )
         except Exception:
             return False
         return not result.ok
+
+    return predicate
+
+
+def fault_detection_predicate(
+    mode: str = "concurrent",
+    detected: bool = True,
+    compress: bool = True,
+    max_ops: Optional[int] = None,
+) -> FaultyPredicate:
+    """Predicate preserving a *detection* verdict instead of a divergence.
+
+    Shrinks samples whose interesting property is "this regime detects
+    (or misses) the fault" — e.g. a concurrent-only fault caught by the
+    dual-port stimulus, or an in-field session flagging a mid-life
+    defect.  A candidate reproduces when the golden capture's detection
+    verdict equals ``detected``; crashes and malformed candidates count
+    as not reproducing, so the shrinker cannot wander into a
+    degenerate triple that merely errors out.
+    """
+    from repro.conformance.faulty.check import check_fault_conformance
+
+    def predicate(
+        test: MarchTest, caps: ControllerCapabilities, spec: str
+    ) -> bool:
+        try:
+            fault = parse_fault(spec)
+            result = check_fault_conformance(
+                test,
+                caps,
+                fault,
+                compress=compress,
+                max_ops=max_ops,
+                mode=mode,
+            )
+        except Exception:
+            return False
+        if not result.ok:
+            return False
+        return result.detected == detected
 
     return predicate
 

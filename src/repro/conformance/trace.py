@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.controller import ControllerCapabilities
 from repro.march.backgrounds import data_backgrounds
+from repro.march.concurrent import CycleOps, expand_concurrent
 from repro.march.element import MarchElement, Pause
 from repro.march.simulator import MemoryOperation, expand
 from repro.march.test import MarchTest
@@ -78,6 +79,74 @@ class AttributedOp:
     @property
     def key(self) -> NormalizedOp:
         return normalize(self.op)
+
+
+def normalize_cycle(cycle: CycleOps) -> Tuple[NormalizedOp, ...]:
+    """Canonical comparison key of one same-cycle op group.
+
+    The per-op normalisation of :func:`normalize`, tupled in the group's
+    (ascending-port) order — two cycles are equivalent iff every port
+    issues the same access.
+    """
+    return tuple(normalize(op) for op in cycle.ops)
+
+
+def format_cycle(key: Optional[Tuple[NormalizedOp, ...]]) -> str:
+    """Render a normalised cycle for divergence reports."""
+    if key is None:
+        return "<end of stream>"
+    return " | ".join(format_normalized(op) for op in key)
+
+
+@dataclass(frozen=True)
+class AttributedCycle:
+    """One traced same-cycle op group plus its owning program location."""
+
+    cycle: CycleOps
+    owner: str
+
+    @property
+    def key(self) -> Tuple[NormalizedOp, ...]:
+        return normalize_cycle(self.cycle)
+
+
+def concurrent_trace(
+    test: MarchTest, capabilities: ControllerCapabilities
+) -> List[AttributedCycle]:
+    """The concurrent golden cycle stream, attributed to march items.
+
+    Owners follow the rotation structure of
+    :func:`repro.march.concurrent.expand_concurrent` (base-port rotation
+    outermost, then backgrounds, items, addresses); as with
+    :func:`golden_trace`, the pairing is asserted against the expander's
+    actual output length.
+    """
+    caps = capabilities
+    cycles = list(
+        expand_concurrent(
+            test, caps.n_words, width=caps.width, ports=caps.ports
+        )
+    )
+    owners: List[str] = []
+    backgrounds = len(data_backgrounds(caps.width))
+    for rotation in range(caps.ports):
+        for _background in range(backgrounds):
+            for item_index, item in enumerate(test.items):
+                if isinstance(item, Pause):
+                    owners.append(f"rotation {rotation} item {item_index} {item}")
+                    continue
+                for _address in range(caps.n_words):
+                    for op_index in range(item.op_count):
+                        owners.append(
+                            f"rotation {rotation} item {item_index} {item} "
+                            f"op {op_index}"
+                        )
+    if len(owners) != len(cycles):  # pragma: no cover - structural invariant
+        raise AssertionError(
+            f"concurrent attribution out of sync: {len(owners)} owners for "
+            f"{len(cycles)} cycles"
+        )
+    return [AttributedCycle(cycle, owner) for cycle, owner in zip(cycles, owners)]
 
 
 def golden_trace(

@@ -28,6 +28,11 @@ one fault at a time into a memory.
 """
 
 from repro.faults.base import CellFault
+from repro.faults.concurrent import (
+    ConcurrentPortAccessFault,
+    CrossPortCouplingFault,
+    concurrent_fault_universe,
+)
 from repro.faults.stuck_at import StuckAtFault
 from repro.faults.transition import TransitionFault
 from repro.faults.coupling import (
@@ -59,6 +64,8 @@ __all__ = [
     "AddressMapsToMultiple",
     "AddressMapsToWrongCell",
     "CellFault",
+    "ConcurrentPortAccessFault",
+    "CrossPortCouplingFault",
     "DataRetentionFault",
     "DeceptiveReadDestructiveFault",
     "FaultInjector",
@@ -74,6 +81,7 @@ __all__ = [
     "StuckOpenFault",
     "TransitionFault",
     "TwoAddressesOneCell",
+    "concurrent_fault_universe",
     "format_fault",
     "parse_fault",
     "standard_universe",

@@ -17,6 +17,15 @@ through four hooks called from the memory's access paths:
 ``on_elapse``
     called when the memory idles (march pauses); retention faults decay
     here.
+``on_cycle_start`` / ``on_cycle_end``
+    called only from :meth:`Sram.cycle` around a same-cycle multi-port
+    operation group, bracketing the per-access hooks above; faults that
+    are sensitised by *simultaneous* accesses (contention PAF,
+    cross-port coupling — :mod:`repro.faults.concurrent`) record the
+    group's port/word co-access pattern here and consult it from their
+    read/write hooks.  The sequential access paths never fire these, so
+    such faults are — by construction — transparent to one-port-at-a-
+    time stimuli.
 
 ``install``/``remove`` let decoder faults rewrite the address map, and
 ``reset`` clears dynamic state (counters, armed flags) between runs so a
@@ -80,6 +89,19 @@ class CellFault(abc.ABC):
 
     def on_elapse(self, memory, duration: int) -> None:
         """React to idle time (retention decay)."""
+
+    def on_cycle_start(self, memory, group) -> None:
+        """Observe a same-cycle multi-port op group before it executes.
+
+        ``group`` is the tuple of per-port operations of one
+        :meth:`~repro.memory.sram.Sram.cycle` call, in ascending port
+        order.  Any per-cycle state recorded here must be cleared in
+        :meth:`on_cycle_end` (and :meth:`reset`): the sequential access
+        paths never call these hooks.
+        """
+
+    def on_cycle_end(self, memory, group) -> None:
+        """Clear per-cycle state after the group committed."""
 
     @abc.abstractmethod
     def describe(self) -> str:

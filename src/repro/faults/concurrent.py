@@ -1,0 +1,225 @@
+"""Faults sensitised only by simultaneous multi-port accesses.
+
+The per-port repetition the paper's controllers implement (microcode
+``Inc. Port`` / FSM path B) catches defects of one port's private access
+path (:class:`~repro.faults.port.PortStuckOpenAccess`), but a class of
+multiport defects only manifests when **two ports are active in the same
+cycle** — word-line coupling between the ports' parallel wires, shared
+sense-amplifier contention, inter-port bit-line shorts (the multiport
+regime of the paper's Table 2).  One-port-at-a-time stimuli provably
+cannot sensitise them: the models below gate on the
+``on_cycle_start``/``on_cycle_end`` hooks that only
+:meth:`repro.memory.sram.Sram.cycle` fires, so under sequential
+expansion they are behaviourally transparent, while the concurrent
+dual-port expansion of :mod:`repro.march.concurrent` detects them.
+
+Two models, matching the spec vocabulary of :mod:`repro.faults.spec`:
+
+* :class:`ConcurrentPortAccessFault` (``pafc:P:W:B``) — a contention
+  PAF: accesses to cell ``(W,B)`` through port ``P`` break (reads
+  float, writes do not land) only in cycles where a *second* port
+  accesses the same word simultaneously.
+* :class:`CrossPortCouplingFault` (``cfxp:AW:AB:VW:VB:up|down:F``) — an
+  idempotent coupling between ports: an aggressor write transition
+  forces the victim cell to ``F``, but only when another port accesses
+  the victim's word in the same cycle (the coupling path runs between
+  the two ports' word lines, so it needs both selected at once).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.faults.base import CellFault, bit_of, with_bit
+
+
+def _co_accessed_words(memory, group) -> dict:
+    """Map physical word -> set of ports accessing it in this group."""
+    touched: dict = {}
+    for op in group:
+        if op.is_delay:
+            continue
+        for word in memory.decoder.targets(op.address):
+            touched.setdefault(word, set()).add(op.port)
+    return touched
+
+
+class ConcurrentPortAccessFault(CellFault):
+    """Contention PAF: port ``port`` loses cell ``(word, bit)`` only
+    under simultaneous access to the same word by another port.
+
+    Models a marginal access device that still switches when its word
+    line fires alone but loses the fight when a second port's word line
+    selects the same row in the same cycle (supply droop / charge
+    sharing between the parallel access paths).  Reads through the
+    defective port then observe the floating ``open_value``; writes
+    through it do not reach the cell bit.  Sequential per-port
+    repetition never co-selects two ports, so this fault is invisible
+    to it — the defining example of why the concurrent expansion mode
+    exists.
+    """
+
+    kind = "PAFc"
+
+    def __init__(
+        self, port: int, word: int, bit: int, open_value: int = 0
+    ) -> None:
+        if open_value not in (0, 1):
+            raise ValueError(f"open value must be 0 or 1, got {open_value!r}")
+        self.port = port
+        self.word = word
+        self.bit = bit
+        self.open_value = open_value
+        self._contended: FrozenSet[int] = frozenset()
+
+    def install(self, memory) -> None:
+        if self.port >= memory.ports:
+            raise ValueError(
+                f"memory has {memory.ports} port(s); no port {self.port}"
+            )
+
+    def reset(self) -> None:
+        self._contended = frozenset()
+
+    def on_cycle_start(self, memory, group) -> None:
+        touched = _co_accessed_words(memory, group)
+        self._contended = frozenset(
+            word for word, ports in touched.items() if len(ports) >= 2
+        )
+
+    def on_cycle_end(self, memory, group) -> None:
+        self._contended = frozenset()
+
+    def on_read(self, memory, port: int, word: int, value: int) -> int:
+        if (
+            port == self.port
+            and word == self.word
+            and word in self._contended
+        ):
+            return with_bit(value, self.bit, self.open_value)
+        return value
+
+    def on_write(self, memory, port: int, word: int, old: int, new: int) -> int:
+        if (
+            port == self.port
+            and word == self.word
+            and word in self._contended
+        ):
+            # The contended write does not reach the cell bit.
+            return with_bit(new, self.bit, bit_of(old, self.bit))
+        return new
+
+    def describe(self) -> str:
+        return (
+            f"PAFc: cell ({self.word},{self.bit}) lost by port {self.port} "
+            f"under simultaneous access (floating reads = {self.open_value})"
+        )
+
+
+class CrossPortCouplingFault(CellFault):
+    """Cross-port idempotent coupling: an aggressor write transition
+    forces the victim cell, but only when a *different* port accesses
+    the victim's word in the same cycle.
+
+    ``rising`` selects the sensitising aggressor-bit transition
+    (0→1 when True, 1→0 when False) and ``forced_value`` is what the
+    victim bit is driven to — the CFid contract of
+    :class:`~repro.faults.coupling.IdempotentCouplingFault`, with the
+    extra cross-port gate.  Sequential expansion never co-selects the
+    victim through a second port, so the coupling never fires there.
+    """
+
+    kind = "CFxp"
+
+    def __init__(
+        self,
+        aggressor_word: int,
+        aggressor_bit: int,
+        victim_word: int,
+        victim_bit: int,
+        rising: bool,
+        forced_value: int,
+    ) -> None:
+        if forced_value not in (0, 1):
+            raise ValueError(
+                f"forced value must be 0 or 1, got {forced_value!r}"
+            )
+        if (aggressor_word, aggressor_bit) == (victim_word, victim_bit):
+            raise ValueError("a cell cannot cross-couple to itself")
+        self.aggressor_word = aggressor_word
+        self.aggressor_bit = aggressor_bit
+        self.victim_word = victim_word
+        self.victim_bit = victim_bit
+        self.rising = bool(rising)
+        self.forced_value = forced_value
+        self._victim_ports: FrozenSet[int] = frozenset()
+
+    def reset(self) -> None:
+        self._victim_ports = frozenset()
+
+    def on_cycle_start(self, memory, group) -> None:
+        touched = _co_accessed_words(memory, group)
+        self._victim_ports = frozenset(touched.get(self.victim_word, ()))
+
+    def on_cycle_end(self, memory, group) -> None:
+        self._victim_ports = frozenset()
+
+    def on_any_write(self, memory, port: int, word: int, old: int, new: int) -> None:
+        if word != self.aggressor_word:
+            return
+        was = bit_of(old, self.aggressor_bit)
+        now = bit_of(new, self.aggressor_bit)
+        triggered = (was, now) == ((0, 1) if self.rising else (1, 0))
+        if not triggered:
+            return
+        # The coupling path needs the victim word selected through a
+        # port other than the one driving the aggressor write.
+        if any(p != port for p in self._victim_ports):
+            memory.force_bit(
+                self.victim_word, self.victim_bit, self.forced_value
+            )
+
+    def describe(self) -> str:
+        arrow = "rising" if self.rising else "falling"
+        return (
+            f"CFxp: {arrow} write on ({self.aggressor_word},"
+            f"{self.aggressor_bit}) forces ({self.victim_word},"
+            f"{self.victim_bit}) to {self.forced_value} under "
+            f"cross-port victim access"
+        )
+
+
+def concurrent_fault_universe(
+    n_words: int, width: int, ports: int
+) -> List[CellFault]:
+    """All concurrency-sensitised faults of a geometry.
+
+    Empty for single-port memories (the defects need two ports).  The
+    cross-port coupling stratum is restricted to intra-word bit pairs:
+    the concurrent expansion's companion port reads the *same address*
+    as the active port, so those are exactly the aggressor/victim pairs
+    a same-cycle access can co-select (and for bit-oriented memories
+    the stratum is empty).
+    """
+    if ports < 2:
+        return []
+    faults: List[CellFault] = [
+        ConcurrentPortAccessFault(port, word, bit)
+        for port in range(ports)
+        for word in range(n_words)
+        for bit in range(width)
+    ]
+    for word in range(n_words):
+        for aggressor_bit in range(width):
+            for victim_bit in range(width):
+                if victim_bit == aggressor_bit:
+                    continue
+                for rising in (True, False):
+                    for forced in (0, 1):
+                        faults.append(
+                            CrossPortCouplingFault(
+                                word, aggressor_bit, word, victim_bit,
+                                rising, forced,
+                            )
+                        )
+    return faults

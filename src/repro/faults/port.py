@@ -68,6 +68,12 @@ class PortRestrictedFault(CellFault):
     def on_elapse(self, memory, duration: int) -> None:
         self.fault.on_elapse(memory, duration)
 
+    def on_cycle_start(self, memory, group) -> None:
+        self.fault.on_cycle_start(memory, group)
+
+    def on_cycle_end(self, memory, group) -> None:
+        self.fault.on_cycle_end(memory, group)
+
     def describe(self) -> str:
         return f"port {self.port} only: {self.fault.describe()}"
 

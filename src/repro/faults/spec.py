@@ -29,6 +29,12 @@ every spec-expressible kind::
     af3:A:A2           addresses A and A2 share one cell
     af4:A:W            address A selects its own cell plus W
     paf:P:W:B          cell (W,B) disconnected from port P
+    pafc:P:W:B         contention PAF: (W,B) lost by port P only under
+                       simultaneous access to word W by another port
+    cfxp:AW:AB:VW:VB:up|down:F
+                       cross-port coupling: aggressor transition forces
+                       the victim to F only when another port accesses
+                       the victim's word in the same cycle
 
 Faults outside this vocabulary (NPSF with its neighbourhood pattern
 lists, linked composites, port-restricted wrappers) have no spec form;
@@ -48,6 +54,10 @@ from repro.faults.address_decoder import (
     TwoAddressesOneCell,
 )
 from repro.faults.base import CellFault
+from repro.faults.concurrent import (
+    ConcurrentPortAccessFault,
+    CrossPortCouplingFault,
+)
 from repro.faults.coupling import (
     IdempotentCouplingFault,
     InversionCouplingFault,
@@ -125,13 +135,22 @@ def parse_fault(spec: str) -> CellFault:
         if kind == "paf":
             port, word, bit = map(int, args)
             return PortStuckOpenAccess(port, word, bit)
+        if kind == "pafc":
+            port, word, bit = map(int, args)
+            return ConcurrentPortAccessFault(port, word, bit)
+        if kind == "cfxp":
+            aw, ab, vw, vb = map(int, args[:4])
+            return CrossPortCouplingFault(
+                aw, ab, vw, vb, _direction(args[4]), int(args[5])
+            )
     except FaultSpecError:
         raise
     except (ValueError, IndexError) as error:
         raise FaultSpecError(f"bad fault spec {spec!r}: {error}") from None
     raise FaultSpecError(
         f"unknown fault kind {kind!r} "
-        f"(saf/tf/drf/sof/irf/rdf/drdf/cfin/cfid/cfst/af1-af4/paf)"
+        f"(saf/tf/drf/sof/irf/rdf/drdf/cfin/cfid/cfst/af1-af4/paf/"
+        f"pafc/cfxp)"
     )
 
 
@@ -185,4 +204,13 @@ def format_fault(fault: CellFault) -> Optional[str]:
         return f"af4:{fault.address}:{fault.extra_word}"
     if isinstance(fault, PortStuckOpenAccess):
         return f"paf:{fault.port}:{fault.word}:{fault.bit}"
+    if isinstance(fault, ConcurrentPortAccessFault):
+        return f"pafc:{fault.port}:{fault.word}:{fault.bit}"
+    if isinstance(fault, CrossPortCouplingFault):
+        arrow = "up" if fault.rising else "down"
+        return (
+            f"cfxp:{fault.aggressor_word}:{fault.aggressor_bit}:"
+            f"{fault.victim_word}:{fault.victim_bit}:{arrow}:"
+            f"{fault.forced_value}"
+        )
     return None

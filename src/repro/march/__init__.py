@@ -22,12 +22,19 @@ from repro.march.test import MarchTest
 from repro.march.notation import format_test, parse_test
 from repro.march import library
 from repro.march.simulator import MemoryOperation, expand, run_on_memory
+from repro.march.concurrent import (
+    CycleOps,
+    cycle_count,
+    expand_concurrent,
+    run_cycles_on_memory,
+)
 from repro.march.properties import is_symmetric, symmetric_split
 from repro.march.validate import check_consistency, is_consistent
 from repro.march.backgrounds import data_backgrounds
 
 __all__ = [
     "AddressOrder",
+    "CycleOps",
     "MarchElement",
     "MarchTest",
     "MemoryOperation",
@@ -36,12 +43,15 @@ __all__ = [
     "Pause",
     "data_backgrounds",
     "check_consistency",
+    "cycle_count",
     "expand",
+    "expand_concurrent",
     "format_test",
     "is_consistent",
     "is_symmetric",
     "library",
     "parse_test",
+    "run_cycles_on_memory",
     "run_on_memory",
     "symmetric_split",
 ]

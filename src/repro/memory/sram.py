@@ -13,6 +13,16 @@ cell array; the BIST architectures in the paper test each port by
 re-running the whole algorithm per port (the microcode ``Inc. Port``
 instruction / the FSM controller's path B).  Port-specific defects are
 modelled by faults that only fire for a given port.
+
+Genuinely *concurrent* multi-port access — several ports active in the
+same cycle, the paper's multiport Table 2 regime — goes through
+:meth:`Sram.cycle`, which applies a whole per-port operation group
+atomically under a documented read/write and write/write arbitration
+order (reads sample pre-cycle contents; writes commit in ascending port
+order).  Faults that are only sensitised by simultaneous accesses (the
+contention PAF and cross-port coupling models of
+:mod:`repro.faults.concurrent`) observe the group through the
+``on_cycle_start``/``on_cycle_end`` hooks.
 """
 
 from __future__ import annotations
@@ -134,6 +144,102 @@ class Sram:
                 value = fault.on_read(self, port, word, value) & self.word_mask
             observed &= value
         return observed
+
+    def cycle(self, ops: Sequence) -> dict:
+        """Apply one same-cycle multi-port operation group atomically.
+
+        ``ops`` is a group of :class:`~repro.march.simulator.
+        MemoryOperation` issued in the *same* memory cycle, at most one
+        per port.  The arbitration contract (asserted here, documented
+        in ``docs/TESTING.md``) is:
+
+        1. every operation targets a distinct port (a port has one
+           address/data register — two same-cycle accesses through one
+           port are a stimulus bug, not a memory behaviour);
+        2. the clock advances once for the whole group (one cycle);
+        3. **reads sample pre-cycle contents** ("read-first"): all reads
+           complete, in ascending port order, before any write commits —
+           so a write+read race on one cell observes the old value;
+        4. writes commit after every read, in ascending port order, so a
+           write/write race on one cell resolves to the **highest port**
+           (last writer wins).
+
+        A pause may only travel alone (a single delay operation); it is
+        equivalent to :meth:`elapse`.
+
+        Fault hooks: ``on_cycle_start(memory, group)`` fires before any
+        access of the group and ``on_cycle_end(memory, group)`` after
+        the last one (exception-safely), bracketing the per-access
+        ``on_read``/``on_write``/``on_any_write`` hooks so concurrency-
+        sensitised fault models can see which ports co-access which
+        words this cycle.  The sequential :meth:`read`/:meth:`write`
+        paths never fire the cycle hooks — a fault gated on them is, by
+        construction, invisible to one-port-at-a-time stimuli.
+
+        Returns:
+            ``{port: observed_word}`` for the group's reads.
+        """
+        group = sorted(ops, key=lambda op: op.port)
+        if not group:
+            raise ValueError("a cycle needs at least one operation")
+        ports_seen = set()
+        for op in group:
+            self._check_port(op.port)
+            if op.port in ports_seen:
+                raise ValueError(
+                    f"two same-cycle operations on port {op.port}; a port "
+                    f"issues at most one access per cycle"
+                )
+            ports_seen.add(op.port)
+            if op.is_delay and len(group) > 1:
+                raise ValueError(
+                    "a pause cannot share a cycle with port accesses"
+                )
+        if group[0].is_delay:
+            self.elapse(group[0].delay)
+            return {}
+        self.clock.advance(1)
+        frozen = tuple(group)
+        for fault in self.faults:
+            fault.on_cycle_start(self, frozen)
+        try:
+            observed_by_port = {}
+            for op in frozen:
+                if not op.is_read:
+                    continue
+                targets = self.decoder.targets(op.address)
+                if not targets:
+                    observed_by_port[op.port] = self.open_read_value
+                    continue
+                observed = self.word_mask
+                for word in targets:
+                    value = self._cells[word]
+                    for fault in self.faults:
+                        value = (
+                            fault.on_read(self, op.port, word, value)
+                            & self.word_mask
+                        )
+                    observed &= value
+                observed_by_port[op.port] = observed
+            for op in frozen:
+                if not op.is_write:
+                    continue
+                value = op.value & self.word_mask
+                for word in self.decoder.targets(op.address):
+                    old = self._cells[word]
+                    new = value
+                    for fault in self.faults:
+                        new = (
+                            fault.on_write(self, op.port, word, old, new)
+                            & self.word_mask
+                        )
+                    self._cells[word] = new
+                    for fault in self.faults:
+                        fault.on_any_write(self, op.port, word, old, new)
+        finally:
+            for fault in self.faults:
+                fault.on_cycle_end(self, frozen)
+        return observed_by_port
 
     def elapse(self, duration: int) -> None:
         """Idle for ``duration`` retention-time units (march pauses)."""

@@ -321,3 +321,66 @@ def test_storage_scan_roundtrip(test):
     other = StorageUnit(rows=storage.rows)
     other.scan_load(image)
     assert other.scan_dump() == image
+
+
+# ---------------------------------------------------------------------------
+# Concurrent expansion and in-field session invariants.
+# ---------------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=50,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(march_tests, st.integers(min_value=1, max_value=6),
+       st.sampled_from([1, 2, 4]))
+def test_concurrent_single_port_equals_sequential(test, n_words, width):
+    """With one port there is no companion: the concurrent cycle stream
+    degenerates op-for-op to the sequential golden expansion."""
+    from repro.march.concurrent import expand_concurrent
+
+    cycles = list(expand_concurrent(test, n_words, width=width, ports=1))
+    sequential = list(expand(test, n_words, width=width, ports=1))
+    assert [cycle.ops for cycle in cycles] == [(op,) for op in sequential]
+
+
+@settings(deadline=None, max_examples=50,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(march_tests, geometries)
+def test_concurrent_base_ops_are_the_sequential_stream(test, geometry):
+    """The base-port operation of concurrent cycle *i* is exactly
+    operation *i* of the sequential stream, on any geometry."""
+    from repro.march.concurrent import cycle_count, expand_concurrent
+
+    n_words, width, ports = geometry
+    cycles = list(
+        expand_concurrent(test, n_words, width=width, ports=ports)
+    )
+    sequential = list(expand(test, n_words, width=width, ports=ports))
+    assert len(cycles) == len(sequential)
+    assert len(cycles) == cycle_count(test, n_words, width, ports)
+    for cycle, golden in zip(cycles, sequential):
+        base_ops = [op for op in cycle if op.port == golden.port]
+        assert base_ops == [golden]
+
+
+@settings(deadline=None, max_examples=40,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=2**32), geometries)
+def test_infield_session_preserves_arbitrary_user_data(seed, geometry):
+    """Identity (h), property form: on ANY geometry and ANY session
+    seed (i.e. arbitrary seeded user data and traffic), the fault-free
+    in-field session raises no events and every checkpoint finds the
+    user's data bit-identical to the traffic-only shadow."""
+    from repro.conformance.infield import (
+        build_infield_plan,
+        run_infield_session,
+    )
+    from repro.memory.sram import Sram
+
+    n_words, width, ports = geometry
+    caps = ControllerCapabilities(n_words=n_words, width=width, ports=ports)
+    plan = build_infield_plan(caps, seed=seed)
+    result = run_infield_session(
+        plan, Sram(n_words, width=width, ports=ports)
+    )
+    assert result.events == []
+    assert result.user_data_preserved
