@@ -29,6 +29,7 @@ RECORDS = (
     ("BENCH_fault_sweep.json", "fault_sweep"),
     ("BENCH_coverage_static.json", "coverage_static"),
     ("BENCH_vector_kernel.json", "vector_kernel"),
+    ("BENCH_service.json", "service"),
 )
 
 
@@ -61,6 +62,17 @@ def _summarise(benchmark: str, record: dict) -> list:
                 f"(speedup {m['static_speedup']}x)"
             )
         return lines
+    if benchmark == "service":
+        m = record.get("measurements", {})
+        return [
+            f"service layer ({record['runs']} runs, "
+            f"identical={record['reports_identical_sans_timing']}):",
+            f"    engine dispatch {m.get('engine_overhead_x')}x direct; "
+            f"warm store hit rate {m.get('warm_hit_rate')} "
+            f"({m.get('warm_speedup_x')}x)",
+            f"    session submit->collect {m.get('session_s')}s "
+            f"for {m.get('session_runs')} runs",
+        ]
     if benchmark == "vector_kernel":
         lines = [f"lane kernel ({record['algorithm']} golden stream):"]
         for m in record.get("measurements", []):

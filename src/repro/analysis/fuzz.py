@@ -58,10 +58,11 @@ geometries and, for every sample, checks these identities:
 
 Any violation — including the verifier *rejecting* a well-formed
 algorithm, the false-positive direction — is a mismatch.  The
-``repro fuzz`` CLI subcommand batch-parallelises the corpus over a
-:mod:`concurrent.futures` worker pool; per-sample seeds are derived
-from ``(seed, index)`` so reports are deterministic and independent of
-``--jobs``.
+``repro fuzz`` CLI subcommand batch-parallelises the corpus over the
+crash-tolerant :class:`~repro.service.engine.JobEngine`; per-sample
+seeds are derived from ``(seed, index)`` so reports are deterministic
+and independent of ``--jobs``, and a crashed or interrupted worker
+costs its batch a retry, not the corpus.
 
 The same generator is exposed as a :mod:`hypothesis` strategy
 (:func:`march_test_strategy`) so the property-based test suite shrinks
@@ -71,9 +72,8 @@ any counterexample the corpus run surfaces.
 from __future__ import annotations
 
 import random
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import ControllerCapabilities
 from repro.core.microcode.assembler import assemble
@@ -192,6 +192,8 @@ class SampleResult:
             (f) held.
         infield_checked: whether identity (h) ran — the fault-free and
             mid-stream-injection in-field session pair.
+        service_checked: whether identity (i) ran — the interrupted-
+            then-resumed sweep vs the uninterrupted serial sweep.
     """
 
     index: int
@@ -211,6 +213,7 @@ class SampleResult:
     coverage_pairs: int = 0
     shrunk_coverage: Optional[Dict[str, Any]] = None
     infield_checked: bool = False
+    service_checked: bool = False
 
     @property
     def ok(self) -> bool:
@@ -235,6 +238,7 @@ class SampleResult:
             "coverage_pairs": self.coverage_pairs,
             "shrunk_coverage": self.shrunk_coverage,
             "infield_checked": self.infield_checked,
+            "service_checked": self.service_checked,
         }
 
 
@@ -246,8 +250,9 @@ def check_sample(
     coverage_conformance: bool = True,
     vector_conformance: bool = True,
     infield_conformance: bool = True,
+    service_conformance: bool = True,
 ) -> SampleResult:
-    """Generate sample ``index`` of corpus ``seed`` and check all eight
+    """Generate sample ``index`` of corpus ``seed`` and check all nine
     verifier-vs-simulator identities on it (``conformance=False`` skips
     the behavioural-equivalence identity (d); ``fault_conformance=False``
     skips the faulty-memory response identity (e) — and with it the
@@ -255,7 +260,8 @@ def check_sample(
     ``coverage_conformance=False`` skips the coverage-certificate
     identity (f); ``vector_conformance=False`` skips (g) alone;
     ``infield_conformance=False`` skips the in-field session identity
-    (h))."""
+    (h); ``service_conformance=False`` skips the resumed-sweep identity
+    (i))."""
     from repro.analysis.interpreter import Verdict, interpret
     from repro.analysis.progfsm_cfg import interpret_fsm
     from repro.analysis.verifier import verify_fsm_program, verify_program
@@ -369,6 +375,14 @@ def check_sample(
     if infield_conformance:
         _check_infield_identity(
             result, caps, random.Random(f"{sample_seed}:infield")
+        )
+
+    # -- (i), interrupted-then-resumed sweep identity ----------------------
+    # Also from a derived RNG, for the same reason.
+    if service_conformance:
+        _check_service_identity(
+            result, test, caps, compress,
+            random.Random(f"{sample_seed}:service"),
         )
     return result
 
@@ -608,6 +622,80 @@ def _check_infield_identity(
     result.infield_checked = True
 
 
+def _check_service_identity(
+    result: SampleResult,
+    test: MarchTest,
+    caps: ControllerCapabilities,
+    compress: bool,
+    rng: random.Random,
+) -> None:
+    """Identity (i): a resumed sweep equals the uninterrupted sweep.
+
+    Runs the sample's algorithm against a few random faults three ways:
+    serial (the baseline), checkpointed into a throwaway store with an
+    injected interrupt partway through (asserting the partial report is
+    marked ``interrupted`` and is a prefix of the baseline), and then
+    resumed from the same store.  The resumed report's payload — timing
+    aside — must be byte-identical to the baseline's, with the
+    already-completed shards served as cache hits.
+    """
+    import tempfile
+
+    from repro.conformance.faulty.check import (
+        SweepInterrupted,
+        run_fault_sweep,
+    )
+    from repro.conformance.faulty.sampling import random_fault
+    from repro.service import ChaosPlan, ResultStore
+
+    faults = [random_fault(rng, caps) for _ in range(3)]
+    baseline = run_fault_sweep(
+        [test], caps, faults, compress=compress
+    ).to_json(include_timing=False)
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as root:
+        store = ResultStore(root)
+        plan = ChaosPlan(interrupt_after=1)
+        try:
+            run_fault_sweep(
+                [test], caps, faults, compress=compress,
+                store=store, resume=True, chaos=plan,
+            )
+        except SweepInterrupted as interrupt:
+            partial = interrupt.report.to_json()
+            if not partial.get("interrupted"):
+                result.mismatches.append(
+                    "service identity: partial report not marked "
+                    "interrupted"
+                )
+            if partial["checked"] >= baseline["checked"]:
+                result.mismatches.append(
+                    "service identity: interrupt left nothing to resume "
+                    f"({partial['checked']}/{baseline['checked']} runs)"
+                )
+        else:
+            result.mismatches.append(
+                "service identity: injected interrupt did not fire"
+            )
+            return
+        resumed = run_fault_sweep(
+            [test], caps, faults, compress=compress,
+            store=store, resume=True,
+        )
+        stats = (resumed.service_stats or {}).get("store", {})
+        if resumed.to_json(include_timing=False) != baseline:
+            result.mismatches.append(
+                "service identity: resumed sweep diverged from the "
+                "uninterrupted serial sweep"
+            )
+        elif not stats.get("hits"):
+            result.mismatches.append(
+                "service identity: resume recomputed every shard "
+                f"(store stats {stats})"
+            )
+    result.service_checked = True
+
+
 @dataclass
 class FuzzReport:
     """Aggregated outcome of one corpus run."""
@@ -620,15 +708,18 @@ class FuzzReport:
     vector_checked: int = 0
     coverage_pairs: int = 0
     infield_checked: int = 0
+    service_checked: int = 0
     mismatch_count: int = 0
     mismatches: List[Dict[str, Any]] = field(default_factory=list)
+    interrupted: bool = False
+    service_stats: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.mismatch_count == 0
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "samples": self.samples,
             "seed": self.seed,
             "checked": self.checked,
@@ -642,9 +733,17 @@ class FuzzReport:
             "vector_checked": self.vector_checked,
             "coverage_pairs": self.coverage_pairs,
             "infield_checked": self.infield_checked,
+            "service_checked": self.service_checked,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
         }
+        if self.interrupted:
+            payload["interrupted"] = True
+        # service_stats deliberately stays off the payload: to_json()
+        # is the jobs-independence contract surface ("the report is
+        # identical regardless of --jobs"), and pool telemetry is a
+        # function of the execution, not the corpus.
+        return payload
 
     def format(self) -> str:
         lines = [
@@ -654,7 +753,9 @@ class FuzzReport:
             f"{self.vector_checked} vector-cross-checked, "
             f"{self.coverage_pairs} coverage pairs certified, "
             f"{self.infield_checked} in-field sessions, "
+            f"{self.service_checked} resumed-sweep identities, "
             f"{self.mismatch_count} mismatch(es)"
+            + (" [INTERRUPTED]" if self.interrupted else "")
         ]
         for entry in self.mismatches:
             lines.append(
@@ -692,7 +793,7 @@ class FuzzReport:
 
 
 def _check_batch(
-    args: Tuple[int, int, int, bool, bool, bool, bool, bool]
+    args: Tuple[int, int, int, bool, bool, bool, bool, bool, bool]
 ) -> List[Dict[str, Any]]:
     """Worker entry point: check samples ``start..start+count-1``.
 
@@ -700,7 +801,7 @@ def _check_batch(
     to keep the inter-process payload small.
     """
     (seed, start, count, conformance, fault_conformance, coverage,
-     vector, infield) = args
+     vector, infield, service) = args
     out: List[Dict[str, Any]] = []
     for index in range(start, start + count):
         result = check_sample(
@@ -711,6 +812,7 @@ def _check_batch(
             coverage_conformance=coverage,
             vector_conformance=vector,
             infield_conformance=infield,
+            service_conformance=service,
         )
         if result.ok:
             out.append({"index": index, "ok": True,
@@ -718,12 +820,25 @@ def _check_batch(
                         "fault_detected": result.fault_detected,
                         "vector_checked": result.vector_checked,
                         "coverage_pairs": result.coverage_pairs,
-                        "infield_checked": result.infield_checked})
+                        "infield_checked": result.infield_checked,
+                        "service_checked": result.service_checked})
         else:
             payload = result.to_dict()
             payload["ok"] = False
             out.append(payload)
     return out
+
+
+def _lost_batch_entry(start: int, count: int, error: str) -> Dict[str, Any]:
+    """A synthetic mismatch entry for a batch the service lost."""
+    return {
+        "index": start,
+        "ok": False,
+        "sample_seed": f"<batch {start}..{start + count - 1}>",
+        "notation": "<service>",
+        "geometry": [0, 0, 0],
+        "mismatches": [f"service: batch lost: {error}"],
+    }
 
 
 def run_fuzz(
@@ -735,6 +850,8 @@ def run_fuzz(
     coverage_conformance: bool = True,
     vector_conformance: bool = True,
     infield_conformance: bool = True,
+    service_conformance: bool = True,
+    shard_timeout: Optional[float] = None,
 ) -> FuzzReport:
     """Run the corpus and aggregate a :class:`FuzzReport`.
 
@@ -742,7 +859,11 @@ def run_fuzz(
         samples: corpus size.
         seed: master seed; sample ``i`` derives its RNG from
             ``(seed, i)``, so the report is independent of ``jobs``.
-        jobs: worker-process count; 1 runs inline (no pool).
+        jobs: worker-process count; 1 runs inline (no pool), more run
+            batches on a :class:`~repro.service.engine.JobEngine` — a
+            crashed worker no longer discards the completed batches,
+            and batches that failed without crash/timeout history are
+            retried serially.
         conformance: check identity (d), op-for-op behavioural
             equivalence across all architectures (on by default).
         fault_conformance: check identity (e), response equivalence on
@@ -754,45 +875,117 @@ def run_fuzz(
             no-op without numpy or with ``fault_conformance=False``).
         infield_conformance: check identity (h), the fault-free and
             mid-stream-injection in-field session pair (on by default).
+        service_conformance: check identity (i), the interrupted-then-
+            resumed sweep vs the uninterrupted serial sweep (on by
+            default).
+        shard_timeout: per-batch wall-clock budget (seconds), enforced
+            by the engine when ``jobs > 1``.
+
+    Raises:
+        SweepInterrupted: SIGINT mid-corpus; carries the partial
+            :class:`FuzzReport` (marked ``interrupted``) aggregating
+            every completed batch.
     """
+    from repro.conformance.faulty.check import SweepInterrupted
+    from repro.service.engine import (
+        Job,
+        JobEngine,
+        JobsInterrupted,
+        RetryPolicy,
+    )
+
     if samples <= 0:
         raise ValueError(f"need at least one sample, got {samples}")
     if jobs <= 0:
         raise ValueError(f"need at least one job, got {jobs}")
     report = FuzzReport(samples=samples, seed=seed)
+
+    def aggregate(batches: Sequence[List[Dict[str, Any]]]) -> FuzzReport:
+        for batch in batches:
+            for entry in batch:
+                report.checked += 1
+                if entry.get("fsm_compiled"):
+                    report.fsm_compiled += 1
+                if entry.get("fault_detected"):
+                    report.fault_detected += 1
+                if entry.get("vector_checked"):
+                    report.vector_checked += 1
+                report.coverage_pairs += entry.get("coverage_pairs", 0)
+                if entry.get("infield_checked"):
+                    report.infield_checked += 1
+                if entry.get("service_checked"):
+                    report.service_checked += 1
+                if not entry["ok"]:
+                    report.mismatch_count += 1
+                    report.mismatches.append(
+                        {k: v for k, v in entry.items() if k != "ok"}
+                    )
+        report.mismatches.sort(key=lambda entry: entry["index"])
+        return report
+
     jobs = min(jobs, samples)
     if jobs == 1:
-        batches = [
-            _check_batch((seed, 0, samples, conformance, fault_conformance,
-                          coverage_conformance, vector_conformance,
-                          infield_conformance))
-        ]
-    else:
-        chunk = (samples + jobs - 1) // jobs
-        work = [
-            (seed, start, min(chunk, samples - start), conformance,
-             fault_conformance, coverage_conformance, vector_conformance,
-             infield_conformance)
-            for start in range(0, samples, chunk)
-        ]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            batches = list(pool.map(_check_batch, work))
-    for batch in batches:
-        for entry in batch:
-            report.checked += 1
-            if entry.get("fsm_compiled"):
-                report.fsm_compiled += 1
-            if entry.get("fault_detected"):
-                report.fault_detected += 1
-            if entry.get("vector_checked"):
-                report.vector_checked += 1
-            report.coverage_pairs += entry.get("coverage_pairs", 0)
-            if entry.get("infield_checked"):
-                report.infield_checked += 1
-            if not entry["ok"]:
-                report.mismatch_count += 1
-                report.mismatches.append(
-                    {k: v for k, v in entry.items() if k != "ok"}
-                )
-    report.mismatches.sort(key=lambda entry: entry["index"])
-    return report
+        try:
+            batches = [
+                _check_batch((seed, 0, samples, conformance,
+                              fault_conformance, coverage_conformance,
+                              vector_conformance, infield_conformance,
+                              service_conformance))
+            ]
+        except KeyboardInterrupt:
+            report.interrupted = True
+            raise SweepInterrupted(aggregate([])) from None
+        return aggregate(batches)
+
+    chunk = (samples + jobs - 1) // jobs
+    work = [
+        (seed, start, min(chunk, samples - start), conformance,
+         fault_conformance, coverage_conformance, vector_conformance,
+         infield_conformance, service_conformance)
+        for start in range(0, samples, chunk)
+    ]
+    submissions = [
+        Job(key=f"fuzz:{seed}:{args[1]}:{args[2]}", fn=_check_batch,
+            payload=args)
+        for args in work
+    ]
+    engine = JobEngine(
+        workers=jobs, policy=RetryPolicy(timeout=shard_timeout)
+    )
+    try:
+        engine_report = engine.run(submissions)
+    except JobsInterrupted as interrupt:
+        completed = {o.key: o.value for o in interrupt.outcomes if o.ok}
+        report.interrupted = True
+        raise SweepInterrupted(aggregate(
+            [completed[job.key] for job in submissions
+             if job.key in completed]
+        )) from None
+    finally:
+        engine.close()
+
+    batches: List[List[Dict[str, Any]]] = []
+    serial_retries = 0
+    for outcome, args in zip(engine_report.outcomes, work):
+        if outcome.ok:
+            batches.append(outcome.value)
+        elif outcome.safe_inline:
+            # The batch only raised — completed batches are safe, so
+            # rerun it serially rather than losing its samples.
+            try:
+                batches.append(_check_batch(args))
+                serial_retries += 1
+            except Exception as error:
+                batches.append([_lost_batch_entry(
+                    args[1], args[2],
+                    f"{outcome.error}; serial retry: "
+                    f"{type(error).__name__}: {error}",
+                )])
+        else:
+            batches.append([_lost_batch_entry(
+                args[1], args[2], f"{outcome.status}: {outcome.error}",
+            )])
+    stats = engine_report.stats()
+    stats["serial_retries"] = serial_retries
+    report.service_stats = stats
+    return aggregate(batches)

@@ -49,6 +49,18 @@ Commands:
     Exits 1 on any mismatch, so CI can gate on it; ``--report FILE``
     writes the JSON artifact (failing samples carry minimised
     reproducers).
+``sweep``
+    Service-backed fault-response sweep on the crash-tolerant job
+    engine (``docs/SERVICE.md``): per-shard timeouts, bounded retry,
+    crash quarantine, and — with ``--store DIR`` — content-hashed
+    shard checkpoints so an interrupted sweep resumes (``--resume``)
+    and an identical rerun is pure cache hits.  SIGINT writes the
+    partial report (marked ``"interrupted": true``) and exits 130.
+``serve``
+    File-backed sweep sessions in the BIST controller handshake idiom:
+    ``submit`` configures (prints the content-addressed session id),
+    ``run`` starts or resumes, ``status`` polls, ``collect`` returns
+    the report.
 ``conformance``
     Differential conformance tooling: ``run`` checks one algorithm (or
     ``--all``) op-for-op across the architectures with a structured
@@ -399,16 +411,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     import os
 
     from repro.analysis.fuzz import run_fuzz
+    from repro.conformance.faulty.check import SweepInterrupted
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
-    report = run_fuzz(
-        args.samples, seed=args.seed, jobs=jobs,
-        conformance=not args.no_conformance,
-        fault_conformance=not args.no_faults,
-        coverage_conformance=not args.no_coverage,
-        vector_conformance=not args.no_vector,
-        infield_conformance=not args.no_infield,
-    )
+    try:
+        report = run_fuzz(
+            args.samples, seed=args.seed, jobs=jobs,
+            conformance=not args.no_conformance,
+            fault_conformance=not args.no_faults,
+            coverage_conformance=not args.no_coverage,
+            vector_conformance=not args.no_vector,
+            infield_conformance=not args.no_infield,
+            service_conformance=not args.no_service,
+        )
+    except SweepInterrupted as interrupt:
+        # Partial corpus, marked "interrupted": still a valid artifact.
+        return _handle_interrupt(args, interrupt)
     if args.report:
         with open(args.report, "w") as handle:
             json.dump(report.to_json(), handle, indent=2)
@@ -612,6 +630,158 @@ def _cmd_conformance_run_faulty(args: argparse.Namespace) -> int:
     else:
         print(report.format())
     return 0 if report.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Service-backed fault sweep: resumable, crash-tolerant, cached."""
+    import os
+
+    from repro.conformance import run_fault_sweeps
+    from repro.service import ResultStore
+
+    names = list(library.ALGORITHMS) if args.all else [args.algorithm]
+    tests = [library.get(name) for name in names]
+    compress = not args.no_compress
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    store = ResultStore(args.store) if args.store else None
+    explicit_faults = (
+        [parse_fault(spec) for spec in args.fault] if args.fault else None
+    )
+    geometries = (
+        [_parse_geometry(token) for token in args.geometry]
+        if args.geometry
+        else [(args.words, args.width, args.ports)]
+    )
+    service_kwargs = dict(
+        store=store,
+        resume=args.resume,
+        shard_timeout=args.shard_timeout,
+    )
+    if args.cross_engine:
+        reports = {
+            engine: run_fault_sweeps(
+                geometries, tests, faults=explicit_faults,
+                per_kind=args.per_kind, seed=args.seed,
+                full=args.full_universe, compress=compress,
+                max_ops=args.max_ops, jobs=jobs, engine=engine,
+                mode=args.mode, **service_kwargs,
+            )
+            for engine in ("scalar", "vector")
+        }
+        identical = (
+            reports["scalar"].to_json(include_timing=False)
+            == reports["vector"].to_json(include_timing=False)
+        )
+        payload = {
+            "ok": identical and reports["scalar"].ok,
+            "identical": identical,
+            "scalar": reports["scalar"].to_json(),
+            "vector": reports["vector"].to_json(),
+        }
+        if store is not None:
+            payload["store"] = store.stats()
+        if args.report:
+            _write_report(args.report, payload)
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                "cross-engine sweep: "
+                + ("IDENTICAL" if identical else "DIVERGED")
+            )
+            for engine in ("scalar", "vector"):
+                print(f"--- {engine} ---")
+                print(reports[engine].format())
+        return 0 if payload["ok"] else 1
+    report = run_fault_sweeps(
+        geometries, tests, faults=explicit_faults, per_kind=args.per_kind,
+        seed=args.seed, full=args.full_universe, compress=compress,
+        max_ops=args.max_ops, jobs=jobs, engine=args.engine,
+        mode=args.mode, **service_kwargs,
+    )
+    payload = report.to_json()
+    if store is not None:
+        payload["store"] = store.stats()
+    if args.report:
+        _write_report(args.report, payload)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.format())
+        if store is not None:
+            stats = store.stats()
+            print(
+                f"store: {stats['hits']} hit(s), {stats['misses']} "
+                f"miss(es), {stats['corruptions']} corruption(s), "
+                f"{stats['puts']} put(s)"
+            )
+    return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """File-backed sweep sessions (configure→start→poll→collect)."""
+    from repro.service import (
+        collect_session,
+        list_sessions,
+        run_session,
+        session_status,
+        submit_session,
+    )
+
+    if args.serve_command == "submit":
+        spec = {
+            "algorithms": (
+                "all" if args.all else [args.algorithm]
+            ),
+            "geometries": [
+                list(_parse_geometry(token))
+                for token in (args.geometry or ["8x2x1"])
+            ],
+            "per_kind": args.per_kind,
+            "seed": args.seed,
+            "full": args.full_universe,
+            "compress": not args.no_compress,
+            "max_ops": args.max_ops,
+            "engine": args.engine,
+            "mode": args.mode,
+        }
+        sid = submit_session(args.root, spec)
+        print(json.dumps({"session": sid, "state": "submitted"}, indent=2)
+              if args.json else sid)
+        return 0
+    if args.serve_command == "run":
+        payload = run_session(
+            args.root, args.session, jobs=args.jobs,
+            shard_timeout=args.shard_timeout,
+        )
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            status = session_status(args.root, args.session)
+            print(f"session {args.session}: {status['state']} "
+                  f"({status.get('checked', 0)} runs, "
+                  f"{status.get('failures', 0)} failure(s))")
+        return 0 if payload.get("ok") else 1
+    if args.serve_command == "status":
+        statuses = (
+            [session_status(args.root, args.session)]
+            if args.session
+            else list_sessions(args.root)
+        )
+        if args.json:
+            print(json.dumps(statuses, indent=2))
+        else:
+            for status in statuses:
+                print(f"{status['session']}  {status['state']:<12} "
+                      f"{status.get('checked', 0)} runs, "
+                      f"{status.get('failures', 0)} failure(s)")
+            if not statuses:
+                print("no sessions")
+        return 0
+    # collect
+    payload = collect_session(args.root, args.session)
+    print(json.dumps(payload, indent=2))
+    return 0 if payload.get("ok") else 1
 
 
 def _cmd_conformance_record(args: argparse.Namespace) -> int:
@@ -903,7 +1073,179 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip identity (h), the fault-free and mid-stream-"
         "injection in-field transparent session pair",
     )
+    fuzz.add_argument(
+        "--no-service", action="store_true",
+        help="skip identity (i), interrupted-then-resumed sweep vs "
+        "uninterrupted serial sweep byte-equality",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help="service-backed fault-response sweep: crash-tolerant "
+        "workers, per-shard timeouts, and a content-hashed result "
+        "store that makes interrupted sweeps resumable (--resume) and "
+        "reruns cache hits",
+    )
+    _add_geometry_args(sweep_cmd)
+    sweep_cmd.add_argument(
+        "--all", action="store_true",
+        help="sweep every library algorithm instead of --algorithm",
+    )
+    sweep_cmd.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="fault spec(s) to inject (repeatable); default: a "
+        "stratified sample of the standard universe",
+    )
+    sweep_cmd.add_argument(
+        "--per-kind", type=int, default=3,
+        help="stratified-sample size per fault kind (default: 3)",
+    )
+    sweep_cmd.add_argument(
+        "--full-universe", action="store_true",
+        help="sweep the whole spec-expressible standard universe",
+    )
+    sweep_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="stratified-sample seed (default: 0)",
+    )
+    sweep_cmd.add_argument(
+        "--max-ops", type=int, default=None,
+        help="per-run op budget (default: 4x the golden stream length)",
+    )
+    sweep_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="engine worker processes (0 = one per CPU); the report is "
+        "identical regardless, timing aside (default: 1)",
+    )
+    sweep_cmd.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="memory geometry WORDSxWIDTH[xPORTS] to sweep "
+        "(repeatable); overrides --words/--width/--ports",
+    )
+    sweep_cmd.add_argument(
+        "--no-compress", action="store_true",
+        help="assemble the microcode without REPEAT compression",
+    )
+    sweep_cmd.add_argument(
+        "--mode", choices=("sequential", "concurrent", "infield"),
+        default="sequential",
+        help="stimulus regime (see 'conformance run-faulty --mode')",
+    )
+    sweep_cmd.add_argument(
+        "--engine", choices=("scalar", "vector"), default="scalar",
+        help="sweep engine (see 'conformance run-faulty --engine')",
+    )
+    sweep_cmd.add_argument(
+        "--cross-engine", action="store_true",
+        help="run the sweep through BOTH engines and fail unless the "
+        "reports are byte-identical (timing aside)",
+    )
+    sweep_cmd.add_argument(
+        "--store", metavar="DIR",
+        help="result-store directory: completed shards are "
+        "checkpointed here and reruns of identical workloads (same "
+        "inputs, same code version) become cache hits",
+    )
+    sweep_cmd.add_argument(
+        "--resume", action="store_true",
+        help="reuse matching shard results already in --store (resume "
+        "an interrupted sweep, or skip unchanged reruns)",
+    )
+    sweep_cmd.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="per-shard wall-clock budget in seconds; a shard past it "
+        "is killed and retried (default: none)",
+    )
+    sweep_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    sweep_cmd.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON sweep report to FILE (on SIGINT the "
+        "partial report is written, marked interrupted)",
+    )
+    sweep_cmd.set_defaults(handler=_cmd_sweep)
+
+    serve = commands.add_parser(
+        "serve",
+        help="file-backed sweep sessions in the BIST handshake idiom: "
+        "submit (configure), run (start/resume), status (poll), "
+        "collect",
+    )
+    serve_commands = serve.add_subparsers(
+        dest="serve_command", required=True
+    )
+
+    def _serve_common(sub):
+        sub.add_argument(
+            "--root", default=".repro-service", metavar="DIR",
+            help="service root holding the store and sessions "
+            "(default: .repro-service)",
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+
+    serve_submit = serve_commands.add_parser(
+        "submit", help="configure a sweep session; prints its id"
+    )
+    _serve_common(serve_submit)
+    serve_submit.add_argument(
+        "--algorithm", default="March C",
+        help='library algorithm name (see "algorithms")',
+    )
+    serve_submit.add_argument(
+        "--all", action="store_true",
+        help="sweep every library algorithm",
+    )
+    serve_submit.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="memory geometry (repeatable; default: 8x2x1)",
+    )
+    serve_submit.add_argument("--per-kind", type=int, default=2)
+    serve_submit.add_argument("--seed", type=int, default=0)
+    serve_submit.add_argument("--full-universe", action="store_true")
+    serve_submit.add_argument("--no-compress", action="store_true")
+    serve_submit.add_argument("--max-ops", type=int, default=None)
+    serve_submit.add_argument(
+        "--engine", choices=("scalar", "vector"), default="scalar"
+    )
+    serve_submit.add_argument(
+        "--mode", choices=("sequential", "concurrent", "infield"),
+        default="sequential",
+    )
+    serve_submit.set_defaults(handler=_cmd_serve)
+
+    serve_run = serve_commands.add_parser(
+        "run", help="start (or resume) a submitted session"
+    )
+    _serve_common(serve_run)
+    serve_run.add_argument("session", help="session id from submit")
+    serve_run.add_argument(
+        "--jobs", type=int, default=1, help="engine worker processes"
+    )
+    serve_run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="per-shard wall-clock budget in seconds",
+    )
+    serve_run.set_defaults(handler=_cmd_serve)
+
+    serve_status = serve_commands.add_parser(
+        "status", help="poll one session (or list all)"
+    )
+    _serve_common(serve_status)
+    serve_status.add_argument(
+        "session", nargs="?", help="session id (default: list all)"
+    )
+    serve_status.set_defaults(handler=_cmd_serve)
+
+    serve_collect = serve_commands.add_parser(
+        "collect", help="print a finished session's report JSON"
+    )
+    _serve_common(serve_collect)
+    serve_collect.add_argument("session", help="session id")
+    serve_collect.set_defaults(handler=_cmd_serve)
 
     certify_cmd = commands.add_parser(
         "certify",
@@ -1138,5 +1480,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     except (FaultSpecError, KeyError, LookupError, OSError,
             ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        # str(KeyError) is the repr of its argument — unwrap it so the
+        # message is not double-quoted on stderr.
+        message = (
+            error.args[0]
+            if isinstance(error, KeyError) and error.args
+            else error
+        )
+        print(f"error: {message}", file=sys.stderr)
         return 2
+    except RuntimeError as error:
+        # SweepInterrupted (SIGINT mid-sweep) gets the partial-artifact
+        # exit; any other RuntimeError propagates as before.
+        from repro.conformance.faulty.check import SweepInterrupted
+
+        if isinstance(error, SweepInterrupted):
+            return _handle_interrupt(args, error)
+        raise
+
+
+def _handle_interrupt(args: argparse.Namespace, interrupt) -> int:
+    """SIGINT exit for sweep commands: write the partial artifact.
+
+    The partial report is marked ``"interrupted": true``; rerunning the
+    same command against the same ``--store`` resumes from it.  Exit
+    code follows the 128+SIGINT convention.
+    """
+    report = interrupt.report
+    payload = report.to_json()
+    if getattr(args, "report", None):
+        _write_report(args.report, payload)
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2), flush=True)
+    else:
+        print(report.format(), flush=True)
+        print("interrupted: partial report preserved "
+              "(rerun with --resume to finish)", file=sys.stderr)
+    return 130

@@ -32,9 +32,8 @@ and ``diverged`` with the offending layer named.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.conformance.check import (
     ARCHITECTURES,
@@ -561,6 +560,8 @@ def _first_failure_summary(failure: Dict[str, Any]) -> str:
     architecture and comparison layer (or the error class) makes each
     line actionable without opening the JSON report.
     """
+    if failure.get("kind") == "shard-lost":
+        return f"service: {failure.get('error', 'shard lost')}"
     for response in failure.get("architectures", []):
         status = response.get("status")
         if status in ("ok", "skipped"):
@@ -583,6 +584,15 @@ class FaultSweepReport:
     :meth:`to_json` (pass ``include_timing=False`` to drop it), so the
     jobs-independence contract is simply "payloads without ``timing``
     compare equal".
+
+    ``interrupted`` marks a *partial* report: a sweep stopped by SIGINT
+    after some shards completed.  Its payload carries
+    ``"interrupted": true`` so downstream tooling never mistakes it for
+    a verdict; re-running with the same :class:`ResultStore` and
+    ``resume=True`` completes the missing shards and yields the full
+    report.  ``service_stats`` (retries, crashes, quarantines, store
+    hit rates) lives under ``timing`` — execution metadata, not
+    verdict.
     """
 
     geometry: Tuple[int, int, int]
@@ -596,6 +606,8 @@ class FaultSweepReport:
     engine: str = "scalar"
     fallback_runs: int = 0
     mode: str = "sequential"
+    interrupted: bool = False
+    service_stats: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -685,6 +697,8 @@ class FaultSweepReport:
             "ok": self.ok,
             "failures": self.failures,
         }
+        if self.interrupted:
+            payload["interrupted"] = True
         if include_timing:
             # Engine identity and fallback accounting live with the
             # timing block on purpose: the cross-engine contract is
@@ -703,7 +717,48 @@ class FaultSweepReport:
                 "engine": self.engine,
                 "fallback_runs": self.fallback_runs,
             }
+            if self.service_stats is not None:
+                payload["timing"]["service"] = self.service_stats
         return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "FaultSweepReport":
+        """Rebuild a report from its :meth:`to_json` payload.
+
+        The resume path round-trips shard reports through the
+        :class:`~repro.service.store.ResultStore`; this inverse keeps
+        them mergeable with freshly computed shards.
+        """
+        timing = payload.get("timing") or {}
+        return cls(
+            geometry=tuple(payload["geometry"]),
+            checked=payload.get("checked", 0),
+            detected=payload.get("detected", 0),
+            skipped_runs=payload.get("skipped_runs", 0),
+            failures=list(payload.get("failures", [])),
+            wall_time_s=timing.get("wall_time_s", 0.0),
+            jobs=timing.get("jobs", 1),
+            shards=list(timing.get("shards", [])),
+            engine=timing.get("engine", "scalar"),
+            fallback_runs=timing.get("fallback_runs", 0),
+            mode=payload.get("mode", "sequential"),
+            interrupted=bool(payload.get("interrupted", False)),
+        )
+
+
+class SweepInterrupted(RuntimeError):
+    """SIGINT stopped a sweep; ``report`` holds the completed shards.
+
+    The partial report is a real, mergeable artifact: it is marked
+    ``interrupted`` and — when the sweep ran with a
+    :class:`~repro.service.store.ResultStore` — every completed shard
+    is already checkpointed, so rerunning the same sweep with
+    ``resume=True`` finishes from where this one stopped.
+    """
+
+    def __init__(self, report: Any) -> None:
+        self.report = report
+        super().__init__("sweep interrupted; partial report preserved")
 
 
 def _sweep_shard(
@@ -744,6 +799,246 @@ def _sweep_shard(
 ENGINES: Tuple[str, ...] = ("scalar", "vector")
 
 
+def _fault_cache_key(fault: CellFault) -> str:
+    """A stable string identity for ``fault`` in store keys.
+
+    Spec-expressible faults use their canonical spec string; the rest
+    (randomised couplings etc.) fall back to :meth:`describe`, which
+    names every parameter and is deterministic for a fixed population.
+    """
+    spec = format_fault(fault)
+    if spec is not None:
+        return spec
+    return f"describe:{fault.describe()}"
+
+
+def _lost_shard_report(
+    geometry: Tuple[int, int, int],
+    mode: str,
+    shard_engine: str,
+    shard_index: int,
+    start: int,
+    count: int,
+    error: str,
+) -> FaultSweepReport:
+    """A mergeable stand-in for a shard the service could not finish.
+
+    A quarantined poison shard (or one that exhausted its retries on a
+    non-inlineable failure) is *reported*, not silently dropped and not
+    allowed to abort the sweep: the merged report carries a
+    ``shard-lost`` failure naming the run range and the service
+    incident, so it is visibly not-ok.
+    """
+    report = FaultSweepReport(
+        geometry=geometry, mode=mode, engine=shard_engine
+    )
+    report.failures.append({
+        "kind": "shard-lost",
+        "notation": f"<shard {shard_index}: {count} run(s) at {start}>",
+        "geometry": list(geometry),
+        "fault": "<service incident>",
+        "fault_spec": None,
+        "mode": mode,
+        "ok": False,
+        "error": error,
+        "architectures": [],
+    })
+    report.shards = [{
+        "shard": shard_index,
+        "runs": count,
+        "wall_time_s": 0.0,
+        "lost": True,
+    }]
+    return report
+
+
+def _run_sharded(
+    work: Sequence[Tuple[Any, ...]],
+    shard_fn: Callable[[Any], FaultSweepReport],
+    geometry: Tuple[int, int, int],
+    jobs: int,
+    mode: str,
+    shard_engine: str,
+    key_fields: Optional[Dict[str, Any]] = None,
+    service: Optional[Any] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    chaos: Optional[Any] = None,
+) -> FaultSweepReport:
+    """Run shard work items through the service layer and merge.
+
+    The shared engine room of the scalar and vector sweeps.  ``work``
+    items are ``shard_fn`` argument tuples whose slots 0/4/5 are the
+    shard index, start offset and run count (the existing worker-entry
+    convention).  Behaviour by configuration:
+
+    * ``store`` set: each shard gets a content-hashed key; with
+      ``resume=True`` cached shard payloads are reused (cache hits),
+      and every freshly computed shard is checkpointed before the next
+      starts, so an interrupted sweep resumes instead of restarting.
+    * ``jobs == 1`` and no engine-requiring feature: shards run inline
+      in this process (checkpointed serial mode) — no subprocesses, but
+      still resumable and still interruptible with a partial report.
+    * otherwise: shards become :class:`~repro.service.engine.Job`s on a
+      :class:`~repro.service.engine.JobEngine` (the caller's shared
+      ``service`` engine, or a private one).  Shards that failed only
+      by raising (no crash/timeout history) are retried serially here —
+      completed shards are already safe — and shards the engine
+      quarantined become ``shard-lost`` failure records.
+
+    Raises:
+        SweepInterrupted: on SIGINT (or an injected interrupt), with
+            the merged partial report of every completed shard.
+    """
+    from repro.service.engine import Job, JobEngine, JobsInterrupted, RetryPolicy
+
+    reports: List[Optional[FaultSweepReport]] = [None] * len(work)
+    keys: List[Optional[Any]] = [None] * len(work)
+    store_before = store.stats() if store is not None else None
+    if store is not None:
+        if key_fields is None:
+            raise ValueError("a store needs key_fields to key shards by")
+        for i, args in enumerate(work):
+            keys[i] = store.key(
+                **key_fields, shard={"start": args[4], "count": args[5]}
+            )
+            if resume:
+                cached = store.get(keys[i])
+                if cached is not None:
+                    reports[i] = FaultSweepReport.from_json(cached)
+
+    def complete(i: int, report: FaultSweepReport) -> None:
+        reports[i] = report
+        if store is not None and keys[i] is not None:
+            store.put(keys[i], report.to_json())
+
+    def service_stats(engine_stats: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {}
+        if engine_stats is not None:
+            stats.update(engine_stats)
+        if store is not None and store_before is not None:
+            after = store.stats()
+            stats["store"] = {
+                name: after[name] - store_before[name] for name in after
+            }
+        return stats
+
+    def partial(engine_stats: Optional[Dict[str, Any]]) -> FaultSweepReport:
+        done = [report for report in reports if report is not None]
+        if done:
+            merged = FaultSweepReport.merge(done)
+        else:
+            merged = FaultSweepReport(
+                geometry=geometry, mode=mode, engine=shard_engine
+            )
+        merged.interrupted = True
+        merged.jobs = jobs
+        stats = service_stats(engine_stats)
+        merged.service_stats = stats or None
+        return merged
+
+    missing = [i for i in range(len(work)) if reports[i] is None]
+    engine_stats: Optional[Dict[str, Any]] = None
+    chaos_behaviors = bool(chaos is not None and chaos.behaviors)
+    use_engine = bool(missing) and (
+        service is not None or jobs > 1 or chaos_behaviors
+    )
+
+    if missing and not use_engine:
+        # Checkpointed serial mode: shards run inline, each persisted
+        # before the next starts.  An injected interrupt (chaos) and a
+        # real SIGINT take the same partial-report exit.
+        completed_since = 0
+        try:
+            for i in missing:
+                complete(i, shard_fn(work[i]))
+                completed_since += 1
+                if (
+                    chaos is not None
+                    and chaos.interrupt_after is not None
+                    and completed_since >= chaos.interrupt_after
+                    and i != missing[-1]
+                ):
+                    raise KeyboardInterrupt
+        except KeyboardInterrupt:
+            raise SweepInterrupted(partial(None)) from None
+    elif missing:
+        owns_engine = service is None
+        engine = service
+        if engine is None:
+            engine = JobEngine(
+                workers=max(1, min(jobs, len(missing))),
+                policy=RetryPolicy(timeout=shard_timeout),
+            )
+        submissions = []
+        index_by_key: Dict[str, int] = {}
+        for i in missing:
+            args = work[i]
+            key = (
+                keys[i].digest if keys[i] is not None
+                else f"shard:{args[0]}"
+            )
+            index_by_key[key] = i
+            fn: Callable[[Any], Any] = shard_fn
+            payload: Any = args
+            if chaos is not None:
+                fn, payload = chaos.wrap(args[0], shard_fn, args)
+            submissions.append(Job(key=key, fn=fn, payload=payload))
+        try:
+            engine_report = engine.run(submissions)
+        except JobsInterrupted as interrupt:
+            for outcome in interrupt.outcomes:
+                if outcome.ok:
+                    complete(index_by_key[outcome.key], outcome.value)
+            if owns_engine:
+                engine.close()
+            raise SweepInterrupted(partial(None)) from None
+        finally:
+            if owns_engine:
+                engine.close()
+        engine_stats = engine_report.stats()
+        serial_retries = 0
+        for outcome, i in zip(engine_report.outcomes, missing):
+            if outcome.ok:
+                complete(i, outcome.value)
+                continue
+            args = work[i]
+            if outcome.safe_inline:
+                # Failed only by raising: completed shards are safe in
+                # ``reports``, so a serial in-process retry is cheap
+                # insurance against transient worker trouble.
+                try:
+                    complete(i, shard_fn(args))
+                    serial_retries += 1
+                    continue
+                except KeyboardInterrupt:
+                    raise SweepInterrupted(partial(engine_stats)) from None
+                except Exception as error:
+                    incident = (
+                        f"{outcome.status}: {outcome.error}; serial retry: "
+                        f"{type(error).__name__}: {error}"
+                    )
+            else:
+                incident = f"{outcome.status}: {outcome.error}"
+            reports[i] = _lost_shard_report(
+                geometry, mode, shard_engine,
+                args[0], args[4], args[5], incident,
+            )
+        engine_stats["serial_retries"] = serial_retries
+
+    final = [report for report in reports if report is not None]
+    if not final:
+        merged = FaultSweepReport(
+            geometry=geometry, mode=mode, engine=shard_engine
+        )
+    else:
+        merged = FaultSweepReport.merge(final)
+    stats = service_stats(engine_stats)
+    merged.service_stats = stats or None
+    return merged
+
+
 def run_fault_sweep(
     tests: Sequence[MarchTest],
     capabilities: ControllerCapabilities,
@@ -753,6 +1048,11 @@ def run_fault_sweep(
     jobs: int = 1,
     engine: str = "scalar",
     mode: str = "sequential",
+    service: Optional[Any] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    chaos: Optional[Any] = None,
 ) -> FaultSweepReport:
     """Check every (algorithm, fault) pair; used by CI and the CLI.
 
@@ -778,6 +1078,23 @@ def run_fault_sweep(
             modes under ``engine="vector"`` take the counted scalar
             fallback: the whole sweep runs on the scalar oracle and
             every run is accounted in ``fallback_runs``.
+        service: a shared :class:`~repro.service.engine.JobEngine` to
+            run shards on (the multi-geometry sweep passes one pool for
+            all geometries); ``None`` spins a private engine when the
+            configuration shards.
+        store: a :class:`~repro.service.store.ResultStore`; completed
+            shards are checkpointed into it, and with ``resume=True``
+            previously stored shards are cache hits.
+        resume: read matching shard results back from ``store``.
+        shard_timeout: per-shard wall-clock budget (seconds) enforced
+            by the engine (ignored when a shared ``service`` engine
+            carries its own policy).
+        chaos: a :class:`~repro.service.chaos.ChaosPlan` misbehaving on
+            schedule — test-only.
+
+    Raises:
+        SweepInterrupted: SIGINT during a sharded run; carries the
+            partial report (see the class docstring).
     """
     if jobs <= 0:
         raise ValueError(f"need at least one job, got {jobs}")
@@ -793,18 +1110,22 @@ def run_fault_sweep(
 
         return run_vector_fault_sweep(
             tests, capabilities, faults, compress=compress,
-            max_ops=max_ops, jobs=jobs,
+            max_ops=max_ops, jobs=jobs, service=service, store=store,
+            resume=resume, shard_timeout=shard_timeout, chaos=chaos,
         )
     caps = capabilities
     tests = list(tests)
     faults = list(faults)
     total = len(tests) * len(faults)
     started = time.perf_counter()
+    serviced = (
+        service is not None or store is not None or chaos is not None
+    )
     if total == 0:
         report = FaultSweepReport(
             geometry=(caps.n_words, caps.width, caps.ports), mode=mode
         )
-    elif min(jobs, total) == 1:
+    elif min(jobs, total) == 1 and not serviced:
         report = _sweep_shard(
             (0, tests, caps, faults, 0, total, compress, max_ops, mode)
         )
@@ -815,15 +1136,44 @@ def run_fault_sweep(
         # ``jobs``-sized chunks leave workers idle behind the chunk that
         # drew the longest algorithms.  Merging by shard index keeps the
         # report order (and bytes) independent of the shard count.
-        shards = min(total, jobs * 4)
+        shards = min(total, max(jobs, 2) * 4)
         chunk = (total + shards - 1) // shards
         work = [
             (shard, tests, caps, faults, start,
              min(chunk, total - start), compress, max_ops, mode)
             for shard, start in enumerate(range(0, total, chunk))
         ]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            report = FaultSweepReport.merge(list(pool.map(_sweep_shard, work)))
+        key_fields = None
+        if store is not None:
+            from repro.service.store import payload_digest
+
+            key_fields = {
+                "kind": "fault-sweep-shard",
+                "axis": "product",
+                "tests": payload_digest([format_test(t) for t in tests]),
+                "geometry": [caps.n_words, caps.width, caps.ports],
+                "faults": payload_digest(
+                    [_fault_cache_key(f) for f in faults]
+                ),
+                "compress": compress,
+                "max_ops": max_ops,
+                "mode": mode,
+                "engine": engine,
+            }
+        try:
+            report = _run_sharded(
+                work, _sweep_shard,
+                (caps.n_words, caps.width, caps.ports), jobs, mode,
+                "scalar", key_fields=key_fields, service=service,
+                store=store, resume=resume, shard_timeout=shard_timeout,
+                chaos=chaos,
+            )
+        except SweepInterrupted as interrupt:
+            if engine == "vector":
+                interrupt.report.engine = "vector"
+                interrupt.report.fallback_runs = interrupt.report.checked
+            interrupt.report.wall_time_s = time.perf_counter() - started
+            raise
     if engine == "vector":
         # Counted whole-sweep fallback: the caller asked for the vector
         # engine but the regime has no lane semantics — never silently.
@@ -894,20 +1244,31 @@ def check_cross_engine(
     max_ops: Optional[int] = None,
     jobs: int = 1,
     mode: str = "sequential",
+    service: Optional[Any] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
 ) -> CrossEngineResult:
     """Run one sweep through both engines and compare the payloads.
 
     For non-sequential modes the vector sweep is the counted scalar
     fallback, so the comparison degenerates to a replay determinism
-    check — still a meaningful payload-equality assertion.
+    check — still a meaningful payload-equality assertion.  The service
+    knobs pass straight through to both sweeps (the store keys the two
+    engines separately, so they never share — or poison — each other's
+    cache entries).
     """
     scalar = run_fault_sweep(
         tests, capabilities, faults, compress=compress,
         max_ops=max_ops, jobs=jobs, engine="scalar", mode=mode,
+        service=service, store=store, resume=resume,
+        shard_timeout=shard_timeout,
     )
     vector = run_fault_sweep(
         tests, capabilities, faults, compress=compress,
         max_ops=max_ops, jobs=jobs, engine="vector", mode=mode,
+        service=service, store=store, resume=resume,
+        shard_timeout=shard_timeout,
     )
     return CrossEngineResult(scalar=scalar, vector=vector)
 
@@ -938,6 +1299,7 @@ class MultiGeometrySweepReport:
     sweeps: List[FaultSweepReport] = field(default_factory=list)
     wall_time_s: float = 0.0
     jobs: int = 1
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -971,6 +1333,8 @@ class MultiGeometrySweepReport:
             "failure_count": self.failure_count,
             "ok": self.ok,
         }
+        if self.interrupted:
+            payload["interrupted"] = True
         if include_timing:
             payload["timing"] = {
                 "wall_time_s": round(self.wall_time_s, 6),
@@ -991,6 +1355,11 @@ def run_fault_sweeps(
     jobs: int = 1,
     engine: str = "scalar",
     mode: str = "sequential",
+    service: Optional[Any] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    chaos: Optional[Any] = None,
 ) -> MultiGeometrySweepReport:
     """Sweep ``tests`` across several memory geometries.
 
@@ -1001,7 +1370,11 @@ def run_fault_sweeps(
     concurrent-mode sweeps of multi-port geometries add the
     concurrency-sensitised stratum); an explicit ``faults`` sequence is
     reused verbatim for every geometry.  Geometries run in sequence,
-    each internally sharded over ``jobs``.
+    each internally sharded over ``jobs`` — on **one shared**
+    :class:`~repro.service.engine.JobEngine` pool (no fresh pool per
+    geometry).  SIGINT raises :class:`SweepInterrupted` carrying the
+    partial multi-geometry report (completed geometries plus the
+    interrupted one's completed shards).
     """
     from repro.conformance.faulty.sampling import sweep_faults
 
@@ -1009,20 +1382,41 @@ def run_fault_sweeps(
         raise ValueError("need at least one geometry to sweep")
     started = time.perf_counter()
     report = MultiGeometrySweepReport(jobs=jobs)
-    for geometry in geometries:
-        caps = _as_capabilities(geometry)
-        population = (
-            list(faults)
-            if faults is not None
-            else sweep_faults(
-                caps, per_kind=per_kind, seed=seed, full=full, mode=mode
-            )
+    shared = service
+    owns_engine = service is None and jobs > 1
+    if owns_engine:
+        from repro.service.engine import JobEngine, RetryPolicy
+
+        shared = JobEngine(
+            workers=jobs, policy=RetryPolicy(timeout=shard_timeout)
         )
-        report.sweeps.append(
-            run_fault_sweep(
-                tests, caps, population, compress=compress,
-                max_ops=max_ops, jobs=jobs, engine=engine, mode=mode,
+    try:
+        for geometry in geometries:
+            caps = _as_capabilities(geometry)
+            population = (
+                list(faults)
+                if faults is not None
+                else sweep_faults(
+                    caps, per_kind=per_kind, seed=seed, full=full, mode=mode
+                )
             )
-        )
+            try:
+                report.sweeps.append(
+                    run_fault_sweep(
+                        tests, caps, population, compress=compress,
+                        max_ops=max_ops, jobs=jobs, engine=engine,
+                        mode=mode, service=shared, store=store,
+                        resume=resume, shard_timeout=shard_timeout,
+                        chaos=chaos,
+                    )
+                )
+            except SweepInterrupted as interrupt:
+                report.sweeps.append(interrupt.report)
+                report.interrupted = True
+                report.wall_time_s = time.perf_counter() - started
+                raise SweepInterrupted(report) from None
+    finally:
+        if owns_engine and shared is not None:
+            shared.close()
     report.wall_time_s = time.perf_counter() - started
     return report

@@ -36,14 +36,15 @@ engine's own, byte for byte.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.conformance.check import ARCHITECTURES, GOLDEN_CACHE, STREAM_BUILDERS
 from repro.conformance.faulty import events as faulty_events
 from repro.conformance.faulty.check import (
     DEFAULT_BUDGET_FACTOR,
     FaultSweepReport,
+    _fault_cache_key,
+    _run_sharded,
     check_fault_conformance,
 )
 from repro.conformance.faulty.events import (
@@ -237,38 +238,82 @@ def run_vector_fault_sweep(
     compress: bool = True,
     max_ops: Optional[int] = None,
     jobs: int = 1,
+    service: Optional[Any] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    chaos: Optional[Any] = None,
 ) -> FaultSweepReport:
     """Vector-engine counterpart of ``run_fault_sweep`` (same report).
 
     Sharding is by contiguous test chunks — each test is one batch
     evaluation, so splitting inside a test would only re-replay the
     stream.  Reports merge in shard order; the payload (timing aside)
-    is independent of ``jobs`` and equal to the scalar engine's.
+    is independent of ``jobs`` and equal to the scalar engine's.  The
+    service knobs (shared engine, result store, resume, per-shard
+    timeout, chaos plan) have ``run_fault_sweep``'s semantics; store
+    keys carry ``axis="tests"`` and ``engine="vector"``, so vector
+    shards never collide with the scalar engine's product shards.
+
+    Raises:
+        SweepInterrupted: SIGINT during a sharded run; carries the
+            partial report.
     """
+    from repro.conformance.faulty.check import SweepInterrupted
+
     caps = capabilities
     tests = list(tests)
     faults = list(faults)
     started = time.perf_counter()
+    serviced = (
+        service is not None or store is not None or chaos is not None
+    )
     if not tests or not faults:
         report = FaultSweepReport(
             geometry=(caps.n_words, caps.width, caps.ports), engine="vector"
         )
-    elif min(jobs, len(tests)) == 1:
+    elif min(jobs, len(tests)) == 1 and not serviced:
         report = _vector_shard(
             (0, tests, caps, faults, 0, len(tests), compress, max_ops)
         )
     else:
-        shards = min(len(tests), jobs * 2)
+        workers = max(1, min(jobs, len(tests)))
+        shards = min(len(tests), max(workers, 2) * 2)
         chunk = (len(tests) + shards - 1) // shards
         work = [
             (shard, tests, caps, faults, start,
              min(chunk, len(tests) - start), compress, max_ops)
             for shard, start in enumerate(range(0, len(tests), chunk))
         ]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            report = FaultSweepReport.merge(
-                list(pool.map(_vector_shard, work))
+        key_fields = None
+        if store is not None:
+            from repro.march.notation import format_test
+            from repro.service.store import payload_digest
+
+            key_fields = {
+                "kind": "fault-sweep-shard",
+                "axis": "tests",
+                "tests": payload_digest([format_test(t) for t in tests]),
+                "geometry": [caps.n_words, caps.width, caps.ports],
+                "faults": payload_digest(
+                    [_fault_cache_key(f) for f in faults]
+                ),
+                "compress": compress,
+                "max_ops": max_ops,
+                "mode": "sequential",
+                "engine": "vector",
+            }
+        try:
+            report = _run_sharded(
+                work, _vector_shard,
+                (caps.n_words, caps.width, caps.ports), workers,
+                "sequential", "vector", key_fields=key_fields,
+                service=service, store=store, resume=resume,
+                shard_timeout=shard_timeout, chaos=chaos,
             )
+        except SweepInterrupted as interrupt:
+            interrupt.report.wall_time_s = time.perf_counter() - started
+            raise
     report.jobs = jobs
     report.wall_time_s = time.perf_counter() - started
     return report

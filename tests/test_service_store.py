@@ -1,0 +1,157 @@
+"""Unit tests for the content-hashed result store (`repro.service.store`)."""
+
+import json
+
+import pytest
+
+import repro.service.store as store_mod
+from repro.service.store import (
+    ResultStore,
+    canonical_json,
+    code_version,
+    payload_digest,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestCanonicalisation:
+    def test_canonical_json_sorts_keys_and_strips_spaces(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_payload_digest_is_order_insensitive_for_dicts(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_payload_digest_differs_on_content(self):
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+    def test_code_version_is_cached_and_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, store):
+        one = store.key(kind="x", geometry=[8, 2, 1])
+        two = store.key(geometry=[8, 2, 1], kind="x")
+        assert one.digest == two.digest
+
+    def test_key_folds_code_version(self, store, monkeypatch):
+        before = store.key(kind="x")
+        monkeypatch.setattr(store_mod, "_CODE_VERSION", "f" * 64)
+        after = store.key(kind="x")
+        assert before.digest != after.digest
+
+    def test_distinct_fields_distinct_keys(self, store):
+        assert (
+            store.key(kind="x", mode="sequential").digest
+            != store.key(kind="x", mode="concurrent").digest
+        )
+
+
+class TestRoundTrip:
+    def test_get_missing_is_none_and_counts_miss(self, store):
+        key = store.key(kind="x")
+        assert store.get(key) is None
+        assert store.stats()["misses"] == 1
+
+    def test_put_then_get_hits(self, store):
+        key = store.key(kind="x")
+        payload = {"checked": 4, "nested": {"ok": True}}
+        store.put(key, payload)
+        assert store.get(key) == payload
+        stats = store.stats()
+        assert stats["puts"] == 1
+        assert stats["hits"] == 1
+        assert len(store) == 1
+
+    def test_contains(self, store):
+        key = store.key(kind="x")
+        assert not store.contains(key)
+        store.put(key, {"v": 1})
+        assert store.contains(key)
+
+    def test_forget(self, store):
+        key = store.key(kind="x")
+        store.put(key, {"v": 1})
+        assert store.forget(key)
+        assert store.get(key) is None
+        assert not store.forget(key)
+
+    def test_put_overwrites_atomically(self, store):
+        key = store.key(kind="x")
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 2})
+        assert store.get(key) == {"v": 2}
+        assert len(store) == 1
+        # No tmp droppings left behind.
+        leftovers = [
+            p for p in store.entry_paths() if not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def test_bitflipped_payload_is_evicted(self, store):
+        key = store.key(kind="x")
+        store.put(key, {"checked": 4})
+        (path,) = store.entry_paths()
+        entry = json.loads(path.read_text())
+        entry["payload"]["checked"] = 9999  # stale sha256 now lies
+        path.write_text(json.dumps(entry))
+
+        assert store.get(key) is None
+        assert store.stats()["corruptions"] == 1
+        assert not path.exists()
+
+    def test_truncated_entry_is_evicted(self, store):
+        key = store.key(kind="x")
+        store.put(key, {"checked": 4})
+        (path,) = store.entry_paths()
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+        assert store.get(key) is None
+        assert store.stats()["corruptions"] == 1
+
+    def test_key_mismatch_is_evicted(self, store):
+        first = store.key(kind="x")
+        second = store.key(kind="y")
+        store.put(first, {"v": 1})
+        (path,) = store.entry_paths()
+        entry = json.loads(path.read_text())
+        target = store.entries_dir / second.digest[:2] / (
+            second.digest + ".json"
+        )
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(entry))
+
+        assert store.get(second) is None
+        assert store.stats()["corruptions"] == 1
+
+    def test_recompute_after_eviction(self, store):
+        key = store.key(kind="x")
+        store.put(key, {"checked": 4})
+        (path,) = store.entry_paths()
+        entry = json.loads(path.read_text())
+        entry["payload"]["checked"] = 9999
+        path.write_text(json.dumps(entry))
+
+        assert store.get(key) is None  # detected + evicted
+        store.put(key, {"checked": 4})  # recomputed by the caller
+        assert store.get(key) == {"checked": 4}
+
+
+class TestChaosCorruptionHelper:
+    def test_corrupt_store_entry_defeats_hash_check(self, store):
+        from repro.service.chaos import corrupt_store_entry
+
+        key = store.key(kind="x")
+        store.put(key, {"checked": 4})
+        corrupt_store_entry(store, key)
+        assert store.get(key) is None
+        assert store.stats()["corruptions"] == 1
