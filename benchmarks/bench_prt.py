@@ -1,0 +1,136 @@
+"""Pseudo-ring stimulus benchmark: expansion/engine throughput.
+
+Measures the PRT family's two generation paths — the golden session
+expansion (:meth:`repro.prt.session.PrtSession.attributed_stream`) and
+the cycle-stepped controller FSM
+(:meth:`repro.prt.controller.PrtController.trace`) — in operations per
+second across a geometry ladder, plus one small-geometry
+coverage-vs-March-C snapshot so the nightly record tracks the family's
+quality headline alongside its speed.  Writes ``BENCH_prt.json`` for
+the consolidated ``bench-report`` artifact.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_prt.py
+    PYTHONPATH=src python benchmarks/bench_prt.py --geometry 512x1x1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _harness import Sections, parse_geometry, timed, write_record
+
+from repro.core.controller import ControllerCapabilities
+from repro.prt import PRT_RING_UP, PrtController
+
+#: Word-count scaling plus one multi-bit multi-port point, matching the
+#: other stimulus benchmarks' ladders.
+DEFAULT_GEOMETRIES = ("64x1x1", "256x1x1", "64x4x2")
+
+#: Geometry of the coverage snapshot (kept tiny: the sweep is
+#: O(faults x ops)).
+COVERAGE_WORDS = 8
+
+
+def throughput_record(geometry) -> dict:
+    """Session-vs-controller generation throughput for one geometry."""
+    caps = ControllerCapabilities(
+        n_words=geometry[0], width=geometry[1], ports=geometry[2]
+    )
+    with timed() as session_t:
+        golden = PRT_RING_UP.attributed_stream(caps)
+    controller = PrtController(PRT_RING_UP.config, caps)
+    with timed() as engine_t:
+        engine_ops = sum(1 for _ in controller.trace())
+    assert engine_ops == len(golden)  # the identity the fuzz layer pins
+    return {
+        "geometry": list(geometry),
+        "session": PRT_RING_UP.notation,
+        "ops": len(golden),
+        "session_s": round(session_t.seconds, 6),
+        "engine_s": round(engine_t.seconds, 6),
+        "session_ops_per_s": (
+            round(len(golden) / session_t.seconds)
+            if session_t.seconds > 0 else None
+        ),
+        "engine_ops_per_s": (
+            round(engine_ops / engine_t.seconds)
+            if engine_t.seconds > 0 else None
+        ),
+    }
+
+
+def coverage_record() -> dict:
+    """The coverage-vs-march headline on the snapshot geometry."""
+    from repro.eval.prt_study import prt_vs_march
+
+    report = prt_vs_march(COVERAGE_WORDS)
+    return {
+        "geometry": list(report.geometry),
+        "baseline": report.baseline_name,
+        "prt_ops": report.prt_ops,
+        "march_ops": report.march_ops,
+        "prt_overall_percent": round(100.0 * report.prt.overall, 2),
+        "march_overall_percent": round(100.0 * report.march.overall, 2),
+        "wins": report.wins,
+        "losses": report.losses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="geometry to measure (repeatable; default: "
+        + ", ".join(DEFAULT_GEOMETRIES) + ")",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_prt.json",
+        help="output record path (default: BENCH_prt.json)",
+    )
+    args = parser.parse_args(argv)
+
+    geometries = [
+        parse_geometry(token)
+        for token in (args.geometry or list(DEFAULT_GEOMETRIES))
+    ]
+    sections = Sections()
+    measurements = []
+    for geometry in geometries:
+        with sections.section("x".join(str(part) for part in geometry)):
+            measurements.append(throughput_record(geometry))
+    with sections.section("coverage"):
+        coverage = coverage_record()
+
+    record = write_record(
+        args.out,
+        "prt",
+        {
+            "session": PRT_RING_UP.notation,
+            "measurements": measurements,
+            "coverage": coverage,
+        },
+        sections=sections,
+    )
+
+    print(f"pseudo-ring throughput ({record['session']}):")
+    for m in record["measurements"]:
+        print(
+            f"  {tuple(m['geometry'])}: {m['ops']} ops — session "
+            f"{m['session_ops_per_s']} ops/s, engine "
+            f"{m['engine_ops_per_s']} ops/s"
+        )
+    print(
+        f"  coverage {tuple(coverage['geometry'])}: PRT "
+        f"{coverage['prt_overall_percent']}% vs {coverage['baseline']} "
+        f"{coverage['march_overall_percent']}% "
+        f"(wins {', '.join(coverage['wins']) or 'none'})"
+    )
+    print(f"  wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

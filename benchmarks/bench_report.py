@@ -30,6 +30,7 @@ RECORDS = (
     ("BENCH_coverage_static.json", "coverage_static"),
     ("BENCH_vector_kernel.json", "vector_kernel"),
     ("BENCH_service.json", "service"),
+    ("BENCH_prt.json", "prt"),
 )
 
 
@@ -73,6 +74,23 @@ def _summarise(benchmark: str, record: dict) -> list:
             f"    session submit->collect {m.get('session_s')}s "
             f"for {m.get('session_runs')} runs",
         ]
+    if benchmark == "prt":
+        coverage = record.get("coverage", {})
+        lines = [f"pseudo-ring stimulus ({record['session']}):"]
+        for m in record.get("measurements", []):
+            lines.append(
+                f"    {tuple(m['geometry'])}: session "
+                f"{m['session_ops_per_s']} ops/s, engine "
+                f"{m['engine_ops_per_s']} ops/s"
+            )
+        if coverage:
+            lines.append(
+                f"    coverage {tuple(coverage['geometry'])}: PRT "
+                f"{coverage['prt_overall_percent']}% vs "
+                f"{coverage['baseline']} "
+                f"{coverage['march_overall_percent']}%"
+            )
+        return lines
     if benchmark == "vector_kernel":
         lines = [f"lane kernel ({record['algorithm']} golden stream):"]
         for m in record.get("measurements", []):

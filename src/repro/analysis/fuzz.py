@@ -55,6 +55,18 @@ geometries and, for every sample, checks these identities:
     first fail event attributed to that slot's owner.  This identity is
     independent of the sampled march — it pins the transparent
     scheduler itself.
+(i) interrupted-then-resumed sweep identity: the sample's algorithm is
+    swept against a few random faults serially, then re-swept through a
+    checkpoint store with an injected interrupt and resumed — the
+    resumed report must equal the serial baseline payload-for-payload,
+    with the completed shards served as cache hits.
+(j) pseudo-ring determinism: a PRT configuration drawn from a derived
+    RNG (:mod:`repro.prt`) must expand to the same attributed golden
+    stream twice on the sample's geometry, the cycle-stepped
+    :class:`~repro.prt.controller.PrtController` must issue the same
+    operations op-for-op, and the controller's latched signature must
+    equal the session's predicted MISR signature.  Like (h), this is
+    march-independent — it pins the non-march stimulus family.
 
 Any violation — including the verifier *rejecting* a well-formed
 algorithm, the false-positive direction — is a mismatch.  The
@@ -194,6 +206,8 @@ class SampleResult:
             mid-stream-injection in-field session pair.
         service_checked: whether identity (i) ran — the interrupted-
             then-resumed sweep vs the uninterrupted serial sweep.
+        prt_checked: whether identity (j) ran — pseudo-ring session
+            determinism and controller/session agreement.
     """
 
     index: int
@@ -214,6 +228,7 @@ class SampleResult:
     shrunk_coverage: Optional[Dict[str, Any]] = None
     infield_checked: bool = False
     service_checked: bool = False
+    prt_checked: bool = False
 
     @property
     def ok(self) -> bool:
@@ -239,6 +254,7 @@ class SampleResult:
             "shrunk_coverage": self.shrunk_coverage,
             "infield_checked": self.infield_checked,
             "service_checked": self.service_checked,
+            "prt_checked": self.prt_checked,
         }
 
 
@@ -251,8 +267,9 @@ def check_sample(
     vector_conformance: bool = True,
     infield_conformance: bool = True,
     service_conformance: bool = True,
+    prt_conformance: bool = True,
 ) -> SampleResult:
-    """Generate sample ``index`` of corpus ``seed`` and check all nine
+    """Generate sample ``index`` of corpus ``seed`` and check all ten
     verifier-vs-simulator identities on it (``conformance=False`` skips
     the behavioural-equivalence identity (d); ``fault_conformance=False``
     skips the faulty-memory response identity (e) — and with it the
@@ -261,7 +278,8 @@ def check_sample(
     identity (f); ``vector_conformance=False`` skips (g) alone;
     ``infield_conformance=False`` skips the in-field session identity
     (h); ``service_conformance=False`` skips the resumed-sweep identity
-    (i))."""
+    (i); ``prt_conformance=False`` skips the pseudo-ring determinism
+    identity (j))."""
     from repro.analysis.interpreter import Verdict, interpret
     from repro.analysis.progfsm_cfg import interpret_fsm
     from repro.analysis.verifier import verify_fsm_program, verify_program
@@ -383,6 +401,13 @@ def check_sample(
         _check_service_identity(
             result, test, caps, compress,
             random.Random(f"{sample_seed}:service"),
+        )
+
+    # -- (j), pseudo-ring determinism --------------------------------------
+    # March-independent like (h); the config comes from a derived RNG.
+    if prt_conformance:
+        _check_prt_identity(
+            result, caps, random.Random(f"{sample_seed}:prt")
         )
     return result
 
@@ -696,6 +721,66 @@ def _check_service_identity(
     result.service_checked = True
 
 
+def _check_prt_identity(
+    result: SampleResult,
+    caps: ControllerCapabilities,
+    rng: random.Random,
+) -> None:
+    """Identity (j): PRT sessions are deterministic and the controller
+    realises them.
+
+    Draws a random pseudo-ring configuration (passes, seed, ring
+    orientation) from the derived RNG and checks, on the sample's
+    geometry, that the golden expansion is a pure function of the
+    configuration (two expansions agree op-for-op and owner-for-owner),
+    that the cycle-stepped FSM controller issues the identical operation
+    stream, and that the signature the controller latches equals the
+    session's predicted MISR signature.  The "{seed}:{index}" sample
+    seed regenerates the configuration, so no shrink pass is needed.
+    """
+    from repro.prt import PrtConfig, PrtController, PrtSession
+
+    config = PrtConfig(
+        passes=rng.randint(1, 5),
+        seed=rng.randrange(1, 1 << 16),
+        order=rng.choice(("up", "down")),
+    )
+    session = PrtSession(config)
+    first = session.attributed_stream(caps)
+    second = session.attributed_stream(caps)
+    if [(a.op, a.owner) for a in first] != [(a.op, a.owner) for a in second]:
+        result.mismatches.append(
+            f"prt determinism: two expansions of {session.notation} "
+            f"diverged on the same geometry"
+        )
+    if len(first) != session.op_count(caps):
+        result.mismatches.append(
+            f"prt op-count: {session.notation} expanded to {len(first)} "
+            f"ops, op_count predicts {session.op_count(caps)}"
+        )
+    controller = PrtController(config, caps)
+    engine_ops = [entry.op for entry in controller.attributed_stream()]
+    golden_ops = [attributed.op for attributed in first]
+    if engine_ops != golden_ops:
+        divergence = next(
+            (i for i, (a, b) in enumerate(zip(engine_ops, golden_ops))
+             if a != b),
+            min(len(engine_ops), len(golden_ops)),
+        )
+        result.mismatches.append(
+            f"prt controller divergence: {session.notation} engine op "
+            f"{divergence} ({engine_ops[divergence:divergence + 1]}) != "
+            f"golden ({golden_ops[divergence:divergence + 1]})"
+        )
+    predicted = session.predicted_signature(caps)
+    if controller.signature != predicted:
+        result.mismatches.append(
+            f"prt signature mismatch: controller latched "
+            f"{controller.signature}, session predicts {predicted}"
+        )
+    result.prt_checked = True
+
+
 @dataclass
 class FuzzReport:
     """Aggregated outcome of one corpus run."""
@@ -709,6 +794,7 @@ class FuzzReport:
     coverage_pairs: int = 0
     infield_checked: int = 0
     service_checked: int = 0
+    prt_checked: int = 0
     mismatch_count: int = 0
     mismatches: List[Dict[str, Any]] = field(default_factory=list)
     interrupted: bool = False
@@ -734,6 +820,7 @@ class FuzzReport:
             "coverage_pairs": self.coverage_pairs,
             "infield_checked": self.infield_checked,
             "service_checked": self.service_checked,
+            "prt_checked": self.prt_checked,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
         }
@@ -754,6 +841,7 @@ class FuzzReport:
             f"{self.coverage_pairs} coverage pairs certified, "
             f"{self.infield_checked} in-field sessions, "
             f"{self.service_checked} resumed-sweep identities, "
+            f"{self.prt_checked} pseudo-ring sessions, "
             f"{self.mismatch_count} mismatch(es)"
             + (" [INTERRUPTED]" if self.interrupted else "")
         ]
@@ -793,7 +881,7 @@ class FuzzReport:
 
 
 def _check_batch(
-    args: Tuple[int, int, int, bool, bool, bool, bool, bool, bool]
+    args: Tuple[int, int, int, bool, bool, bool, bool, bool, bool, bool]
 ) -> List[Dict[str, Any]]:
     """Worker entry point: check samples ``start..start+count-1``.
 
@@ -801,7 +889,7 @@ def _check_batch(
     to keep the inter-process payload small.
     """
     (seed, start, count, conformance, fault_conformance, coverage,
-     vector, infield, service) = args
+     vector, infield, service, prt) = args
     out: List[Dict[str, Any]] = []
     for index in range(start, start + count):
         result = check_sample(
@@ -813,6 +901,7 @@ def _check_batch(
             vector_conformance=vector,
             infield_conformance=infield,
             service_conformance=service,
+            prt_conformance=prt,
         )
         if result.ok:
             out.append({"index": index, "ok": True,
@@ -821,7 +910,8 @@ def _check_batch(
                         "vector_checked": result.vector_checked,
                         "coverage_pairs": result.coverage_pairs,
                         "infield_checked": result.infield_checked,
-                        "service_checked": result.service_checked})
+                        "service_checked": result.service_checked,
+                        "prt_checked": result.prt_checked})
         else:
             payload = result.to_dict()
             payload["ok"] = False
@@ -851,6 +941,7 @@ def run_fuzz(
     vector_conformance: bool = True,
     infield_conformance: bool = True,
     service_conformance: bool = True,
+    prt_conformance: bool = True,
     shard_timeout: Optional[float] = None,
 ) -> FuzzReport:
     """Run the corpus and aggregate a :class:`FuzzReport`.
@@ -877,6 +968,9 @@ def run_fuzz(
             mid-stream-injection in-field session pair (on by default).
         service_conformance: check identity (i), the interrupted-then-
             resumed sweep vs the uninterrupted serial sweep (on by
+            default).
+        prt_conformance: check identity (j), pseudo-ring session
+            determinism and controller/session agreement (on by
             default).
         shard_timeout: per-batch wall-clock budget (seconds), enforced
             by the engine when ``jobs > 1``.
@@ -915,6 +1009,8 @@ def run_fuzz(
                     report.infield_checked += 1
                 if entry.get("service_checked"):
                     report.service_checked += 1
+                if entry.get("prt_checked"):
+                    report.prt_checked += 1
                 if not entry["ok"]:
                     report.mismatch_count += 1
                     report.mismatches.append(
@@ -930,7 +1026,7 @@ def run_fuzz(
                 _check_batch((seed, 0, samples, conformance,
                               fault_conformance, coverage_conformance,
                               vector_conformance, infield_conformance,
-                              service_conformance))
+                              service_conformance, prt_conformance))
             ]
         except KeyboardInterrupt:
             report.interrupted = True
@@ -941,7 +1037,7 @@ def run_fuzz(
     work = [
         (seed, start, min(chunk, samples - start), conformance,
          fault_conformance, coverage_conformance, vector_conformance,
-         infield_conformance, service_conformance)
+         infield_conformance, service_conformance, prt_conformance)
         for start in range(0, samples, chunk)
     ]
     submissions = [

@@ -158,6 +158,43 @@ class Decoder(Component):
 
 
 @dataclass
+class LfsrRegister(Component):
+    """An LFSR (or MISR) register: storage cells plus feedback XORs.
+
+    The pseudo-ring and pseudorandom BIST realisations replace the march
+    background generator with linear-feedback structures; this component
+    costs them structurally: one flip-flop per stage, one 2-input XOR
+    per feedback tap, and — for the MISR variant — one additional input
+    XOR in front of every stage (the parallel response compactor).
+
+    Args:
+        name: label for breakdowns.
+        width: register stages.
+        taps: number of feedback XOR taps (e.g. the popcount of the
+            Galois tap mask).
+        misr: parallel-input signature register; adds the per-stage
+            input XOR array.
+    """
+
+    name: str
+    width: int
+    taps: int
+    misr: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"LFSR {self.name!r} needs positive width")
+        if self.taps < 0:
+            raise ValueError(f"LFSR {self.name!r} needs >= 0 taps")
+
+    def gate_equivalents(self, tech: Technology) -> float:
+        ge = self.width * tech.cell_ge("dff") + self.taps * tech.xor2_ge
+        if self.misr:
+            ge += self.width * tech.xor2_ge
+        return ge
+
+
+@dataclass
 class LogicBlock(Component):
     """A synthesised combinational block with a precomputed GE cost.
 

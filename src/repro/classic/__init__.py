@@ -20,20 +20,26 @@ coverage/BIST machinery, so the historical trade-off is measurable:
 from repro.classic.walking import walking_ones, walking_zeros, walking_op_count
 from repro.classic.galpat import galpat, galpat_op_count
 from repro.classic.checkerboard import checkerboard, checkerboard_op_count
+from repro.classic.geometry import check_geometry
 from repro.classic.pseudorandom import (
+    MAX_LFSR_WIDTH,
     Lfsr,
     Misr,
+    lfsr_taps,
     pseudorandom_test,
     pseudorandom_signature,
 )
 
 __all__ = [
+    "MAX_LFSR_WIDTH",
     "Lfsr",
     "Misr",
+    "check_geometry",
     "checkerboard",
     "checkerboard_op_count",
     "galpat",
     "galpat_op_count",
+    "lfsr_taps",
     "pseudorandom_signature",
     "pseudorandom_test",
     "walking_ones",

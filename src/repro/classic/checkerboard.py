@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+from repro.classic.geometry import check_geometry
 from repro.faults.neighborhood import CellGrid
 from repro.march.simulator import MemoryOperation
 
@@ -57,6 +58,17 @@ def checkerboard(
         scrambler: optional address scrambler; when given, the pattern
             is a checkerboard on *silicon*, not in address space.
     """
+    check_geometry(n_words, width, ports)
+    return _checkerboard(n_words, width, ports, bake, scrambler)
+
+
+def _checkerboard(
+    n_words: int,
+    width: int,
+    ports: int,
+    bake: Optional[int],
+    scrambler,
+) -> Iterator[MemoryOperation]:
     mask = (1 << width) - 1
     pattern = _patterns(n_words, width, scrambler)
     for port in range(ports):

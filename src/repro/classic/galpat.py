@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.classic.geometry import check_geometry
 from repro.march.backgrounds import apply_polarity
 from repro.march.simulator import MemoryOperation
 
@@ -50,6 +51,13 @@ def galpat(
     n_words: int, width: int = 1, ports: int = 1
 ) -> Iterator[MemoryOperation]:
     """Both GALPAT polarity passes, per port."""
+    check_geometry(n_words, width, ports)
+    return _galpat(n_words, width, ports)
+
+
+def _galpat(
+    n_words: int, width: int, ports: int
+) -> Iterator[MemoryOperation]:
     for port in range(ports):
         yield from _galpat_pass(n_words, width, port, mark_polarity=1)
         yield from _galpat_pass(n_words, width, port, mark_polarity=0)

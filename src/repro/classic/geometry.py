@@ -1,0 +1,28 @@
+"""Shared eager geometry validation for the classic generators.
+
+Every classic generator promises the same address contract regardless of
+word count (power-of-two or not): every emitted address lies in
+``[0, n_words)`` and every address is visited.  The sweep generators
+guarantee it structurally (``range(n_words)``), the pseudorandom test by
+modulo reduction of the LFSR window.  What a lazy generator *cannot*
+guarantee is early failure on nonsense geometry — a generator function
+only raises at first ``next()``, long after the bad argument was passed.
+The public wrappers therefore validate eagerly through this helper
+before returning their iterator.
+"""
+
+from __future__ import annotations
+
+
+def check_geometry(n_words: int, width: int = 1, ports: int = 1) -> None:
+    """Raise ``ValueError`` on impossible geometry, eagerly.
+
+    Any ``n_words >= 1`` is legal — non-power-of-two word counts are
+    first-class, the generators never emit an address ``>= n_words``.
+    """
+    if n_words < 1:
+        raise ValueError(f"n_words must be >= 1, got {n_words}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if ports < 1:
+        raise ValueError(f"ports must be >= 1, got {ports}")

@@ -22,10 +22,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
+from repro.classic.geometry import check_geometry
 from repro.march.simulator import MemoryOperation
 
-#: Maximal-length Galois LFSR tap masks per register width.
+#: Maximal-length Galois LFSR tap masks, one per register width 1–24.
+#: Every mask is verified maximal-period by test (direct full-period walk
+#: for the small widths, linear-map order check for the large ones); the
+#: degenerate width-1 register has period 1 by construction.
 _TAPS: Dict[int, int] = {
+    1: 0b1,
+    2: 0b11,
     3: 0b110,
     4: 0b1100,
     5: 0b10100,
@@ -36,8 +42,41 @@ _TAPS: Dict[int, int] = {
     10: 0b1001000000,
     11: 0b10100000000,
     12: 0b111000001000,
+    13: 0b1000000001101,
+    14: 0b10000000010101,
+    15: 0b110000000000000,
     16: 0b1011010000000000,
+    17: 0b10010000000000000,
+    18: 0b100000010000000000,
+    19: 0b1000000000000100011,
+    20: 0b10010000000000000000,
+    21: 0b101000000000000000000,
+    22: 0b1100000000000000000000,
+    23: 0b10000100000000000000000,
+    24: 0b111000010000000000000000,
 }
+
+#: Largest register width the tap table covers.
+MAX_LFSR_WIDTH = max(_TAPS)
+
+
+def lfsr_taps(width: int) -> int:
+    """The verified maximal-length Galois tap mask for ``width``.
+
+    Raises:
+        ValueError: outside the 1–:data:`MAX_LFSR_WIDTH` table, with a
+            pointer at how to extend it.
+    """
+    if width < 1:
+        raise ValueError(f"LFSR width must be >= 1, got {width}")
+    if width > MAX_LFSR_WIDTH:
+        raise ValueError(
+            f"no maximal-length taps for width {width}: the tap table "
+            f"covers widths 1-{MAX_LFSR_WIDTH}; extend _TAPS in "
+            "repro.classic.pseudorandom (with a verified maximal-period "
+            "mask) to go wider"
+        )
+    return _TAPS[width]
 
 
 class Lfsr:
@@ -49,16 +88,11 @@ class Lfsr:
     """
 
     def __init__(self, width: int, seed: int = 1) -> None:
-        if width not in _TAPS:
-            supported = ", ".join(str(w) for w in sorted(_TAPS))
-            raise ValueError(
-                f"no maximal-length taps for width {width}; supported: "
-                f"{supported}"
-            )
+        taps = lfsr_taps(width)
         if not 0 < seed < (1 << width):
             raise ValueError(f"seed must be a non-zero {width}-bit value")
         self.width = width
-        self.taps = _TAPS[width]
+        self.taps = taps
         self.state = seed
 
     def step(self) -> int:
@@ -123,13 +157,33 @@ def pseudorandom_test(
         length: operation budget; defaults to ``10 × n_words`` (March
             C's budget, for a like-for-like comparison).
     """
-    length = length or 10 * n_words
+    check_geometry(n_words, width)
     address_bits = max(1, (n_words - 1).bit_length())
+    if address_bits + 2 > MAX_LFSR_WIDTH:
+        raise ValueError(
+            f"{n_words} words need a {address_bits + 2}-bit address "
+            f"register, beyond the {MAX_LFSR_WIDTH}-bit tap table"
+        )
+    return _pseudorandom_ops(
+        n_words, width, length or 10 * n_words, address_bits,
+        address_seed, data_seed,
+    )
+
+
+def _pseudorandom_ops(
+    n_words: int,
+    width: int,
+    length: int,
+    address_bits: int,
+    address_seed: int,
+    data_seed: int,
+) -> Iterator[MemoryOperation]:
     # The address register is wider than the address: an n-bit window of
     # a degree-n m-sequence never takes the all-zero value, so a
     # same-width register would never visit address 0 (a classic
     # pseudorandom-BIST pitfall); two extra stages make every window
-    # value occur.
+    # value occur.  Non-power-of-two word counts fold the window into
+    # range by modulo reduction, so every address stays below n_words.
     register_bits = min(w for w in _TAPS if w >= address_bits + 2)
     addr_lfsr = Lfsr(register_bits, address_seed)
     # Control and data bits come from a long-period register regardless

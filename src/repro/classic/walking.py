@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.classic.geometry import check_geometry
 from repro.march.backgrounds import apply_polarity
 from repro.march.simulator import MemoryOperation
 
@@ -52,6 +53,7 @@ def walking_ones(
     n_words: int, width: int = 1, ports: int = 1
 ) -> Iterator[MemoryOperation]:
     """Walking 1: base value 0, mark value all-ones."""
+    check_geometry(n_words, width, ports)
     return _walk(n_words, width, ports, mark_polarity=1)
 
 
@@ -59,6 +61,7 @@ def walking_zeros(
     n_words: int, width: int = 1, ports: int = 1
 ) -> Iterator[MemoryOperation]:
     """Walking 0: base value all-ones, mark value 0."""
+    check_geometry(n_words, width, ports)
     return _walk(n_words, width, ports, mark_polarity=0)
 
 

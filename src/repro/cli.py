@@ -423,6 +423,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             vector_conformance=not args.no_vector,
             infield_conformance=not args.no_infield,
             service_conformance=not args.no_service,
+            prt_conformance=not args.no_prt,
         )
     except SweepInterrupted as interrupt:
         # Partial corpus, marked "interrupted": still a valid artifact.
@@ -921,6 +922,76 @@ def _cmd_conformance_corpus_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _prt_session(args: argparse.Namespace):
+    from repro.prt import PrtConfig, PrtSession
+
+    return PrtSession(PrtConfig(
+        passes=args.passes, seed=args.prt_seed, order=args.order
+    ))
+
+
+def _cmd_prt_coverage(args: argparse.Namespace) -> int:
+    from repro.eval.prt_study import prt_vs_march
+
+    session = _prt_session(args)
+    geometries = [
+        _parse_geometry(token) for token in (args.geometry or ["8x1x1"])
+    ]
+    payload = []
+    ok = True
+    for n_words, width, ports in geometries:
+        report = prt_vs_march(
+            n_words, width=width, ports=ports, session=session,
+            baseline=args.baseline, include_npsf=not args.no_npsf,
+        )
+        payload.append(report.to_json())
+        if not args.json:
+            print(report.format())
+        overall = 100.0 * report.prt.overall
+        if args.min_overall is not None and overall < args.min_overall:
+            ok = False
+            print(
+                f"FAIL: PRT overall coverage {overall:.1f}% on "
+                f"{(n_words, width, ports)} is below --min-overall "
+                f"{args.min_overall:.1f}%",
+                file=sys.stderr,
+            )
+    if args.report:
+        _write_report(args.report, {"results": payload})
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0 if ok else 1
+
+
+def _cmd_prt_conformance(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.conformance import run_fault_sweeps
+    from repro.prt import PRT_RING_DOWN, PRT_RING_UP
+
+    geometries = [
+        _parse_geometry(token)
+        for token in (args.geometry or ["4x1x1", "3x2x2"])
+    ]
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    report = run_fault_sweeps(
+        geometries,
+        [PRT_RING_UP, PRT_RING_DOWN],
+        per_kind=args.per_kind,
+        seed=args.seed,
+        full=args.full_universe,
+        max_ops=args.max_ops,
+        jobs=jobs,
+    )
+    if args.report:
+        _write_report(args.report, report.to_json())
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1077,6 +1148,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-service", action="store_true",
         help="skip identity (i), interrupted-then-resumed sweep vs "
         "uninterrupted serial sweep byte-equality",
+    )
+    fuzz.add_argument(
+        "--no-prt", action="store_true",
+        help="skip identity (j), pseudo-ring session determinism and "
+        "controller/session agreement",
     )
     fuzz.set_defaults(handler=_cmd_fuzz)
 
@@ -1466,6 +1542,105 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     conf_check.set_defaults(handler=_cmd_conformance_corpus_check)
+
+    prt = commands.add_parser(
+        "prt",
+        help="pseudo-ring testing: the non-march stimulus family "
+        "(memory-as-LFSR-ring circulation sessions)",
+    )
+    prt_commands = prt.add_subparsers(dest="prt_command", required=True)
+
+    def _prt_session_args(sub):
+        sub.add_argument(
+            "--passes", type=int, default=4,
+            help="circulation passes (default: 4, a 10N+4T session)",
+        )
+        sub.add_argument(
+            "--prt-seed", type=lambda t: int(t, 0), default=0x2D5C,
+            metavar="SEED",
+            help="seed-LFSR initial state, non-zero 16-bit "
+            "(default: 0x2D5C, tuned for coverage)",
+        )
+        sub.add_argument(
+            "--order", choices=("up", "down"), default="up",
+            help="ring orientation (default: up)",
+        )
+
+    prt_coverage = prt_commands.add_parser(
+        "coverage",
+        help="simulated fault coverage of a PRT session vs a march "
+        "baseline over the standard universe, per fault kind",
+    )
+    _prt_session_args(prt_coverage)
+    prt_coverage.add_argument(
+        "--baseline", default="March C",
+        help="march library algorithm to compare against "
+        "(default: March C)",
+    )
+    prt_coverage.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="memory geometry WORDSxWIDTH[xPORTS] (repeatable; "
+        "default: 8x1x1)",
+    )
+    prt_coverage.add_argument(
+        "--no-npsf", action="store_true",
+        help="exclude the neighbourhood pattern-sensitive stratum",
+    )
+    prt_coverage.add_argument(
+        "--min-overall", type=float, default=None, metavar="PERCENT",
+        help="exit 1 unless PRT's overall coverage reaches PERCENT on "
+        "every geometry (CI gate)",
+    )
+    prt_coverage.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    prt_coverage.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON results to FILE (CI artifact)",
+    )
+    prt_coverage.set_defaults(handler=_cmd_prt_coverage)
+
+    prt_conf = prt_commands.add_parser(
+        "conformance",
+        help="differential fault-response conformance of the "
+        "cycle-stepped PRT controller against the golden session "
+        "expansion (the pinned session pair, per geometry)",
+    )
+    prt_conf.add_argument(
+        "--geometry", action="append", metavar="WxBxP",
+        help="memory geometry WORDSxWIDTH[xPORTS] to sweep "
+        "(repeatable; default: 4x1x1 and 3x2x2)",
+    )
+    prt_conf.add_argument(
+        "--per-kind", type=int, default=3,
+        help="stratified-sample size per fault kind (default: 3)",
+    )
+    prt_conf.add_argument(
+        "--full-universe", action="store_true",
+        help="sweep the whole spec-expressible standard universe "
+        "(nightly mode) instead of a stratified sample",
+    )
+    prt_conf.add_argument(
+        "--seed", type=int, default=0,
+        help="stratified-sample seed (default: 0)",
+    )
+    prt_conf.add_argument(
+        "--max-ops", type=int, default=None,
+        help="per-run op budget (default: 4x the golden stream length)",
+    )
+    prt_conf.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes sharding the (session, fault) product "
+        "(0 = one per CPU; default: 1)",
+    )
+    prt_conf.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    prt_conf.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON sweep report to FILE (CI artifact)",
+    )
+    prt_conf.set_defaults(handler=_cmd_prt_conformance)
 
     return parser
 

@@ -298,6 +298,27 @@ def _concurrent_stream_builder(algorithm: str):
     return build
 
 
+def _prt_stream_builder(which: str):
+    """Stream builder for a named default pseudo-ring session.
+
+    Pins the full seed + circulation + readout stream of
+    :class:`repro.prt.session.PrtSession` per geometry, so any edit to
+    the ring tap selection, the seed LFSR or the shift semantics fails
+    CI with a first-divergence report.
+    """
+
+    def build(caps: ControllerCapabilities) -> List[MemoryOperation]:
+        import repro.prt as prt
+
+        session = {
+            "prt-ring-up": prt.PRT_RING_UP,
+            "prt-ring-down": prt.PRT_RING_DOWN,
+        }[which]
+        return list(session.operations(caps))
+
+    return build
+
+
 def _infield_stream_builder():
     """Stream builder for the deterministic in-field session plan.
 
@@ -335,6 +356,8 @@ STREAM_GENERATORS: Dict[str, Any] = {
     "concurrent-mats+": _concurrent_stream_builder("MATS+"),
     "concurrent-march-c": _concurrent_stream_builder("March C"),
     "infield-session": _infield_stream_builder(),
+    "prt-ring-up": _prt_stream_builder("prt-ring-up"),
+    "prt-ring-down": _prt_stream_builder("prt-ring-down"),
 }
 
 #: Geometry grid of the stream corpus.  The O(N²) classical tests keep

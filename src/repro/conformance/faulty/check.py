@@ -41,6 +41,7 @@ from repro.conformance.check import (
     GOLDEN_CACHE,
     STREAM_BUILDERS,
 )
+from repro.conformance.trace import stimulus_notation
 from repro.conformance.faulty.events import (
     FailEvent,
     ResponseBudgetExceeded,
@@ -419,6 +420,103 @@ def _check_replay_conformance(
     return result
 
 
+def _check_prt_conformance(
+    session,
+    caps: ControllerCapabilities,
+    fault: CellFault,
+    compress: bool,
+    max_ops: Optional[int],
+) -> FaultResponseResult:
+    """Differential fault-response conformance of a PRT session.
+
+    The golden reference is the session's nested-loop shadow expansion
+    (:meth:`repro.prt.session.PrtSession.attributed_stream`); the
+    differential partners are the cycle-stepped FSM realisation of
+    :class:`repro.prt.controller.PrtController` (``prt-controller``)
+    and an independent replay of the golden stream on a freshly
+    injected memory (``replay``).  Events and fail-log layers are
+    compared; the diagnosis layer is march-specific (the classifier's
+    op-index model is the march golden stream) and is skipped, exactly
+    as in the concurrent/in-field replay regimes.
+    """
+    from repro.prt.controller import PrtController
+
+    golden_stream = session.attributed_stream(caps)
+    budget = (
+        max_ops
+        if max_ops is not None
+        else DEFAULT_BUDGET_FACTOR * max(len(golden_stream), 1)
+    )
+    injector = FaultInjector(
+        Sram(caps.n_words, width=caps.width, ports=caps.ports)
+    )
+    with injector.injected(fault) as memory:
+        golden = capture_response(golden_stream, memory, max_ops=budget)
+    golden_cells = golden.log(session.name).failing_cells()
+
+    result = FaultResponseResult(
+        notation=session.notation,
+        geometry=(caps.n_words, caps.width, caps.ports),
+        fault=fault.describe(),
+        fault_spec=format_fault(fault),
+        compress=compress,
+        golden_events=len(golden.events),
+    )
+
+    def build_controller_stream():
+        return PrtController(session.config, caps).attributed_stream()
+
+    def build_replay_stream():
+        return session.attributed_stream(caps)
+
+    for name, build in (
+        ("prt-controller", build_controller_stream),
+        ("replay", build_replay_stream),
+    ):
+        response = ArchitectureResponse(architecture=name)
+        result.responses.append(response)
+        try:
+            stream = build()
+        except Exception as error:
+            response.status = "error"
+            response.detail = (
+                f"controller crashed: {type(error).__name__}: {error}"
+            )
+            continue
+        try:
+            with injector.injected(fault) as memory:
+                capture = capture_response(stream, memory, max_ops=budget)
+        except ResponseBudgetExceeded as error:
+            response.status = "error"
+            response.detail = f"wedged BIST session: {error}"
+            continue
+        except Exception as error:
+            response.status = "error"
+            response.detail = (
+                f"BIST session crashed: {type(error).__name__}: {error}"
+            )
+            continue
+        response.ops_applied = capture.ops_applied
+        response.event_count = len(capture.events)
+        response.failing_cells = capture.log(session.name).failing_cells()
+
+        divergence = first_fail_divergence(
+            golden.events, capture.events, name
+        )
+        if divergence is not None:
+            response.status = "diverged"
+            response.layer = "events"
+            response.divergence = divergence
+        elif response.failing_cells != golden_cells:
+            response.status = "diverged"
+            response.layer = "faillog"
+            response.mismatch = (
+                f"failing cells {response.failing_cells} != golden "
+                f"{golden_cells}"
+            )
+    return result
+
+
 def check_fault_conformance(
     test: MarchTest,
     capabilities: ControllerCapabilities,
@@ -432,7 +530,11 @@ def check_fault_conformance(
     """Differentially test the architectures' responses to ``fault``.
 
     Args:
-        test: the march algorithm.
+        test: the march algorithm, or a
+            :class:`repro.prt.session.PrtSession` — pseudo-ring
+            sessions dispatch to their own differential path
+            (golden expansion vs FSM controller vs replay; sequential
+            mode only).
         capabilities: memory geometry all controllers target.
         fault: the single fault injected for every run (state is reset
             between runs by the injector).
@@ -452,10 +554,18 @@ def check_fault_conformance(
         aggregations and diagnosis.
     """
     from repro.core.progfsm.compiler import CompileError
+    from repro.prt.session import PrtSession
 
     caps = capabilities
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; known: {list(MODES)}")
+    if isinstance(test, PrtSession):
+        if mode != "sequential":
+            raise ValueError(
+                f"PRT sessions are sequential stimuli; mode {mode!r} is "
+                "not realisable"
+            )
+        return _check_prt_conformance(test, caps, fault, compress, max_ops)
     if mode != "sequential":
         return _check_replay_conformance(
             test, caps, fault, compress, max_ops, mode, infield_seed
@@ -1150,7 +1260,9 @@ def run_fault_sweep(
             key_fields = {
                 "kind": "fault-sweep-shard",
                 "axis": "product",
-                "tests": payload_digest([format_test(t) for t in tests]),
+                "tests": payload_digest(
+                    [stimulus_notation(t) for t in tests]
+                ),
                 "geometry": [caps.n_words, caps.width, caps.ports],
                 "faults": payload_digest(
                     [_fault_cache_key(f) for f in faults]

@@ -36,6 +36,26 @@ from repro.march.element import MarchElement, Pause
 from repro.march.simulator import MemoryOperation, expand
 from repro.march.test import MarchTest
 
+def stimulus_notation(test) -> str:
+    """The stable string identity of any sweepable stimulus.
+
+    March tests render through :func:`repro.march.notation.format_test`;
+    non-march session objects (e.g. :class:`repro.prt.session.PrtSession`)
+    carry their own ``notation`` attribute.  Used wherever reports and
+    store keys need a stimulus name without assuming march structure.
+    """
+    if isinstance(test, MarchTest):
+        from repro.march.notation import format_test
+
+        return format_test(test)
+    notation = getattr(test, "notation", None)
+    if notation is not None:
+        return str(notation)
+    raise TypeError(
+        f"not a sweepable stimulus (no notation): {test!r}"
+    )
+
+
 #: Canonical comparison key of one operation.
 NormalizedOp = Union[
     Tuple[str, int, int, int],  # ("w"/"r", port, address, value/expected)

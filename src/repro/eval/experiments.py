@@ -62,12 +62,15 @@ def _row(controller: BistController, name: Optional[str] = None,
 def _designs(
     capabilities: ControllerCapabilities,
     storage_cell: str = "scan_dff",
+    include_prt: bool = False,
 ) -> List[Tuple[str, BistController]]:
     """The eight designs of the paper's tables, in row order.
 
     Both programmable controllers are loaded with March C (the loaded
     program does not change programmable hardware; the hardwired rows
-    *are* their algorithms).
+    *are* their algorithms).  ``include_prt`` appends the pseudo-ring
+    engine of :mod:`repro.prt` as a ninth, non-paper row — opt-in so
+    the paper's pinned eight-row tables stay byte-stable.
     """
     designs: List[Tuple[str, BistController]] = [
         (
@@ -85,17 +88,27 @@ def _designs(
         designs.append(
             (test.name, HardwiredBistController(test, capabilities))
         )
+    if include_prt:
+        from repro.prt import PrtConfig, PrtController
+
+        designs.append(
+            ("Pseudo-Ring PRT", PrtController(PrtConfig(), capabilities))
+        )
     return designs
 
 
 def table1(
     n_words: int = DEFAULT_GEOMETRY["n_words"],
     tech: Optional[Technology] = None,
+    include_prt: bool = False,
 ) -> List[Table1Row]:
     """Table 1: controller sizes for bit-oriented single-port memories."""
     capabilities = ControllerCapabilities(n_words=n_words, width=1, ports=1)
     return [
-        _row(controller, name, tech) for name, controller in _designs(capabilities)
+        _row(controller, name, tech)
+        for name, controller in _designs(
+            capabilities, include_prt=include_prt
+        )
     ]
 
 
@@ -115,14 +128,21 @@ def table2(
     width: int = WORD_WIDTH,
     ports: int = MULTIPORT_PORTS,
     tech: Optional[Technology] = None,
+    include_prt: bool = False,
 ) -> List[Table2Row]:
     """Table 2: the same designs extended for word-oriented and
     multiport memories (two configurations per row, as in the paper)."""
     word_caps = ControllerCapabilities(n_words=n_words, width=width, ports=1)
     multi_caps = ControllerCapabilities(n_words=n_words, width=1, ports=ports)
     rows: List[Table2Row] = []
-    word_rows = {n: _row(c, n, tech) for n, c in _designs(word_caps)}
-    multi_rows = {n: _row(c, n, tech) for n, c in _designs(multi_caps)}
+    word_rows = {
+        n: _row(c, n, tech)
+        for n, c in _designs(word_caps, include_prt=include_prt)
+    }
+    multi_rows = {
+        n: _row(c, n, tech)
+        for n, c in _designs(multi_caps, include_prt=include_prt)
+    }
     for name in word_rows:
         rows.append(
             Table2Row(

@@ -155,9 +155,11 @@ def _sweep_test_into(
     force_scalar: bool,
 ) -> None:
     """Sweep one test over the fault population, fault order preserved."""
+    # Non-march stimuli (PRT sessions) have no compiled lane plan; they
+    # take the counted scalar fallback like any other out-of-model run.
     plan = (
         None
-        if force_scalar
+        if force_scalar or not isinstance(test, MarchTest)
         else _plan_test(test, caps, compress, max_ops)
     )
     if plan is None:
@@ -287,13 +289,15 @@ def run_vector_fault_sweep(
         ]
         key_fields = None
         if store is not None:
-            from repro.march.notation import format_test
+            from repro.conformance.trace import stimulus_notation
             from repro.service.store import payload_digest
 
             key_fields = {
                 "kind": "fault-sweep-shard",
                 "axis": "tests",
-                "tests": payload_digest([format_test(t) for t in tests]),
+                "tests": payload_digest(
+                    [stimulus_notation(t) for t in tests]
+                ),
                 "geometry": [caps.n_words, caps.width, caps.ports],
                 "faults": payload_digest(
                     [_fault_cache_key(f) for f in faults]

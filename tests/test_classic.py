@@ -158,7 +158,7 @@ class TestCheckerboard:
 class TestLfsrMisr:
     def test_unsupported_width_rejected(self):
         with pytest.raises(ValueError):
-            Lfsr(13)
+            Lfsr(25)
 
     def test_zero_seed_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,95 @@
+"""Geometry edge cases of the classical generators.
+
+Two contracts the generators must honour regardless of pattern:
+
+* **non-power-of-two word counts** — every emitted address stays below
+  ``n_words`` and every word is still visited (an LFSR or grid-derived
+  address scheme must fold, mask or skip out-of-range values, never
+  emit them);
+* **eager validation** — a bad geometry raises ``ValueError`` at call
+  time, not on the first ``next()`` of a lazily-built generator, so CLI
+  and sweep callers get the error where they passed the argument.
+"""
+
+import pytest
+
+from repro.classic import (
+    MAX_LFSR_WIDTH,
+    check_geometry,
+    checkerboard,
+    checkerboard_op_count,
+    galpat,
+    galpat_op_count,
+    pseudorandom_test,
+    walking_ones,
+    walking_op_count,
+    walking_zeros,
+)
+
+NON_POW2 = (3, 5, 6, 7)
+
+GENERATORS = (
+    ("walking_ones", lambda n: walking_ones(n)),
+    ("walking_zeros", lambda n: walking_zeros(n)),
+    ("galpat", lambda n: galpat(n)),
+    ("checkerboard", lambda n: checkerboard(n)),
+    ("pseudorandom", lambda n: pseudorandom_test(n, length=40 * n)),
+)
+
+
+class TestNonPowerOfTwoWordCounts:
+    @pytest.mark.parametrize("name,build", GENERATORS)
+    @pytest.mark.parametrize("n_words", NON_POW2)
+    def test_addresses_stay_in_range(self, name, build, n_words):
+        ops = list(build(n_words))
+        assert ops, f"{name} emitted nothing for n={n_words}"
+        bad = [op.address for op in ops if not 0 <= op.address < n_words]
+        assert not bad, f"{name} emitted out-of-range addresses {bad}"
+
+    @pytest.mark.parametrize("name,build", GENERATORS)
+    @pytest.mark.parametrize("n_words", NON_POW2)
+    def test_every_word_is_visited(self, name, build, n_words):
+        visited = {op.address for op in build(n_words) if not op.is_delay}
+        assert visited == set(range(n_words))
+
+    @pytest.mark.parametrize("n_words", NON_POW2)
+    def test_op_count_formulas_hold_off_power_of_two(self, n_words):
+        assert len(list(walking_ones(n_words))) == walking_op_count(n_words)
+        assert len(list(galpat(n_words))) == galpat_op_count(n_words)
+        assert len(list(checkerboard(n_words))) == checkerboard_op_count(
+            n_words
+        )
+
+
+class TestEagerValidation:
+    @pytest.mark.parametrize("name,build", GENERATORS)
+    def test_zero_words_raises_at_call_time(self, name, build):
+        # No next() — the ValueError must escape the call itself.
+        with pytest.raises(ValueError, match="n_words"):
+            build(0)
+
+    def test_bad_width_and_ports_raise(self):
+        with pytest.raises(ValueError, match="width"):
+            walking_ones(4, width=0)
+        with pytest.raises(ValueError, match="ports"):
+            galpat(4, ports=0)
+        with pytest.raises(ValueError):
+            check_geometry(4, width=1, ports=-1)
+
+    def test_check_geometry_accepts_valid(self):
+        check_geometry(1)
+        check_geometry(7, width=4, ports=3)
+
+
+class TestPseudorandomWideGeometries:
+    def test_large_word_counts_now_resolve_taps(self):
+        """8 K and 32 K words need 15- and 17-bit address registers —
+        both sat in the tap-table gaps before the fix."""
+        for n_words in (8192, 32768):
+            ops = list(pseudorandom_test(n_words, length=50))
+            assert len(ops) == 50
+            assert all(0 <= op.address < n_words for op in ops)
+
+    def test_beyond_table_raises_clear_error(self):
+        with pytest.raises(ValueError, match="address register"):
+            pseudorandom_test(1 << (MAX_LFSR_WIDTH - 1))

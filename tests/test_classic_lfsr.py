@@ -1,0 +1,148 @@
+"""Maximal-length guarantees of the LFSR tap table.
+
+The table in ``repro.classic.pseudorandom`` is a correctness contract:
+every entry must produce a maximal-period (2^w - 1 state) Galois LFSR,
+because the pseudorandom generator's address/data quality and the
+pseudo-ring scheme's circulation both lean on it.  Small widths are
+walked exhaustively; wide entries are verified algebraically via the
+order of the GF(2) step map (binary exponentiation of the update
+matrix), which is exact and fast where walking 2^24 states is not.
+"""
+
+import pytest
+
+from repro.classic.pseudorandom import (
+    _TAPS,
+    MAX_LFSR_WIDTH,
+    Lfsr,
+    lfsr_taps,
+)
+
+# -- GF(2) linear-map machinery (columns as bitmasks) ---------------------
+
+
+def _step_map(width, taps):
+    """The one-step Galois update as a list of column bitmasks."""
+    columns = []
+    for bit in range(width):
+        state = 1 << bit
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= taps
+        columns.append(state)
+    return columns
+
+
+def _compose(outer, inner):
+    out = []
+    for column in inner:
+        acc = 0
+        bit = 0
+        while column:
+            if column & 1:
+                acc ^= outer[bit]
+            column >>= 1
+            bit += 1
+        out.append(acc)
+    return out
+
+
+def _map_pow(matrix, exponent, width):
+    result = [1 << bit for bit in range(width)]  # identity
+    base = matrix
+    while exponent:
+        if exponent & 1:
+            result = _compose(base, result)
+        base = _compose(base, base)
+        exponent >>= 1
+    return result
+
+
+def _prime_factors(number):
+    factors = set()
+    candidate = 2
+    while candidate * candidate <= number:
+        while number % candidate == 0:
+            factors.add(candidate)
+            number //= candidate
+        candidate += 1
+    if number > 1:
+        factors.add(number)
+    return factors
+
+
+def _is_maximal(width, taps):
+    """True iff the step map's multiplicative order is 2^width - 1."""
+    identity = [1 << bit for bit in range(width)]
+    matrix = _step_map(width, taps)
+    period = (1 << width) - 1
+    if _map_pow(matrix, period, width) != identity:
+        return False
+    return all(
+        _map_pow(matrix, period // q, width) != identity
+        for q in _prime_factors(period)
+    )
+
+
+# -- the table itself -----------------------------------------------------
+
+
+class TestTapTable:
+    def test_covers_every_width_through_24(self):
+        assert sorted(_TAPS) == list(range(1, 25))
+        assert MAX_LFSR_WIDTH == 24
+
+    @pytest.mark.parametrize("width", sorted(w for w in _TAPS if w <= 12))
+    def test_small_widths_walk_full_period(self, width):
+        lfsr = Lfsr(width, seed=1)
+        seen = {1}
+        for _ in range((1 << width) - 2):
+            lfsr.step()
+            seen.add(lfsr.state)
+        assert len(seen) == (1 << width) - 1
+        lfsr.step()
+        assert lfsr.state == 1  # and the cycle closes
+
+    @pytest.mark.parametrize("width", (13, 14, 15))
+    def test_gap_widths_walk_full_period(self, width):
+        """Widths 13-15 were missing from the original table; the fix
+        is only a fix if their masks really are maximal."""
+        lfsr = Lfsr(width, seed=1)
+        period = 0
+        while True:
+            lfsr.step()
+            period += 1
+            if lfsr.state == 1:
+                break
+        assert period == (1 << width) - 1
+
+    @pytest.mark.parametrize("width", sorted(w for w in _TAPS if w > 12))
+    def test_wide_widths_maximal_by_map_order(self, width):
+        assert _is_maximal(width, _TAPS[width])
+
+    def test_map_order_check_rejects_a_bad_mask(self):
+        # Sanity-check the checker: x^4 + x^2 + 1 factors, so taps
+        # 0b0101 at width 4 is not maximal (period 6, not 15).
+        assert not _is_maximal(4, 0b0101)
+        assert _is_maximal(4, _TAPS[4])
+
+
+class TestLfsrTapsApi:
+    def test_returns_table_entry(self):
+        for width, taps in _TAPS.items():
+            assert lfsr_taps(width) == taps
+
+    @pytest.mark.parametrize("width", (0, -3))
+    def test_rejects_nonpositive_width(self, width):
+        with pytest.raises(ValueError):
+            lfsr_taps(width)
+
+    def test_rejects_width_beyond_table_with_guidance(self):
+        with pytest.raises(ValueError, match="extend _TAPS"):
+            lfsr_taps(MAX_LFSR_WIDTH + 1)
+
+    def test_lfsr_constructor_uses_table(self):
+        assert Lfsr(13, seed=1).taps == _TAPS[13]
+        with pytest.raises(ValueError):
+            Lfsr(25, seed=1)
